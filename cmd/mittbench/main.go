@@ -1,0 +1,94 @@
+// Command mittbench regenerates the tables and figures of the MittOS paper
+// (SOSP '17) from the simulation-backed reproduction.
+//
+// Usage:
+//
+//	mittbench -list
+//	mittbench -run fig5            # one experiment, quick scale
+//	mittbench -run all -full       # everything at paper scale
+//	mittbench -run fig3 -csv out/  # also dump CDF series as CSV
+//
+// Every run is deterministic: the same flags produce identical output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mittos"
+)
+
+func main() {
+	var (
+		run  = flag.String("run", "", "experiment id (see -list), or 'all'")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+		full = flag.Bool("full", false, "paper-scale runs (default: quick scale)")
+		csv  = flag.String("csv", "", "directory to write per-series CDF CSVs into")
+		plot = flag.Bool("plot", false, "render each experiment's CDFs as an ASCII chart")
+		seed = flag.Int64("seed", 1, "simulation seed (same seed = identical output)")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments (pass one to -run, or 'all'):")
+		for _, id := range mittos.Experiments() {
+			fmt.Printf("  %s\n", id)
+		}
+		if *run == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = mittos.Experiments()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := mittos.RunExperimentSeed(id, !*full, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		if *plot && len(res.Series) > 0 {
+			fmt.Println(res.Plot(72, 18))
+		}
+		fmt.Printf("(regenerated %s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csv != "" {
+			if err := dumpCSV(*csv, res); err != nil {
+				fmt.Fprintln(os.Stderr, "csv:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// dumpCSV writes each series' CDF as <dir>/<id>-<series>.csv with
+// latency-milliseconds, cumulative-probability rows.
+func dumpCSV(dir string, res *mittos.ExperimentResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, s := range res.Series {
+		name := strings.NewReplacer("/", "_", "%", "pct", "(", "", ")", "").Replace(s.Name)
+		path := filepath.Join(dir, fmt.Sprintf("%s-%s.csv", res.ID, name))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(f, "latency_ms,cumulative_probability")
+		for _, pt := range s.CDF(200) {
+			fmt.Fprintf(f, "%.4f,%.5f\n", float64(pt.Latency)/1e6, pt.P)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+// Failover: a 3-replica store with one noisy node, comparing every
+// client-side tail-tolerance strategy from the paper side by side — the
+// §7.2 experiment in miniature.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"mittos"
+	"mittos/internal/blockio"
+	"mittos/internal/noise"
+	"mittos/internal/stats"
+	"mittos/internal/ycsb"
+)
+
+const (
+	keys     = 20000
+	deadline = 15 * time.Millisecond
+	requests = 2000
+)
+
+func main() {
+	fmt.Println("3-replica store, one replica under steady 1MB-read contention")
+	fmt.Printf("deadline / hedge trigger / timeout: %v\n\n", deadline)
+	tb := &stats.Table{Header: []string{"strategy", "avg", "p50", "p95", "p99", "max"}}
+	for _, name := range []string{"Base", "AppTO", "Clone", "Tied", "Hedged", "Snitch", "MittOS"} {
+		s := run(name)
+		tb.AddRow(name,
+			stats.FormatDuration(s.Mean()),
+			stats.FormatDuration(s.Percentile(50)),
+			stats.FormatDuration(s.Percentile(95)),
+			stats.FormatDuration(s.Percentile(99)),
+			stats.FormatDuration(s.Max()))
+	}
+	fmt.Print(tb.String())
+	fmt.Println("\nMittOS never waits on the busy replica: EBUSY arrives in µs and")
+	fmt.Println("the retry costs one network hop (~0.3ms) instead of a queueing delay.")
+}
+
+// run executes one strategy against a fresh, identically-seeded cluster.
+func run(name string) *stats.Sample {
+	eng := mittos.NewEngine()
+	net := mittos.NewNetwork(eng, 0, mittos.NewRNG(1, "net"))
+	tmpl := mittos.NodeConfig{
+		Device:      mittos.DeviceDisk,
+		DiskConfig:  mittos.DefaultDiskConfig(),
+		UseCFQ:      true,
+		Mitt:        true, // the layer is present; only MittOS *uses* deadlines
+		MittOptions: mittos.DefaultOptions(),
+		Keys:        keys,
+		DiskProfile: mittos.DiskProfile(),
+	}
+	c := mittos.NewCluster(eng, net, 3, 3, tmpl, mittos.NewRNG(2, "nodes"))
+
+	// The noisy neighbor camps on node 0.
+	st := noise.NewSteady(eng, c.Nodes[0].NoiseSink(), mittos.NewRNG(3, "noise"),
+		blockio.Read, 1<<20, 3, blockio.ClassBestEffort, 5, 99, 500<<30)
+	st.Start()
+
+	var strat mittos.Strategy
+	switch name {
+	case "Base":
+		strat = &mittos.BaseStrategy{C: c}
+	case "AppTO":
+		strat = &mittos.TimeoutStrategy{C: c, TO: deadline}
+	case "Clone":
+		strat = &mittos.CloneStrategy{C: c, RNG: mittos.NewRNG(4, "clone")}
+	case "Tied":
+		strat = &mittos.TiedStrategy{C: c, RNG: mittos.NewRNG(4, "tied")}
+	case "Hedged":
+		strat = &mittos.HedgedStrategy{C: c, HedgeAfter: deadline}
+	case "Snitch":
+		strat = &mittos.SnitchStrategy{C: c}
+	case "MittOS":
+		strat = &mittos.MittOSStrategy{C: c, Deadline: deadline}
+	}
+
+	wl := ycsb.New(ycsb.DefaultConfig(keys), mittos.NewRNG(5, "wl"))
+	lat := stats.NewSample(requests)
+	done := 0
+	var issue func()
+	issue = func() {
+		if done >= requests {
+			return
+		}
+		eng.Schedule(5*time.Millisecond, func() {
+			start := eng.Now()
+			strat.Get(wl.NextKey(), func(mittos.GetResult) {
+				lat.Add(eng.Now().Sub(start))
+				done++
+			})
+			issue()
+		})
+	}
+	issue()
+	eng.RunFor(time.Duration(requests) * 6 * time.Millisecond)
+	st.Stop()
+	eng.RunFor(2 * time.Second)
+	return lat
+}

@@ -1,0 +1,113 @@
+package mittos
+
+import (
+	"fmt"
+	"sort"
+
+	"mittos/internal/disk"
+	"mittos/internal/experiments"
+)
+
+// DiskProfile returns the shared offline disk profile for the default disk
+// model — the white-box latency model MittNoop/MittCFQ predictors consume
+// (Appendix A). Building a NodeConfig by hand requires one.
+func DiskProfile() *disk.Profile { return experiments.DiskProfile() }
+
+// ExperimentResult is the rendered output of one regenerated table/figure.
+type ExperimentResult = experiments.Result
+
+// ExperimentOptions scale the macro experiments.
+type ExperimentOptions = experiments.Options
+
+// FullScale returns the paper-scale configuration (20 nodes, 20 clients,
+// 60s measured per strategy run).
+func FullScale() ExperimentOptions { return experiments.DefaultOptions() }
+
+// QuickScale returns a reduced configuration suitable for tests and
+// benches (9 nodes, 6 clients, 10s per run).
+func QuickScale() ExperimentOptions { return experiments.QuickOptions() }
+
+// experimentRunners maps experiment ids to their runners. Each regenerates
+// one table or figure of the paper (see DESIGN.md's per-experiment index).
+var experimentRunners = map[string]func(quick bool, seed int64) *ExperimentResult{
+	"table1": func(q bool, seed int64) *ExperimentResult { return experiments.Table1(scale(q, seed)) },
+	"fig3": func(q bool, seed int64) *ExperimentResult {
+		o := experiments.DefaultFig3Options()
+		if q {
+			o = experiments.QuickFig3Options()
+		}
+		o.Seed = seed
+		return &experiments.Fig3(o).Result
+	},
+	"fig4": func(q bool, seed int64) *ExperimentResult {
+		o := experiments.DefaultFig4Options()
+		if q {
+			o = experiments.QuickFig4Options()
+		}
+		o.Seed = seed
+		return experiments.Fig4(o)
+	},
+	"fig5": func(q bool, seed int64) *ExperimentResult { return experiments.Fig5(scale(q, seed)) },
+	"fig6": func(q bool, seed int64) *ExperimentResult { return experiments.Fig6(scale(q, seed)) },
+	"fig7": func(q bool, seed int64) *ExperimentResult { return experiments.Fig7(scale(q, seed)) },
+	"fig8": func(q bool, seed int64) *ExperimentResult {
+		o := experiments.DefaultFig8Options()
+		if q {
+			o = experiments.QuickFig8Options()
+		}
+		o.Seed = seed
+		return experiments.Fig8(o)
+	},
+	"fig9": func(q bool, seed int64) *ExperimentResult {
+		o := experiments.DefaultFig9Options()
+		if q {
+			o = experiments.QuickFig9Options()
+		}
+		o.Seed = seed
+		res, _ := experiments.Fig9(o)
+		return res
+	},
+	"fig10":    func(q bool, seed int64) *ExperimentResult { return experiments.Fig10(scale(q, seed)) },
+	"fig11":    func(q bool, seed int64) *ExperimentResult { return experiments.Fig11(scale(q, seed)) },
+	"fig12":    func(q bool, seed int64) *ExperimentResult { return experiments.Fig12(scale(q, seed)) },
+	"fig13":    func(q bool, seed int64) *ExperimentResult { return &experiments.Fig13(scale(q, seed)).Result },
+	"allinone": func(q bool, seed int64) *ExperimentResult { return experiments.AllInOne(scale(q, seed)) },
+	"writes":   func(q bool, seed int64) *ExperimentResult { return experiments.Writes(scale(q, seed)) },
+}
+
+func scale(quick bool, seed int64) ExperimentOptions {
+	o := FullScale()
+	if quick {
+		o = QuickScale()
+	}
+	o.Seed = seed
+	return o
+}
+
+// Experiments lists the available experiment ids, sorted.
+func Experiments() []string {
+	ids := make([]string, 0, len(experimentRunners))
+	for id := range experimentRunners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunExperiment regenerates one of the paper's tables or figures by id
+// ("table1", "fig3" … "fig13", "allinone", "writes") at seed 1. quick
+// selects the reduced scale; full scale mirrors the paper's setup.
+func RunExperiment(id string, quick bool) (*ExperimentResult, error) {
+	return RunExperimentSeed(id, quick, 1)
+}
+
+// RunExperimentSeed is RunExperiment with an explicit seed: different seeds
+// draw fresh noise timelines and workloads, the cheap way to check a
+// result's stability.
+func RunExperimentSeed(id string, quick bool, seed int64) (*ExperimentResult, error) {
+	fn, ok := experimentRunners[id]
+	if !ok {
+		return nil, fmt.Errorf("mittos: unknown experiment %q (known: %v)", id, Experiments())
+	}
+	return fn(quick, seed), nil
+}

@@ -1,0 +1,84 @@
+package mittos
+
+// The paper closes with directions MittOS could grow into (§7.8.2, §8):
+// tied requests, richer SLO forms, and resources beyond the storage stack.
+// This file exposes the implemented extensions through the facade; each is
+// built and tested in its internal package and documented in DESIGN.md §6.
+
+import (
+	"time"
+
+	"mittos/internal/cluster"
+	"mittos/internal/core"
+	"mittos/internal/disk"
+	"mittos/internal/iosched"
+	"mittos/internal/smr"
+	"mittos/internal/vmm"
+)
+
+// TiedStrategy is the Dean & Barroso tied-requests approximation the paper
+// wanted to evaluate but could not (§7.8.2): duplicate-with-delay, the
+// winner revoking its sibling's still-queued IO.
+type TiedStrategy = cluster.TiedStrategy
+
+// ConsistentMittOSStrategy is §8.3's conservative failover: EBUSY retries
+// only go to replicas fresh enough to preserve monotonic reads; when every
+// alternative is stale the request waits, trading tail latency for the
+// consistency guarantee.
+type ConsistentMittOSStrategy = cluster.ConsistentMittOSStrategy
+
+// ThroughputSLO wraps any Target with per-tenant IOPS contracts — the §8.1
+// "other forms of SLO" extension. Tenants over contract get instant EBUSY
+// with a time-to-next-token wait hint.
+type ThroughputSLO = core.ThroughputSLO
+
+// NewThroughputSLO wraps inner with throughput admission.
+func NewThroughputSLO(eng *Engine, inner Target, opt Options) *ThroughputSLO {
+	return core.NewThroughputSLO(eng, inner, opt)
+}
+
+// SMRDrive models a host-aware shingled drive whose band cleaning stalls
+// reads for hundreds of milliseconds (§8.2).
+type (
+	SMRDrive  = smr.Drive
+	SMRConfig = smr.Config
+	// MittSMR applies the MittOS principle to band cleaning: reads whose
+	// deadline cannot survive the in-progress clean bounce immediately.
+	MittSMR = core.MittSMR
+)
+
+// DefaultSMRConfig returns a 1TB host-aware SMR drive model.
+func DefaultSMRConfig() SMRConfig { return smr.DefaultConfig() }
+
+// NewSMRStack assembles drive → noop scheduler → MittSMR, the §8.2 SMR
+// deployment, and returns both the admission layer and the drive.
+func NewSMRStack(eng *Engine, cfg SMRConfig, seed int64) (*MittSMR, *SMRDrive) {
+	drive := smr.New(eng, cfg, NewRNG(seed, "smr-drive"))
+	nop := iosched.NewNoop(eng, drive)
+	prof := disk.ProfileTwin(cfg.Disk, 42, disk.DefaultProfilerOptions())
+	return core.NewMittSMR(eng, nop, drive, prof, core.DefaultOptions()), drive
+}
+
+// VMMHost models a hypervisor multiplexing CPU-bound guests in 30ms
+// timeslices; MittVMM semantics reject messages to frozen VMs (§8.2).
+type (
+	VMMHost   = vmm.Host
+	VMMConfig = vmm.Config
+	GuestVM   = vmm.VM
+)
+
+// DefaultVMMConfig returns the §8.2 parameters (30ms timeslices).
+func DefaultVMMConfig() VMMConfig { return vmm.DefaultConfig() }
+
+// NewVMMHost builds the hypervisor with the given guests.
+func NewVMMHost(eng *Engine, cfg VMMConfig, vms []*GuestVM) *VMMHost {
+	return vmm.NewHost(eng, cfg, vms)
+}
+
+// MittOSWaitHintStrategy returns a MittOS failover strategy with the
+// EBUSY-with-wait-time extension enabled: when all three replicas reject,
+// the fourth try goes to the one that predicted the shortest wait
+// (§5, §7.8.1).
+func MittOSWaitHintStrategy(c *Cluster, deadline time.Duration) *MittOSStrategy {
+	return &MittOSStrategy{C: c, Deadline: deadline, UseWaitHint: true}
+}

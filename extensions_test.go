@@ -1,0 +1,114 @@
+package mittos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSMRStackRejectsDuringClean(t *testing.T) {
+	eng := NewEngine()
+	cfg := DefaultSMRConfig()
+	cfg.CacheBytes = 64 << 20
+	mitt, drive := NewSMRStack(eng, cfg, 1)
+	rng := NewRNG(2, "writes")
+	var ids uint64
+	write := func() {
+		ids++
+		req := &Request{ID: ids, Op: OpWrite, Offset: rng.Int63n(900<<30) &^ 4095, Size: 1 << 20}
+		mitt.SubmitSLO(req, func(error) {})
+	}
+	for drive.CacheFill() < cfg.CleanHighWater {
+		write()
+		eng.RunFor(time.Millisecond)
+	}
+	for i := 0; i < 1000 && mitt.CleanRemaining() == 0; i++ {
+		eng.RunFor(10 * time.Millisecond)
+	}
+	if mitt.CleanRemaining() == 0 {
+		t.Fatal("no clean observed")
+	}
+	ids++
+	var err error
+	req := &Request{ID: ids, Op: OpRead, Offset: 500 << 30, Size: 4096,
+		Deadline: 20 * time.Millisecond}
+	mitt.SubmitSLO(req, func(e error) { err = e })
+	eng.RunFor(5 * time.Millisecond)
+	if !IsBusy(err) {
+		t.Fatalf("read during band clean: %v, want EBUSY", err)
+	}
+	eng.Run()
+}
+
+func TestThroughputSLOFacade(t *testing.T) {
+	eng := NewEngine()
+	stack := NewStack(eng, StackConfig{Device: DeviceDisk, Mitt: true, Seed: 1})
+	ts := NewThroughputSLO(eng, stack.Target(), DefaultOptions())
+	ts.SetContract(5, 50, 2)
+	busy, ok := 0, 0
+	for i := 0; i < 10; i++ {
+		req := &Request{ID: uint64(i + 1), Op: OpRead, Offset: int64(i) * (10 << 30),
+			Size: 4096, Proc: 5}
+		ts.SubmitSLO(req, func(err error) {
+			if IsBusy(err) {
+				busy++
+			} else if err == nil {
+				ok++
+			}
+		})
+	}
+	eng.Run()
+	if ok != 2 || busy != 8 {
+		t.Fatalf("burst-2 contract: ok=%d busy=%d", ok, busy)
+	}
+}
+
+func TestVMMFacade(t *testing.T) {
+	eng := NewEngine()
+	host := NewVMMHost(eng, DefaultVMMConfig(), []*GuestVM{
+		{ID: 0, CPUBound: true}, {ID: 1, CPUBound: true}, {ID: 2, CPUBound: true},
+	})
+	var err error
+	host.Deliver(2, 10*time.Millisecond, func(e error) { err = e })
+	eng.RunFor(time.Millisecond)
+	if !IsBusy(err) {
+		t.Fatalf("frozen-VM deliver: %v", err)
+	}
+}
+
+func TestWaitHintStrategyConstructor(t *testing.T) {
+	eng := NewEngine()
+	net := NewNetwork(eng, 0, NewRNG(1, "net"))
+	tmpl := NodeConfig{
+		Device: DeviceDisk, DiskConfig: DefaultDiskConfig(), UseCFQ: true,
+		Mitt: true, MittOptions: DefaultOptions(), Keys: 1000,
+		DiskProfile: DiskProfile(),
+	}
+	c := NewCluster(eng, net, 3, 3, tmpl, NewRNG(2, "nodes"))
+	s := MittOSWaitHintStrategy(c, 15*time.Millisecond)
+	if !s.UseWaitHint {
+		t.Fatal("wait hint not enabled")
+	}
+	var res GetResult
+	s.Get(1, func(r GetResult) { res = r })
+	eng.Run()
+	if res.Err != nil {
+		t.Fatalf("get: %v", res.Err)
+	}
+}
+
+func TestTiedStrategyFacade(t *testing.T) {
+	eng := NewEngine()
+	net := NewNetwork(eng, 0, NewRNG(1, "net"))
+	tmpl := NodeConfig{
+		Device: DeviceDisk, DiskConfig: DefaultDiskConfig(), UseCFQ: true,
+		Keys: 1000, DiskProfile: DiskProfile(), MittOptions: DefaultOptions(),
+	}
+	c := NewCluster(eng, net, 3, 3, tmpl, NewRNG(2, "nodes"))
+	s := &TiedStrategy{C: c, RNG: NewRNG(3, "tied")}
+	var res GetResult
+	s.Get(1, func(r GetResult) { res = r })
+	eng.Run()
+	if res.Err != nil {
+		t.Fatalf("tied get: %v", res.Err)
+	}
+}

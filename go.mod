@@ -1,0 +1,3 @@
+module mittos
+
+go 1.22

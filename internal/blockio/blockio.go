@@ -1,0 +1,178 @@
+// Package blockio defines the common block-IO request type that flows
+// through every layer of the simulated storage stack: OS cache → IO
+// scheduler → device. It is the moral equivalent of the kernel's `struct
+// bio`/`struct request`, extended with the one field MittOS adds — the
+// deadline SLO — plus the bookkeeping MittOS attaches to IO descriptors
+// (predicted service time, start time, shadow-mode EBUSY verdicts, §4.1 and
+// §7.6 of the paper).
+package blockio
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mittos/internal/sim"
+)
+
+// ErrBusy is MittOS's fast-rejection signal: the IO was not queued because
+// its deadline SLO cannot be met by this resource (§3.2, step 4). It plays
+// the role of the kernel's EBUSY errno.
+var ErrBusy = errors.New("mittos: EBUSY (deadline SLO cannot be met)")
+
+// Op is the IO operation type.
+type Op uint8
+
+// Operations understood by the device models.
+const (
+	Read Op = iota
+	Write
+	// Erase is SSD-internal (garbage collection, wear leveling); it never
+	// arrives from applications but occupies chips like any other op.
+	Erase
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Erase:
+		return "erase"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Class mirrors CFQ's three service trees (§4.2).
+type Class uint8
+
+// CFQ scheduling classes. BestEffort is the zero value, matching Linux's
+// treatment of IOPRIO_CLASS_NONE: a request that never set a class gets
+// best-effort service, so forgetting ionice can never grant RT priority.
+const (
+	ClassBestEffort Class = iota
+	ClassRealTime
+	ClassIdle
+)
+
+// Rank orders classes by service priority: 0 is served first.
+func (c Class) Rank() int {
+	switch c {
+	case ClassRealTime:
+		return 0
+	case ClassBestEffort:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassRealTime:
+		return "RT"
+	case ClassBestEffort:
+		return "BE"
+	case ClassIdle:
+		return "Idle"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// NoDeadline marks a request without an SLO; the stack treats it exactly as
+// a vanilla read()/write() (§3.3: "keep existing OS policies").
+const NoDeadline = time.Duration(0)
+
+// Request is one block IO. Layers annotate it as it descends and completes.
+type Request struct {
+	ID     uint64
+	Op     Op
+	Offset int64 // byte offset on the device's logical address space
+	Size   int   // bytes
+
+	// Scheduling identity: which tenant/process issued the IO, its CFQ
+	// class and ionice priority (0 = highest, 7 = lowest within a class).
+	Proc     int
+	Class    Class
+	Priority int
+
+	// Deadline is the MittOS SLO attached by the application
+	// (read(...,slo)). Zero means no SLO.
+	Deadline time.Duration
+
+	// Lifecycle timestamps in virtual time.
+	SubmitTime   sim.Time // entered the scheduler
+	DispatchTime sim.Time // entered the device
+	CompleteTime sim.Time // completion callback fired
+
+	// MittOS bookkeeping, attached to the descriptor exactly as §4.1
+	// describes: predicted processing time and IO start time, so the
+	// completion path can compute Tdiff = actual − predicted.
+	PredictedWait    time.Duration // predicted queueing wait at admission
+	PredictedService time.Duration // predicted device service time
+
+	// ShadowBusy is the §7.6 accuracy-measurement flag: in shadow mode the
+	// EBUSY verdict is recorded here instead of being returned, so the IO
+	// still runs and the actual latency can be compared to the verdict.
+	ShadowBusy bool
+
+	// OnComplete fires when the device finishes the IO. It runs in virtual
+	// time on the simulation engine.
+	OnComplete func(*Request)
+
+	// canceled requests are dropped by the scheduler before dispatch
+	// (MittCFQ's late cancellation, §4.2).
+	canceled bool
+}
+
+// Cancel marks the request so schedulers drop it before dispatch. A request
+// already on the device cannot be cancelled (device queues are invisible to
+// the OS, §7.8.2).
+func (r *Request) Cancel() { r.canceled = true }
+
+// Canceled reports whether Cancel was called.
+func (r *Request) Canceled() bool { return r.canceled }
+
+// End returns the exclusive end offset.
+func (r *Request) End() int64 { return r.Offset + int64(r.Size) }
+
+// Latency returns the submit→complete latency; valid after completion.
+func (r *Request) Latency() time.Duration {
+	return r.CompleteTime.Sub(r.SubmitTime)
+}
+
+// ServiceTime returns the dispatch→complete device time.
+func (r *Request) ServiceTime() time.Duration {
+	return r.CompleteTime.Sub(r.DispatchTime)
+}
+
+// String renders a compact description for logs and tests.
+func (r *Request) String() string {
+	return fmt.Sprintf("io#%d %s off=%d size=%d proc=%d %s/%d dl=%v",
+		r.ID, r.Op, r.Offset, r.Size, r.Proc, r.Class, r.Priority, r.Deadline)
+}
+
+// Device is anything that accepts block IOs and eventually completes them:
+// raw device models (disk, SSD) and IO schedulers stacked above them.
+type Device interface {
+	// Submit enqueues the request. Completion is signalled by invoking
+	// req.OnComplete in virtual time; Submit itself never blocks.
+	Submit(req *Request)
+	// InFlight reports the number of submitted-but-incomplete requests,
+	// used by monitors and the EBUSY-timeline experiment (Fig. 13b).
+	InFlight() int
+}
+
+// IDGen hands out unique request IDs. The zero value is ready to use.
+type IDGen struct{ next uint64 }
+
+// Next returns a fresh ID (first ID is 1).
+func (g *IDGen) Next() uint64 {
+	g.next++
+	return g.next
+}

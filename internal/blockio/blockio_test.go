@@ -1,0 +1,81 @@
+package blockio
+
+import (
+	"testing"
+	"time"
+
+	"mittos/internal/sim"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{Read: "read", Write: "write", Erase: "erase", Op(9): "op(9)"}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Fatalf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{ClassRealTime: "RT", ClassBestEffort: "BE", ClassIdle: "Idle", Class(9): "class(9)"}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Fatalf("Class(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestRequestEnd(t *testing.T) {
+	r := &Request{Offset: 4096, Size: 1024}
+	if r.End() != 5120 {
+		t.Fatalf("End() = %d, want 5120", r.End())
+	}
+}
+
+func TestRequestLatency(t *testing.T) {
+	r := &Request{
+		SubmitTime:   sim.Time(time.Millisecond),
+		DispatchTime: sim.Time(3 * time.Millisecond),
+		CompleteTime: sim.Time(10 * time.Millisecond),
+	}
+	if r.Latency() != 9*time.Millisecond {
+		t.Fatalf("Latency = %v", r.Latency())
+	}
+	if r.ServiceTime() != 7*time.Millisecond {
+		t.Fatalf("ServiceTime = %v", r.ServiceTime())
+	}
+}
+
+func TestCancelFlag(t *testing.T) {
+	r := &Request{}
+	if r.Canceled() {
+		t.Fatal("fresh request reports canceled")
+	}
+	r.Cancel()
+	if !r.Canceled() {
+		t.Fatal("Cancel did not stick")
+	}
+}
+
+func TestIDGenUnique(t *testing.T) {
+	var g IDGen
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := g.Next()
+		if id == 0 {
+			t.Fatal("ID 0 issued; 0 is reserved for 'unset'")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	r := &Request{ID: 7, Op: Read, Offset: 1, Size: 2, Proc: 3, Class: ClassBestEffort, Priority: 4, Deadline: 20 * time.Millisecond}
+	s := r.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"time"
+
+	"mittos/internal/sim"
+	"mittos/internal/stats"
+	"mittos/internal/ycsb"
+)
+
+// ClientConfig shapes one YCSB client.
+type ClientConfig struct {
+	// Interval is the open-loop period between user requests.
+	Interval time.Duration
+	// JitterFrac randomizes each gap by ±frac to avoid phase-locking a
+	// fleet of clients.
+	JitterFrac float64
+	// ScaleFactor is the number of parallel get() sub-requests per user
+	// request; the user waits for all of them (§7.3).
+	ScaleFactor int
+	// Requests caps how many user requests this client issues (0 = until
+	// the engine stops scheduling it).
+	Requests int
+	// Closed switches to closed-loop issuing: the next request goes out
+	// Interval after the previous one COMPLETES (the §7.5 client model,
+	// where "only 6 threads are busy all the time").
+	Closed bool
+}
+
+// DefaultClientConfig matches the §7.2 runs: one get per user request.
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{Interval: 20 * time.Millisecond, JitterFrac: 0.2, ScaleFactor: 1}
+}
+
+// Client drives a strategy with a YCSB workload and records latencies.
+type Client struct {
+	eng   *sim.Engine
+	cfg   ClientConfig
+	strat Strategy
+	wl    *ycsb.Workload
+	rng   *sim.RNG
+
+	// UserLatencies holds per-user-request completion times (max over the
+	// scale-factor fan-out) — the Figure 6 metric.
+	UserLatencies *stats.Sample
+	// IOLatencies holds per-get completion times — the Figure 5 metric.
+	IOLatencies *stats.Sample
+
+	issued   int
+	finished int
+	errors   int
+	stopped  bool
+}
+
+// NewClient builds a client.
+func NewClient(eng *sim.Engine, cfg ClientConfig, strat Strategy,
+	wl *ycsb.Workload, rng *sim.RNG) *Client {
+	if cfg.ScaleFactor <= 0 {
+		cfg.ScaleFactor = 1
+	}
+	if cfg.Interval <= 0 {
+		panic("cluster: client Interval must be positive")
+	}
+	return &Client{
+		eng: eng, cfg: cfg, strat: strat, wl: wl, rng: rng,
+		UserLatencies: stats.NewSample(4096),
+		IOLatencies:   stats.NewSample(4096),
+	}
+}
+
+// Start begins issuing requests.
+func (cl *Client) Start() { cl.scheduleNext() }
+
+// Stop ceases new requests (in-flight ones still complete).
+func (cl *Client) Stop() { cl.stopped = true }
+
+// Issued and Finished report progress; Errors counts failed user requests.
+func (cl *Client) Issued() int { return cl.issued }
+
+// Finished reports completed user requests.
+func (cl *Client) Finished() int { return cl.finished }
+
+// Errors counts user requests that ended in an error.
+func (cl *Client) Errors() int { return cl.errors }
+
+func (cl *Client) scheduleNext() {
+	if cl.stopped || (cl.cfg.Requests > 0 && cl.issued >= cl.cfg.Requests) {
+		return
+	}
+	gap := cl.cfg.Interval
+	if cl.cfg.JitterFrac > 0 {
+		span := time.Duration(float64(gap) * cl.cfg.JitterFrac)
+		gap = gap - span + cl.rng.Duration(2*span)
+	}
+	cl.eng.Schedule(gap, func() {
+		cl.issueOne()
+		if !cl.cfg.Closed {
+			cl.scheduleNext()
+		}
+	})
+}
+
+func (cl *Client) issueOne() {
+	cl.issued++
+	start := cl.eng.Now()
+	remaining := cl.cfg.ScaleFactor
+	failed := false
+	for i := 0; i < cl.cfg.ScaleFactor; i++ {
+		key := cl.wl.NextKey()
+		subStart := cl.eng.Now()
+		cl.strat.Get(key, func(res GetResult) {
+			cl.IOLatencies.Add(cl.eng.Now().Sub(subStart))
+			if res.Err != nil {
+				failed = true
+			}
+			remaining--
+			if remaining == 0 {
+				cl.finished++
+				if failed {
+					cl.errors++
+				}
+				cl.UserLatencies.Add(cl.eng.Now().Sub(start))
+				if cl.cfg.Closed {
+					cl.scheduleNext()
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,347 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"mittos/internal/blockio"
+	"mittos/internal/core"
+	"mittos/internal/disk"
+	"mittos/internal/netsim"
+	"mittos/internal/noise"
+	"mittos/internal/sim"
+	"mittos/internal/ycsb"
+)
+
+// diskProfile is computed once; profiling is deterministic and shared.
+var diskProfile = disk.ProfileTwin(disk.DefaultConfig(),
+	42, disk.ProfilerOptions{Buckets: 32, Tries: 6, ProbeSize: 4096})
+
+func diskNodeTemplate(mitt bool, keys int64) NodeConfig {
+	return NodeConfig{
+		Device:      DeviceDisk,
+		DiskConfig:  disk.DefaultConfig(),
+		UseCFQ:      true,
+		Mitt:        mitt,
+		MittOptions: core.DefaultOptions(),
+		Keys:        keys,
+		DiskProfile: diskProfile,
+	}
+}
+
+func newTestCluster(t *testing.T, n int, mitt bool, keys int64) *Cluster {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := netsim.New(eng, netsim.DefaultConfig(), sim.NewRNG(61, t.Name()+"-net"))
+	return NewCluster(eng, net, n, 3, diskNodeTemplate(mitt, keys), sim.NewRNG(62, t.Name()))
+}
+
+func TestReplicasForSpreadAndStability(t *testing.T) {
+	c := newTestCluster(t, 5, false, 100)
+	a := c.ReplicasFor(7)
+	b := c.ReplicasFor(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("replica placement unstable")
+		}
+	}
+	if len(a) != 3 {
+		t.Fatalf("R = %d", len(a))
+	}
+	seen := map[int]bool{}
+	for _, r := range a {
+		if seen[r] {
+			t.Fatal("duplicate replica")
+		}
+		seen[r] = true
+	}
+}
+
+func TestBaseGetCompletes(t *testing.T) {
+	c := newTestCluster(t, 3, false, 10000)
+	s := &BaseStrategy{C: c}
+	var res GetResult
+	s.Get(42, func(r GetResult) { res = r })
+	c.Eng.Run()
+	if res.Err != nil {
+		t.Fatalf("Base get: %v", res.Err)
+	}
+	// 2 network hops (~0.6ms) + a disk read (sequential reads can be
+	// sub-millisecond; random ones several ms).
+	if res.Latency < 600*time.Microsecond || res.Latency > 60*time.Millisecond {
+		t.Fatalf("Base latency %v implausible", res.Latency)
+	}
+}
+
+func TestMittOSFailoverOnBusyReplica(t *testing.T) {
+	c := newTestCluster(t, 3, true, 10000)
+	// Make node holding key 0's primary busy.
+	primary := c.ReplicasFor(0)[0]
+	st := noise.NewSteady(c.Eng, c.Nodes[primary].NoiseSink(), sim.NewRNG(5, "noise"),
+		blockio.Read, 1<<20, 8, blockio.ClassBestEffort, 4, 99, 500<<30)
+	st.Start()
+	c.Eng.RunFor(100 * time.Millisecond) // let contention build
+	s := &MittOSStrategy{C: c, Deadline: 15 * time.Millisecond}
+	var res GetResult
+	s.Get(0, func(r GetResult) { res = r })
+	c.Eng.RunFor(2 * time.Second)
+	st.Stop()
+	if res.Err != nil {
+		t.Fatalf("MittOS get: %v", res.Err)
+	}
+	if res.Tries < 2 {
+		t.Fatalf("no failover happened (tries=%d) despite a saturated primary", res.Tries)
+	}
+	if s.Failovers == 0 {
+		t.Fatal("failover counter not incremented")
+	}
+	if res.Latency > 30*time.Millisecond {
+		t.Fatalf("MittOS failover latency %v; should dodge the busy node", res.Latency)
+	}
+}
+
+func TestMittOSThirdTryDisablesDeadline(t *testing.T) {
+	// With every replica saturated, the request must still complete (the
+	// final try runs without a deadline) rather than erroring.
+	c := newTestCluster(t, 3, true, 10000)
+	var injectors []*noise.Steady
+	for i := 0; i < 3; i++ {
+		st := noise.NewSteady(c.Eng, c.Nodes[i].NoiseSink(), sim.NewRNG(int64(i), "noise"),
+			blockio.Read, 1<<20, 4, blockio.ClassBestEffort, 4, 99, 500<<30)
+		st.Start()
+		injectors = append(injectors, st)
+	}
+	c.Eng.RunFor(100 * time.Millisecond)
+	s := &MittOSStrategy{C: c, Deadline: 10 * time.Millisecond}
+	var res GetResult
+	done := false
+	s.Get(0, func(r GetResult) { res = r; done = true })
+	c.Eng.RunFor(5 * time.Second)
+	for _, st := range injectors {
+		st.Stop()
+	}
+	if !done {
+		t.Fatal("request never completed")
+	}
+	if res.Err != nil {
+		t.Fatalf("user saw error %v; §7.2 requires the last try to succeed", res.Err)
+	}
+	if res.Tries != 3 {
+		t.Fatalf("tries = %d, want 3", res.Tries)
+	}
+}
+
+func TestMittOSWaitHintPicksLeastBusy(t *testing.T) {
+	c := newTestCluster(t, 3, true, 10000)
+	var injectors []*noise.Steady
+	for i := 0; i < 3; i++ {
+		streams := 6
+		if i == 1 {
+			streams = 2 // node 1 is the least busy
+		}
+		st := noise.NewSteady(c.Eng, c.Nodes[i].NoiseSink(), sim.NewRNG(int64(i), "noise"),
+			blockio.Read, 1<<20, streams, blockio.ClassBestEffort, 4, 99, 500<<30)
+		st.Start()
+		injectors = append(injectors, st)
+	}
+	c.Eng.RunFor(100 * time.Millisecond)
+	s := &MittOSStrategy{C: c, Deadline: 5 * time.Millisecond, UseWaitHint: true}
+	var res GetResult
+	done := false
+	s.Get(0, func(r GetResult) { res = r; done = true })
+	c.Eng.RunFor(5 * time.Second)
+	for _, st := range injectors {
+		st.Stop()
+	}
+	if !done || res.Err != nil {
+		t.Fatalf("wait-hint get failed: done=%v err=%v", done, res.Err)
+	}
+	if s.LastDitch != 1 {
+		t.Fatalf("LastDitch = %d, want 1 (all replicas busy)", s.LastDitch)
+	}
+	if res.Tries != 4 {
+		t.Fatalf("tries = %d, want 4 (3 rejections + least-busy retry)", res.Tries)
+	}
+}
+
+func TestHedgedFiresOnlyWhenSlow(t *testing.T) {
+	c := newTestCluster(t, 3, false, 10000)
+	s := &HedgedStrategy{C: c, HedgeAfter: 100 * time.Millisecond}
+	var res GetResult
+	s.Get(7, func(r GetResult) { res = r })
+	c.Eng.Run()
+	if res.Err != nil || res.Tries != 1 {
+		t.Fatalf("fast path hedged anyway: %+v", res)
+	}
+	if s.Hedges != 0 {
+		t.Fatal("hedge fired under no contention")
+	}
+	// Now with an aggressive hedge threshold every request hedges.
+	s2 := &HedgedStrategy{C: c, HedgeAfter: time.Microsecond}
+	s2.Get(7, func(GetResult) {})
+	c.Eng.Run()
+	if s2.Hedges != 1 {
+		t.Fatalf("hedge did not fire: %d", s2.Hedges)
+	}
+}
+
+func TestCloneUsesTwoReplicas(t *testing.T) {
+	c := newTestCluster(t, 3, false, 10000)
+	before := uint64(0)
+	for _, n := range c.Nodes {
+		before += n.Served()
+	}
+	s := &CloneStrategy{C: c, RNG: sim.NewRNG(9, "clone")}
+	var res GetResult
+	s.Get(3, func(r GetResult) { res = r })
+	c.Eng.Run()
+	if res.Err != nil {
+		t.Fatalf("clone get: %v", res.Err)
+	}
+	after := uint64(0)
+	for _, n := range c.Nodes {
+		after += n.Served()
+	}
+	if after-before != 2 {
+		t.Fatalf("clone touched %d replicas, want 2", after-before)
+	}
+}
+
+func TestTimeoutStrategyRetries(t *testing.T) {
+	c := newTestCluster(t, 3, false, 10000)
+	primary := c.ReplicasFor(0)[0]
+	st := noise.NewSteady(c.Eng, c.Nodes[primary].NoiseSink(), sim.NewRNG(5, "noise"),
+		blockio.Read, 1<<20, 12, blockio.ClassBestEffort, 4, 99, 500<<30)
+	st.Start()
+	c.Eng.RunFor(100 * time.Millisecond)
+	s := &TimeoutStrategy{C: c, TO: 15 * time.Millisecond}
+	var res GetResult
+	done := false
+	s.Get(0, func(r GetResult) { res = r; done = true })
+	c.Eng.RunFor(3 * time.Second)
+	st.Stop()
+	if !done || res.Err != nil {
+		t.Fatalf("timeout get: done=%v err=%v", done, res.Err)
+	}
+	if res.Tries < 2 {
+		t.Fatalf("no retry under saturation (tries=%d)", res.Tries)
+	}
+	// The timeout strategy pays the full TO before reacting.
+	if res.Latency < 15*time.Millisecond {
+		t.Fatalf("latency %v below the timeout", res.Latency)
+	}
+}
+
+func TestSnitchAvoidsSlowReplica(t *testing.T) {
+	c := newTestCluster(t, 3, false, 10000)
+	slow := c.ReplicasFor(0)[0]
+	st := noise.NewSteady(c.Eng, c.Nodes[slow].NoiseSink(), sim.NewRNG(5, "noise"),
+		blockio.Read, 1<<20, 6, blockio.ClassBestEffort, 4, 99, 500<<30)
+	st.Start()
+	s := &SnitchStrategy{C: c}
+	done := 0
+	// Issue sequential requests; after warming up, the snitch should
+	// mostly route to the fast replicas.
+	var issue func(i int)
+	issue = func(i int) {
+		if i == 0 {
+			return
+		}
+		s.Get(0, func(GetResult) {
+			done++
+			issue(i - 1)
+		})
+	}
+	issue(30)
+	c.Eng.RunFor(10 * time.Second)
+	st.Stop()
+	if done != 30 {
+		t.Fatalf("completed %d of 30", done)
+	}
+	if c.Nodes[slow].Served() > 15 {
+		t.Fatalf("snitch kept hammering the slow replica (%d/30)", c.Nodes[slow].Served())
+	}
+}
+
+func TestClientScaleFactorWaitsForAll(t *testing.T) {
+	c := newTestCluster(t, 6, false, 10000)
+	wl := ycsb.New(ycsb.DefaultConfig(10000), sim.NewRNG(3, "wl"))
+	cfg := DefaultClientConfig()
+	cfg.ScaleFactor = 5
+	cfg.Requests = 20
+	cl := NewClient(c.Eng, cfg, &BaseStrategy{C: c}, wl, sim.NewRNG(4, "cl"))
+	cl.Start()
+	c.Eng.Run()
+	if cl.Finished() != 20 {
+		t.Fatalf("finished %d of 20", cl.Finished())
+	}
+	if cl.IOLatencies.N() != 100 {
+		t.Fatalf("sub-IOs = %d, want 100", cl.IOLatencies.N())
+	}
+	if cl.UserLatencies.N() != 20 {
+		t.Fatalf("user latencies = %d", cl.UserLatencies.N())
+	}
+	// A user request is the max of its fan-out: its distribution must
+	// dominate the per-IO distribution.
+	if cl.UserLatencies.Percentile(50) < cl.IOLatencies.Percentile(50) {
+		t.Fatal("scale-factor amplification missing")
+	}
+}
+
+func TestCPUPoolQueuesBeyondCores(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewCPUPool(eng, 2)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		p.Run(10*time.Millisecond, func() { order = append(order, i) })
+	}
+	if p.Busy() != 2 || p.Queued() != 2 {
+		t.Fatalf("busy=%d queued=%d, want 2/2", p.Busy(), p.Queued())
+	}
+	eng.Run()
+	if len(order) != 4 {
+		t.Fatalf("ran %d tasks", len(order))
+	}
+	if eng.Now() != sim.Time(20*time.Millisecond) {
+		t.Fatalf("4 tasks × 10ms on 2 cores took %v, want 20ms", eng.Now())
+	}
+}
+
+func TestNodeRejectionCounter(t *testing.T) {
+	c := newTestCluster(t, 3, true, 10000)
+	primary := c.ReplicasFor(0)[0]
+	st := noise.NewSteady(c.Eng, c.Nodes[primary].NoiseSink(), sim.NewRNG(5, "noise"),
+		blockio.Read, 1<<20, 6, blockio.ClassBestEffort, 4, 99, 500<<30)
+	st.Start()
+	c.Eng.RunFor(100 * time.Millisecond)
+	s := &MittOSStrategy{C: c, Deadline: 10 * time.Millisecond}
+	for i := 0; i < 5; i++ {
+		s.Get(0, func(GetResult) {})
+	}
+	c.Eng.RunFor(3 * time.Second)
+	st.Stop()
+	if c.Nodes[primary].Rejected() == 0 {
+		t.Fatal("busy node never rejected")
+	}
+}
+
+func TestInvalidClusterPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() {
+			NewCluster(sim.NewEngine(), nil, 0, 1, NodeConfig{}, sim.NewRNG(1, "x"))
+		},
+		func() {
+			NewCluster(sim.NewEngine(), nil, 2, 3, NodeConfig{}, sim.NewRNG(1, "x"))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"mittos/internal/blockio"
+	"mittos/internal/noise"
+	"mittos/internal/sim"
+)
+
+func TestConsistentFailoverToFreshReplica(t *testing.T) {
+	c := newTestCluster(t, 3, true, 10000)
+	primary := c.ReplicasFor(0)[0]
+	// All replicas hold version 1 of key 0 (replication caught up).
+	for _, idx := range c.ReplicasFor(0) {
+		c.Nodes[idx].Store.ApplyReplicated(0, 1)
+	}
+	st := noise.NewSteady(c.Eng, c.Nodes[primary].NoiseSink(), sim.NewRNG(5, "noise"),
+		blockio.Read, 1<<20, 8, blockio.ClassBestEffort, 4, 99, 500<<30)
+	st.Start()
+	c.Eng.RunFor(100 * time.Millisecond)
+	s := &ConsistentMittOSStrategy{C: c, Deadline: 15 * time.Millisecond}
+	// Establish the session at version 1.
+	s.session = map[int64]uint64{0: 1}
+	var res GetResult
+	s.Get(0, func(r GetResult) { res = r })
+	c.Eng.RunFor(2 * time.Second)
+	st.Stop()
+	c.Eng.RunFor(3 * time.Second)
+	if res.Err != nil {
+		t.Fatalf("get: %v", res.Err)
+	}
+	if res.Tries < 2 || s.Failovers == 0 {
+		t.Fatalf("no failover (tries=%d)", res.Tries)
+	}
+	if s.ForcedToWait != 0 {
+		t.Fatal("waited despite fresh replicas being available")
+	}
+	if res.Latency > 30*time.Millisecond {
+		t.Fatalf("failover latency %v", res.Latency)
+	}
+}
+
+func TestConsistentWaitsWhenReplicasStale(t *testing.T) {
+	c := newTestCluster(t, 3, true, 10000)
+	replicas := c.ReplicasFor(0)
+	primary := replicas[0]
+	// Only the (busy) primary has applied version 5; the others lag.
+	c.Nodes[primary].Store.ApplyReplicated(0, 5)
+	st := noise.NewSteady(c.Eng, c.Nodes[primary].NoiseSink(), sim.NewRNG(5, "noise"),
+		blockio.Read, 1<<20, 8, blockio.ClassBestEffort, 4, 99, 500<<30)
+	st.Start()
+	c.Eng.RunFor(100 * time.Millisecond)
+	s := &ConsistentMittOSStrategy{C: c, Deadline: 15 * time.Millisecond}
+	s.session = map[int64]uint64{0: 5}
+	var res GetResult
+	done := false
+	s.Get(0, func(r GetResult) { res = r; done = true })
+	c.Eng.RunFor(5 * time.Second)
+	st.Stop()
+	c.Eng.RunFor(5 * time.Second)
+	if !done || res.Err != nil {
+		t.Fatalf("get: done=%v err=%v", done, res.Err)
+	}
+	if s.StaleSkips == 0 {
+		t.Fatal("stale replicas not skipped")
+	}
+	if s.ForcedToWait == 0 {
+		t.Fatal("should have waited on the busy-but-fresh primary")
+	}
+	// The price of monotonic reads: this request DID wait.
+	if res.Latency < 15*time.Millisecond {
+		t.Fatalf("latency %v; the conservative path must pay the wait", res.Latency)
+	}
+}
+
+func TestConsistentSessionAdvances(t *testing.T) {
+	c := newTestCluster(t, 3, true, 1000)
+	primary := c.ReplicasFor(0)[0]
+	c.Nodes[primary].Store.ApplyReplicated(0, 3)
+	s := &ConsistentMittOSStrategy{C: c, Deadline: 50 * time.Millisecond}
+	var res GetResult
+	s.Get(0, func(r GetResult) { res = r })
+	c.Eng.Run()
+	if res.Err != nil {
+		t.Fatalf("get: %v", res.Err)
+	}
+	if s.session[0] != 3 {
+		t.Fatalf("session version = %d, want 3", s.session[0])
+	}
+}

@@ -1,0 +1,369 @@
+// Package cluster implements the distributed NoSQL store of the paper's
+// evaluation (§5, §7): replica nodes with a full local storage stack
+// (device → IO scheduler → optional page cache → KV engine, with or without
+// MittOS), a shared-CPU model for colocated server processes, and the
+// client-side request strategies the paper compares — Base, application
+// timeout, cloning, tied requests, hedged requests, snitching, C3 adaptive
+// replica selection, and MittOS instant failover.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"mittos/internal/blockio"
+	"mittos/internal/core"
+	"mittos/internal/disk"
+	"mittos/internal/iosched"
+	"mittos/internal/kv"
+	"mittos/internal/netsim"
+	"mittos/internal/oscache"
+	"mittos/internal/sim"
+	"mittos/internal/ssd"
+)
+
+// DeviceKind selects a node's storage medium.
+type DeviceKind int
+
+// Storage media.
+const (
+	DeviceDisk DeviceKind = iota
+	DeviceSSD
+)
+
+// NodeConfig shapes one replica node.
+type NodeConfig struct {
+	Index  int
+	Device DeviceKind
+	// DiskConfig applies when Device == DeviceDisk.
+	DiskConfig disk.Config
+	// SSDConfig applies when Device == DeviceSSD.
+	SSDConfig ssd.Config
+	// UseCFQ selects CFQ over noop for disk nodes (SSDs always bypass the
+	// scheduler, as §4.3 prescribes).
+	UseCFQ bool
+	// Mitt enables the MittOS admission layer; off = vanilla Linux.
+	Mitt bool
+	// MittOptions configure the admission layer when enabled.
+	MittOptions core.Options
+	// CachePages > 0 inserts an OS page cache of that size, fronted by
+	// MittCache when Mitt is set.
+	CachePages int
+	// Mmap selects the §5 MongoDB read path (addrcheck + page faults)
+	// instead of read(); requires Mitt and CachePages.
+	Mmap bool
+	// Keys is the KV keyspace preloaded on this node.
+	Keys int64
+	// CPU, when non-nil, charges CPUPerOp per request stage on the shared
+	// pool — the §7.5 colocated-processes model.
+	CPU      *CPUPool
+	CPUPerOp time.Duration
+	// DiskProfile is the offline profile MittNoop/MittCFQ consume. One
+	// profile is shared fleet-wide (same device model).
+	DiskProfile *disk.Profile
+}
+
+// TargetDevice adapts a core.Target to blockio.Device, so components that
+// speak the plain device interface (the page cache's read-through path,
+// noise tenants) still enter through the MittOS block layer — in the real
+// kernel MittOS sees every tenant's IOs, which is exactly what its wait
+// accounting relies on.
+type TargetDevice struct {
+	T        core.Target
+	inflight int
+}
+
+// Submit implements blockio.Device.
+func (d *TargetDevice) Submit(req *blockio.Request) {
+	d.inflight++
+	d.T.SubmitSLO(req, func(error) { d.inflight-- })
+}
+
+// InFlight implements blockio.Device.
+func (d *TargetDevice) InFlight() int { return d.inflight }
+
+// Node is one replica server.
+type Node struct {
+	Index int
+	eng   *sim.Engine
+
+	Disk  *disk.Disk
+	SSD   *ssd.SSD
+	Sched blockio.Device // noop or CFQ over the disk; nil for SSD nodes
+	Cache *oscache.Cache
+
+	// Target is the SLO-aware entry point requests go through.
+	Target core.Target
+	// BlockLayer is the SLO-aware block-layer entry (below the cache);
+	// noise tenants and cache background IO enter here.
+	BlockLayer *TargetDevice
+	// MittNoop/MittCFQ/MittSSD/MittCache expose layer-specific state when
+	// Mitt is enabled (at most one device layer is non-nil).
+	MittNoop  *core.MittNoop
+	MittCFQ   *core.MittCFQ
+	MittSSD   *core.MittSSD
+	MittCache *core.MittCache
+
+	Store *kv.Store
+	IDs   blockio.IDGen
+
+	cfg NodeConfig
+
+	served   uint64
+	rejected uint64
+}
+
+// NewNode builds a node on the engine. rng seeds the device model.
+func NewNode(eng *sim.Engine, cfg NodeConfig, rng *sim.RNG) *Node {
+	n := &Node{Index: cfg.Index, eng: eng, cfg: cfg}
+
+	var ioTarget core.Target
+	var capacity int64
+	switch cfg.Device {
+	case DeviceDisk:
+		n.Disk = disk.New(eng, cfg.DiskConfig, rng.Fork(fmt.Sprintf("disk-%d", cfg.Index)))
+		capacity = cfg.DiskConfig.CapacityBytes
+		if cfg.UseCFQ {
+			cfq := iosched.NewCFQ(eng, iosched.DefaultCFQConfig(), n.Disk)
+			n.Sched = cfq
+			if cfg.Mitt {
+				n.MittCFQ = core.NewMittCFQ(eng, cfq, cfg.DiskProfile, cfg.MittOptions)
+				ioTarget = n.MittCFQ
+			} else {
+				ioTarget = &core.Vanilla{Dev: cfq}
+			}
+		} else {
+			nop := iosched.NewNoop(eng, n.Disk)
+			n.Sched = nop
+			if cfg.Mitt {
+				n.MittNoop = core.NewMittNoop(eng, nop, cfg.DiskProfile, cfg.MittOptions)
+				ioTarget = n.MittNoop
+			} else {
+				ioTarget = &core.Vanilla{Dev: nop}
+			}
+		}
+	case DeviceSSD:
+		n.SSD = ssd.New(eng, cfg.SSDConfig)
+		capacity = cfg.SSDConfig.LogicalBytes()
+		if cfg.Mitt {
+			n.MittSSD = core.NewMittSSD(eng, n.SSD, cfg.MittOptions)
+			ioTarget = n.MittSSD
+		} else {
+			ioTarget = &core.Vanilla{Dev: n.SSD}
+		}
+	default:
+		panic("cluster: unknown device kind")
+	}
+
+	n.BlockLayer = &TargetDevice{T: ioTarget}
+	target := ioTarget
+	if cfg.CachePages > 0 {
+		ccfg := oscache.DefaultConfig()
+		ccfg.CapacityPages = cfg.CachePages
+		// The cache's background traffic (read-through, write-back,
+		// prefetch) enters through the block layer so MittOS accounts it.
+		n.Cache = oscache.New(eng, ccfg, n.BlockLayer)
+		if cfg.Mitt {
+			n.MittCache = core.NewMittCache(eng, n.Cache, ioTarget, minIOLatency(cfg), cfg.MittOptions)
+			target = n.MittCache
+		} else {
+			target = &core.Vanilla{Dev: n.Cache}
+		}
+	}
+	n.Target = target
+
+	region := capacity * 9 / 10
+	kcfg := kv.DefaultConfig(0, region)
+	kcfg.Proc = 1 // the NoSQL server process
+	n.Store = kv.New(eng, kcfg, target, &n.IDs)
+	if cfg.Mmap && n.MittCache != nil {
+		n.Store.UseMmap(n.MittCache)
+	}
+	if cfg.Keys > 0 {
+		n.Store.Preload(cfg.Keys)
+	}
+	return n
+}
+
+// minIOLatency returns the smallest possible device IO latency under the
+// cache (§4.4's in-memory-expectation check).
+func minIOLatency(cfg NodeConfig) time.Duration {
+	if cfg.Device == DeviceSSD {
+		return cfg.SSDConfig.ChipReadTime + cfg.SSDConfig.ChannelXferTime
+	}
+	return cfg.DiskConfig.SeqCost
+}
+
+// NoiseSink returns the device noise injectors should contend on: the
+// SLO-aware block layer, so MittOS observes neighbor IOs exactly as the
+// in-kernel implementation would.
+func (n *Node) NoiseSink() blockio.Device { return n.BlockLayer }
+
+// Served and Rejected report request counters.
+func (n *Node) Served() uint64 { return n.served }
+
+// Rejected reports EBUSY verdicts issued by this node.
+func (n *Node) Rejected() uint64 { return n.rejected }
+
+// OutstandingIOs reports queue depth at the node's storage stack (the
+// Fig 13b busyness signal).
+func (n *Node) OutstandingIOs() int {
+	if n.Sched != nil {
+		return n.Sched.InFlight()
+	}
+	return n.SSD.InFlight()
+}
+
+// ServeHandle lets a client revoke a request it no longer needs (the tied
+// requests cancellation path, §7.8.2). Cancelling only helps while the IO
+// is still in scheduler queues; device-resident IOs are beyond revocation,
+// exactly as on a real kernel.
+type ServeHandle struct {
+	canceled bool
+	req      *blockio.Request
+}
+
+// Cancel revokes the request's IO if it is still cancellable.
+func (h *ServeHandle) Cancel() {
+	h.canceled = true
+	if h.req != nil {
+		h.req.Cancel()
+	}
+}
+
+// KeyVersion exposes the node's current version of a key (the replication
+// timestamp consistency-aware clients compare, §8.3).
+func (n *Node) KeyVersion(key int64) uint64 { return n.Store.Version(key) }
+
+// ServeGet executes a get locally (network hops are the caller's job):
+// optional CPU stage, then the KV read with the deadline SLO. onDone gets
+// nil, EBUSY, or kv.ErrNotFound. The returned handle supports revocation.
+func (n *Node) ServeGet(key int64, deadline time.Duration, onDone func(error)) *ServeHandle {
+	n.served++
+	h := &ServeHandle{}
+	work := func() {
+		h.req = n.Store.Get(key, deadline, func(err error) {
+			if core.IsBusy(err) {
+				// EBUSY is the exceptionless fast path (§5): no response
+				// marshalling, just the errno.
+				n.rejected++
+				onDone(err)
+				return
+			}
+			if n.cfg.CPU != nil && n.cfg.CPUPerOp > 0 {
+				// Response-path CPU (marshalling the reply).
+				n.cfg.CPU.Run(n.cfg.CPUPerOp, func() { onDone(err) })
+				return
+			}
+			onDone(err)
+		})
+	}
+	if n.cfg.CPU != nil && n.cfg.CPUPerOp > 0 {
+		n.cfg.CPU.Run(n.cfg.CPUPerOp, func() {
+			if h.canceled {
+				// Revoked before the handler ran: nothing is submitted.
+				onDone(blockio.ErrBusy)
+				return
+			}
+			work()
+		})
+		return h
+	}
+	work()
+	if h.canceled && h.req != nil {
+		h.req.Cancel()
+	}
+	return h
+}
+
+// ServePut executes a put locally.
+func (n *Node) ServePut(key int64, onDone func(error)) {
+	n.served++
+	n.Store.Put(key, onDone)
+}
+
+// Cluster is a fleet of nodes with R-way replication.
+type Cluster struct {
+	Eng   *sim.Engine
+	Net   *netsim.Network
+	Nodes []*Node
+	R     int
+}
+
+// NewCluster builds nodes 0..n-1 from a template config (Index overridden
+// per node).
+func NewCluster(eng *sim.Engine, net *netsim.Network, n, replication int,
+	tmpl NodeConfig, rng *sim.RNG) *Cluster {
+	if n <= 0 || replication <= 0 || replication > n {
+		panic("cluster: invalid size/replication")
+	}
+	c := &Cluster{Eng: eng, Net: net, R: replication}
+	for i := 0; i < n; i++ {
+		cfg := tmpl
+		cfg.Index = i
+		c.Nodes = append(c.Nodes, NewNode(eng, cfg, rng.Fork(fmt.Sprintf("node-%d", i))))
+	}
+	return c
+}
+
+// ReplicasFor returns the R node indexes holding a key, primary first.
+func (c *Cluster) ReplicasFor(key int64) []int {
+	out := make([]int, c.R)
+	h := key % int64(len(c.Nodes))
+	if h < 0 {
+		h += int64(len(c.Nodes))
+	}
+	for i := 0; i < c.R; i++ {
+		out[i] = int(h+int64(i)) % len(c.Nodes)
+	}
+	return out
+}
+
+// CPUPool models a node machine's cores: colocated server processes share
+// it, and when more request-handler threads are runnable than cores exist,
+// they queue — the §7.5 mechanism that makes hedging backfire on fast SSDs
+// ("12 threads on a 8-thread machine cause the long tail").
+type CPUPool struct {
+	eng   *sim.Engine
+	cores int
+	busy  int
+	queue []cpuTask
+}
+
+type cpuTask struct {
+	d  time.Duration
+	fn func()
+}
+
+// NewCPUPool builds a pool of the given core count.
+func NewCPUPool(eng *sim.Engine, cores int) *CPUPool {
+	if cores <= 0 {
+		panic("cluster: CPUPool needs cores")
+	}
+	return &CPUPool{eng: eng, cores: cores}
+}
+
+// Busy reports the number of running tasks.
+func (p *CPUPool) Busy() int { return p.busy }
+
+// Queued reports the number of runnable-but-waiting tasks.
+func (p *CPUPool) Queued() int { return len(p.queue) }
+
+// Run executes fn after the task has held a core for d.
+func (p *CPUPool) Run(d time.Duration, fn func()) {
+	p.queue = append(p.queue, cpuTask{d: d, fn: fn})
+	p.kick()
+}
+
+func (p *CPUPool) kick() {
+	for p.busy < p.cores && len(p.queue) > 0 {
+		t := p.queue[0]
+		p.queue = p.queue[1:]
+		p.busy++
+		p.eng.Schedule(t.d, func() {
+			p.busy--
+			t.fn()
+			p.kick()
+		})
+	}
+}

@@ -1,0 +1,372 @@
+package cluster
+
+import (
+	"math"
+	"time"
+
+	"mittos/internal/core"
+	"mittos/internal/sim"
+)
+
+// GetResult reports one finished user-level get.
+type GetResult struct {
+	Latency time.Duration
+	// Tries is how many replica attempts the winning path made.
+	Tries int
+	// Err is non-nil only when every path failed (e.g. all replicas
+	// returned EBUSY and error fallback was disabled).
+	Err error
+}
+
+// Strategy issues one client get against the cluster and reports the
+// user-observed completion. Implementations are the paper's comparison
+// points (§7.2).
+type Strategy interface {
+	Name() string
+	Get(key int64, onDone func(GetResult))
+}
+
+// replicaCall sends a get to one node over the network and hands back the
+// result; the shared plumbing under every strategy.
+func replicaCall(c *Cluster, node int, key int64, deadline time.Duration, onDone func(error)) {
+	c.Net.Send(func() {
+		c.Nodes[node].ServeGet(key, deadline, func(err error) {
+			c.Net.Send(func() { onDone(err) })
+		})
+	})
+}
+
+// BaseStrategy is vanilla MongoDB on vanilla Linux: ask the primary
+// replica, wait however long it takes.
+type BaseStrategy struct {
+	C *Cluster
+}
+
+// Name implements Strategy.
+func (s *BaseStrategy) Name() string { return "Base" }
+
+// Get implements Strategy.
+func (s *BaseStrategy) Get(key int64, onDone func(GetResult)) {
+	start := s.C.Eng.Now()
+	replicas := s.C.ReplicasFor(key)
+	replicaCall(s.C, replicas[0], key, 0, func(err error) {
+		onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: 1, Err: err})
+	})
+}
+
+// TimeoutStrategy is the "AppTO" comparison: cancel and retry on the next
+// replica after TO, with the timeout disabled on the final try so users do
+// not see read errors (§7.2).
+type TimeoutStrategy struct {
+	C  *Cluster
+	TO time.Duration
+
+	Retries uint64
+}
+
+// Name implements Strategy.
+func (s *TimeoutStrategy) Name() string { return "AppTO" }
+
+// Get implements Strategy.
+func (s *TimeoutStrategy) Get(key int64, onDone func(GetResult)) {
+	start := s.C.Eng.Now()
+	replicas := s.C.ReplicasFor(key)
+	var attempt func(i int)
+	attempt = func(i int) {
+		last := i == len(replicas)-1
+		deadline := time.Duration(0)
+		done := false
+		var timer *sim.Event
+		if !last {
+			timer = s.C.Eng.Schedule(s.TO, func() {
+				if done {
+					return
+				}
+				done = true
+				s.Retries++
+				attempt(i + 1) // the first try is abandoned (not awaited)
+			})
+		}
+		replicaCall(s.C, replicas[i], key, deadline, func(err error) {
+			if done {
+				return // timed out; a later attempt owns the result
+			}
+			done = true
+			if timer != nil {
+				timer.Cancel()
+			}
+			onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: i + 1, Err: err})
+		})
+	}
+	attempt(0)
+}
+
+// CloneStrategy duplicates every request to two random replicas and takes
+// the first response — "this proactive speculation however doubles the IO
+// intensity" (§1).
+type CloneStrategy struct {
+	C   *Cluster
+	RNG *sim.RNG
+}
+
+// Name implements Strategy.
+func (s *CloneStrategy) Name() string { return "Clone" }
+
+// Get implements Strategy.
+func (s *CloneStrategy) Get(key int64, onDone func(GetResult)) {
+	start := s.C.Eng.Now()
+	replicas := s.C.ReplicasFor(key)
+	// Two distinct random replicas out of the R choices.
+	i := s.RNG.Intn(len(replicas))
+	j := s.RNG.Intn(len(replicas) - 1)
+	if j >= i {
+		j++
+	}
+	won := false
+	reply := func(err error) {
+		if won {
+			return
+		}
+		won = true
+		onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: 2, Err: err})
+	}
+	replicaCall(s.C, replicas[i], key, 0, reply)
+	replicaCall(s.C, replicas[j], key, 0, reply)
+}
+
+// HedgedStrategy sends a secondary request only after the first has been
+// outstanding longer than the expected p95 latency (Dean & Barroso;
+// §7.2). The first request is not cancelled.
+type HedgedStrategy struct {
+	C          *Cluster
+	HedgeAfter time.Duration
+
+	Hedges uint64
+}
+
+// Name implements Strategy.
+func (s *HedgedStrategy) Name() string { return "Hedged" }
+
+// Get implements Strategy.
+func (s *HedgedStrategy) Get(key int64, onDone func(GetResult)) {
+	start := s.C.Eng.Now()
+	replicas := s.C.ReplicasFor(key)
+	won := false
+	finish := func(tries int) func(error) {
+		return func(err error) {
+			if won {
+				return
+			}
+			won = true
+			onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: tries, Err: err})
+		}
+	}
+	var timer *sim.Event
+	timer = s.C.Eng.Schedule(s.HedgeAfter, func() {
+		if won {
+			return
+		}
+		s.Hedges++
+		replicaCall(s.C, replicas[1], key, 0, finish(2))
+	})
+	replicaCall(s.C, replicas[0], key, 0, func(err error) {
+		if !won {
+			timer.Cancel()
+		}
+		finish(1)(err)
+	})
+}
+
+// SnitchStrategy keeps an EWMA of each replica's recent latency and always
+// asks the currently-fastest one — Cassandra's dynamic snitch (§7.8.3).
+type SnitchStrategy struct {
+	C *Cluster
+	// Alpha is the EWMA weight of new samples.
+	Alpha float64
+
+	ewma map[int]float64
+}
+
+// Name implements Strategy.
+func (s *SnitchStrategy) Name() string { return "Snitch" }
+
+// Get implements Strategy.
+func (s *SnitchStrategy) Get(key int64, onDone func(GetResult)) {
+	if s.ewma == nil {
+		s.ewma = make(map[int]float64)
+	}
+	if s.Alpha <= 0 {
+		s.Alpha = 0.3
+	}
+	start := s.C.Eng.Now()
+	replicas := s.C.ReplicasFor(key)
+	best := replicas[0]
+	bestScore := math.MaxFloat64
+	for _, r := range replicas {
+		score, seen := s.ewma[r]
+		if !seen {
+			score = 0 // explore unknown replicas first
+		}
+		if score < bestScore {
+			best, bestScore = r, score
+		}
+	}
+	replicaCall(s.C, best, key, 0, func(err error) {
+		lat := s.C.Eng.Now().Sub(start)
+		prev, seen := s.ewma[best]
+		if !seen {
+			prev = float64(lat)
+		}
+		s.ewma[best] = prev*(1-s.Alpha) + float64(lat)*s.Alpha
+		onDone(GetResult{Latency: lat, Tries: 1, Err: err})
+	})
+}
+
+// C3Strategy implements C3's replica ranking (Suresh et al., NSDI'15): an
+// EWMA of response latencies plus a cubic penalty on the server-reported
+// queue size, both piggybacked on responses. That feedback loop is exactly
+// why the paper finds C3 helpless against sub-second burstiness (§7.8.3):
+// the queue-size estimate a client holds is as old as the last response it
+// received from that replica, so a burst that arrives and leaves within a
+// second is never observed in time.
+type C3Strategy struct {
+	C     *Cluster
+	Alpha float64
+
+	lat   map[int]float64  // EWMA response latency per replica
+	qEst  map[int]float64  // server-reported queue size (stale feedback)
+	qAt   map[int]sim.Time // when that feedback was received
+	out   map[int]int      // client-local concurrency compensation
+	decay time.Duration    // feedback aging constant (C3's rate control)
+}
+
+// Name implements Strategy.
+func (s *C3Strategy) Name() string { return "C3" }
+
+// Get implements Strategy.
+func (s *C3Strategy) Get(key int64, onDone func(GetResult)) {
+	if s.lat == nil {
+		s.lat = make(map[int]float64)
+		s.qEst = make(map[int]float64)
+		s.qAt = make(map[int]sim.Time)
+		s.out = make(map[int]int)
+	}
+	if s.Alpha <= 0 {
+		s.Alpha = 0.3
+	}
+	if s.decay <= 0 {
+		s.decay = 2 * time.Second
+	}
+	start := s.C.Eng.Now()
+	replicas := s.C.ReplicasFor(key)
+	best := replicas[0]
+	bestScore := math.MaxFloat64
+	for _, r := range replicas {
+		l := s.lat[r]
+		// C3's concurrency-compensated queue estimate: the stale
+		// server-reported depth (aged — C3's rate control lets shunned
+		// replicas be retried after a while) plus our own outstanding.
+		age := float64(start.Sub(s.qAt[r])) / float64(s.decay)
+		stale := s.qEst[r] / (1 + age)
+		q := stale + float64(s.out[r]) + 1
+		score := l * q * q * q // the cubic queue penalty
+		if score < bestScore {
+			best, bestScore = r, score
+		}
+	}
+	s.out[best]++
+	node := s.C.Nodes[best]
+	s.C.Net.Send(func() {
+		node.ServeGet(key, 0, func(err error) {
+			// The response piggybacks the server's queue depth *now* —
+			// by the time the client reads it, it is one hop stale, and
+			// it only refreshes when this replica is asked again.
+			reported := float64(node.OutstandingIOs())
+			s.C.Net.Send(func() {
+				s.out[best]--
+				s.qEst[best] = reported
+				s.qAt[best] = s.C.Eng.Now()
+				lat := s.C.Eng.Now().Sub(start)
+				prev, seen := s.lat[best]
+				if !seen {
+					prev = float64(lat)
+				}
+				s.lat[best] = prev*(1-s.Alpha) + float64(lat)*s.Alpha
+				onDone(GetResult{Latency: lat, Tries: 1, Err: err})
+			})
+		})
+	})
+}
+
+// MittOSStrategy is the paper's contribution at the client: send with the
+// deadline SLO, failover instantly on EBUSY, and disable the deadline on
+// the final try so the user never sees an error (§5). With UseWaitHint the
+// §7.8.1/§8.1 extension kicks in: when every replica rejected, the 4th try
+// targets the one that predicted the shortest wait.
+type MittOSStrategy struct {
+	C        *Cluster
+	Deadline time.Duration
+	// UseWaitHint enables the least-busy 4th retry extension.
+	UseWaitHint bool
+	// RetryOverhead models the application's failover path cost. The
+	// paper's exceptionless path makes this ~0; C++ exception unwinding
+	// would add 200µs (§5) — kept as an ablation knob.
+	RetryOverhead time.Duration
+
+	Failovers uint64
+	LastDitch uint64
+}
+
+// Name implements Strategy.
+func (s *MittOSStrategy) Name() string { return "MittOS" }
+
+// Get implements Strategy.
+func (s *MittOSStrategy) Get(key int64, onDone func(GetResult)) {
+	start := s.C.Eng.Now()
+	replicas := s.C.ReplicasFor(key)
+	waits := make([]time.Duration, len(replicas))
+	var attempt func(i int)
+	attempt = func(i int) {
+		last := i == len(replicas)-1
+		deadline := s.Deadline
+		if last && !s.UseWaitHint {
+			deadline = 0 // 3rd try disables the deadline (§5)
+		}
+		replicaCall(s.C, replicas[i], key, deadline, func(err error) {
+			if core.IsBusy(err) {
+				if be, ok := err.(*core.BusyError); ok {
+					waits[i] = be.PredictedWait
+				}
+				s.Failovers++
+				next := func() {
+					if !last {
+						attempt(i + 1)
+						return
+					}
+					// All replicas rejected under the wait-hint
+					// extension: go to the least busy one with the
+					// deadline disabled.
+					s.LastDitch++
+					best := 0
+					for j := range waits {
+						if waits[j] < waits[best] {
+							best = j
+						}
+					}
+					replicaCall(s.C, replicas[best], key, 0, func(err error) {
+						onDone(GetResult{Latency: s.C.Eng.Now().Sub(start),
+							Tries: len(replicas) + 1, Err: err})
+					})
+				}
+				if s.RetryOverhead > 0 {
+					s.C.Eng.Schedule(s.RetryOverhead, next)
+				} else {
+					next()
+				}
+				return
+			}
+			onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: i + 1, Err: err})
+		})
+	}
+	attempt(0)
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"mittos/internal/blockio"
+	"mittos/internal/noise"
+	"mittos/internal/sim"
+	"mittos/internal/ycsb"
+)
+
+func TestC3AvoidsBusyReplicaAfterFeedback(t *testing.T) {
+	c := newTestCluster(t, 3, false, 10000)
+	busy := c.ReplicasFor(0)[0]
+	st := noise.NewSteady(c.Eng, c.Nodes[busy].NoiseSink(), sim.NewRNG(5, "noise"),
+		blockio.Read, 1<<20, 8, blockio.ClassBestEffort, 4, 99, 500<<30)
+	st.Start()
+	c.Eng.RunFor(100 * time.Millisecond)
+	s := &C3Strategy{C: c}
+	done := 0
+	var issue func(i int)
+	issue = func(i int) {
+		if i == 0 {
+			return
+		}
+		s.Get(0, func(GetResult) {
+			done++
+			issue(i - 1)
+		})
+	}
+	issue(40)
+	c.Eng.RunFor(20 * time.Second)
+	st.Stop()
+	c.Eng.RunFor(5 * time.Second)
+	if done != 40 {
+		t.Fatalf("completed %d of 40", done)
+	}
+	// After warmup, the cubic queue penalty must steer most requests away
+	// from the saturated replica.
+	if c.Nodes[busy].Served() > 20 {
+		t.Fatalf("C3 sent %d/40 to the saturated replica", c.Nodes[busy].Served())
+	}
+}
+
+func TestC3StaleFeedbackMissesShortBurst(t *testing.T) {
+	// The §7.8.3 failure mode in isolation: C3's estimate of a replica is
+	// as old as its last response, so a request landing right at burst
+	// onset pays the full price.
+	c := newTestCluster(t, 3, false, 10000)
+	s := &C3Strategy{C: c}
+	// Warm up estimates with all replicas idle.
+	warm := 0
+	var issue func(i int)
+	issue = func(i int) {
+		if i == 0 {
+			return
+		}
+		s.Get(0, func(GetResult) { warm++; issue(i - 1) })
+	}
+	issue(9)
+	c.Eng.RunFor(2 * time.Second)
+	// Now a burst starts on whichever replica C3 currently prefers; its
+	// next request cannot know.
+	var preferred int
+	bestServed := uint64(0)
+	for i, n := range c.Nodes {
+		if n.Served() >= bestServed {
+			bestServed, preferred = n.Served(), i
+		}
+	}
+	st := noise.NewSteady(c.Eng, c.Nodes[preferred].NoiseSink(), sim.NewRNG(5, "noise"),
+		blockio.Read, 1<<20, 8, blockio.ClassBestEffort, 4, 99, 500<<30)
+	st.Start()
+	c.Eng.RunFor(50 * time.Millisecond)
+	var lat time.Duration
+	start := c.Eng.Now()
+	s.Get(0, func(GetResult) { lat = c.Eng.Now().Sub(start) })
+	c.Eng.RunFor(5 * time.Second)
+	st.Stop()
+	c.Eng.RunFor(5 * time.Second)
+	if lat < 20*time.Millisecond {
+		t.Skipf("C3 got lucky (%v); replica choice dodged the burst", lat)
+	}
+	// The point: latencies like this are what MittOS's EBUSY avoids.
+}
+
+func TestSnitchExploresUnknownReplicas(t *testing.T) {
+	c := newTestCluster(t, 3, false, 10000)
+	s := &SnitchStrategy{C: c}
+	seen := map[int]bool{}
+	done := 0
+	var issue func(i int)
+	issue = func(i int) {
+		if i == 0 {
+			return
+		}
+		s.Get(0, func(GetResult) {
+			done++
+			issue(i - 1)
+		})
+	}
+	issue(9)
+	c.Eng.Run()
+	for i, n := range c.Nodes {
+		if n.Served() > 0 {
+			seen[i] = true
+		}
+	}
+	if len(seen) < 3 {
+		t.Fatalf("snitch explored %d replicas, want all 3", len(seen))
+	}
+}
+
+func TestClientErrorsCounted(t *testing.T) {
+	// A strategy that errors must surface in the client's error counter.
+	c := newTestCluster(t, 3, false, 100)
+	cfg := DefaultClientConfig()
+	cfg.Requests = 5
+	wlKeys := int64(100)
+	strat := &failingStrategy{}
+	cl := NewClient(c.Eng, cfg, strat, newWorkload(wlKeys), sim.NewRNG(1, "cl"))
+	cl.Start()
+	c.Eng.Run()
+	if cl.Errors() != 5 {
+		t.Fatalf("errors = %d, want 5", cl.Errors())
+	}
+}
+
+type failingStrategy struct{}
+
+func (f *failingStrategy) Name() string { return "fail" }
+func (f *failingStrategy) Get(key int64, onDone func(GetResult)) {
+	onDone(GetResult{Err: blockio.ErrBusy})
+}
+
+func TestClientClosedLoopSelfLimits(t *testing.T) {
+	// In closed-loop mode the client never has more than one user request
+	// outstanding, no matter how slow the cluster is.
+	c := newTestCluster(t, 3, false, 10000)
+	st := noise.NewSteady(c.Eng, c.Nodes[0].NoiseSink(), sim.NewRNG(5, "noise"),
+		blockio.Read, 1<<20, 8, blockio.ClassBestEffort, 4, 99, 500<<30)
+	st.Start()
+	cfg := DefaultClientConfig()
+	cfg.Closed = true
+	cfg.Interval = time.Millisecond
+	cl := NewClient(c.Eng, cfg, &BaseStrategy{C: c}, newWorkload(10000), sim.NewRNG(2, "cl"))
+	cl.Start()
+	c.Eng.RunFor(2 * time.Second)
+	cl.Stop()
+	st.Stop()
+	c.Eng.RunFor(5 * time.Second)
+	if cl.Issued()-cl.Finished() > 1 {
+		t.Fatalf("closed loop had %d outstanding", cl.Issued()-cl.Finished())
+	}
+	if cl.Finished() == 0 {
+		t.Fatal("closed loop made no progress")
+	}
+}
+
+func TestClientInvalidIntervalPanics(t *testing.T) {
+	c := newTestCluster(t, 3, false, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewClient(c.Eng, ClientConfig{Interval: 0}, &BaseStrategy{C: c},
+		newWorkload(100), sim.NewRNG(1, "cl"))
+}
+
+// newWorkload builds a uniform read-only YCSB workload for tests.
+func newWorkload(keys int64) *ycsb.Workload {
+	return ycsb.New(ycsb.DefaultConfig(keys), sim.NewRNG(77, "test-wl"))
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"mittos/internal/blockio"
+	"mittos/internal/noise"
+	"mittos/internal/sim"
+)
+
+func TestTiedFastPathNoSecondCopy(t *testing.T) {
+	c := newTestCluster(t, 3, false, 10000)
+	s := &TiedStrategy{C: c, RNG: sim.NewRNG(1, "tied"), Delay: 50 * time.Millisecond}
+	var res GetResult
+	s.Get(7, func(r GetResult) { res = r })
+	served := func() uint64 {
+		var n uint64
+		for _, node := range c.Nodes {
+			n += node.Served()
+		}
+		return n
+	}
+	c.Eng.Run()
+	if res.Err != nil {
+		t.Fatalf("tied get: %v", res.Err)
+	}
+	if res.Tries != 1 {
+		t.Fatalf("tries = %d; fast path should win before the tied copy", res.Tries)
+	}
+	if served() != 1 {
+		t.Fatalf("servers touched = %d, want 1 (second copy never sent)", served())
+	}
+}
+
+func TestTiedSecondCopyWinsUnderContention(t *testing.T) {
+	c := newTestCluster(t, 3, false, 10000)
+	// Saturate every replica of key 0 except by luck; the tied copy to a
+	// different replica should win when the first stalls.
+	primaryKey := int64(0)
+	busy := c.ReplicasFor(primaryKey)[0]
+	st := noise.NewSteady(c.Eng, c.Nodes[busy].NoiseSink(), sim.NewRNG(5, "noise"),
+		blockio.Read, 1<<20, 10, blockio.ClassBestEffort, 4, 99, 500<<30)
+	st.Start()
+	c.Eng.RunFor(100 * time.Millisecond)
+	// Force the first copy to the busy node by seeding the RNG choice:
+	// run several gets and check that at least one won via the tied copy.
+	s := &TiedStrategy{C: c, RNG: sim.NewRNG(3, "tied"), Delay: 5 * time.Millisecond}
+	tiedWins := 0
+	done := 0
+	for i := 0; i < 20; i++ {
+		s.Get(primaryKey, func(r GetResult) {
+			done++
+			if r.Tries == 2 {
+				tiedWins++
+			}
+		})
+		c.Eng.RunFor(50 * time.Millisecond)
+	}
+	c.Eng.RunFor(3 * time.Second)
+	st.Stop()
+	c.Eng.RunFor(3 * time.Second)
+	if done != 20 {
+		t.Fatalf("completed %d of 20", done)
+	}
+	if tiedWins == 0 {
+		t.Fatal("tied copy never won despite a saturated replica")
+	}
+	if s.Cancelled == 0 {
+		t.Fatal("no sibling cancellations recorded")
+	}
+}
+
+func TestTiedCancellationRevokesQueuedIO(t *testing.T) {
+	// When the tied copy wins, the loser's IO should be revoked while
+	// still queued, reducing load — the mechanism's whole point.
+	c := newTestCluster(t, 3, false, 10000)
+	busy := c.ReplicasFor(0)[0]
+	st := noise.NewSteady(c.Eng, c.Nodes[busy].NoiseSink(), sim.NewRNG(5, "noise"),
+		blockio.Read, 1<<20, 10, blockio.ClassBestEffort, 4, 99, 500<<30)
+	st.Start()
+	c.Eng.RunFor(100 * time.Millisecond)
+	servedBefore := c.Nodes[busy].Disk.Served()
+	s := &TiedStrategy{C: c, RNG: sim.NewRNG(3, "tied"), Delay: time.Millisecond}
+	for i := 0; i < 10; i++ {
+		s.Get(0, func(GetResult) {})
+		c.Eng.RunFor(100 * time.Millisecond)
+	}
+	st.Stop()
+	c.Eng.RunFor(5 * time.Second)
+	// The busy node's spindle should not have served every tied-loser 4KB
+	// read: some were revoked before reaching the device. We can't pin an
+	// exact count (races with dispatch), so assert the cancellation
+	// counter moved and the run completed.
+	if s.Cancelled == 0 {
+		t.Fatal("no cancellations")
+	}
+	_ = servedBefore
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"time"
+
+	"mittos/internal/blockio"
+	"mittos/internal/oscache"
+	"mittos/internal/sim"
+)
+
+// MittCache is MittOS integrated with OS cache management (§4.4).
+//
+// For read()-path IOs it walks the page tables: fully-resident reads are
+// served at memory speed; misses propagate the deadline to the IO layer
+// below, with one extra check — if the deadline is smaller than the
+// smallest possible device IO latency, the user expected an in-memory read
+// and EBUSY is returned immediately. For mmap-path accesses, AddrCheck
+// models the paper's addrcheck() system call (an 82ns page-table walk).
+//
+// Two §4.4 caveats are implemented: EBUSY signals memory-space contention
+// (pages that were resident and got swapped out), never first-time cold
+// accesses; and after EBUSY the data continues to be swapped in, in the
+// background, so the cache stays warm for applications that expect memory
+// residency.
+type MittCache struct {
+	eng   *sim.Engine
+	cache *oscache.Cache
+	lower Target
+	// minIO is the smallest possible IO latency of the layer below; a
+	// deadline under it means "I expect a cache hit".
+	minIO time.Duration
+	opt   Options
+	dec   decider
+
+	accepted uint64
+	rejected uint64
+}
+
+// NewMittCache builds the layer over a page cache and the (Mitt-wrapped)
+// IO path below it. minIO is the smallest possible IO latency of the
+// backing device (e.g. ~100µs for flash, ~300µs sequential disk).
+func NewMittCache(eng *sim.Engine, cache *oscache.Cache, lower Target, minIO time.Duration, opt Options) *MittCache {
+	m := &MittCache{eng: eng, cache: cache, lower: lower, minIO: minIO, opt: opt}
+	m.dec.thop = opt.Thop
+	m.dec.shadow = opt.Shadow
+	return m
+}
+
+// Accuracy returns shadow-mode counters. MittCache predictions are exact
+// page-table lookups ("there is no accuracy issues", §4.4), so FP/FN stay
+// zero; the method exists for interface symmetry and tests.
+func (m *MittCache) Accuracy() Accuracy { return m.dec.acc }
+
+// Counts returns accepted/rejected totals.
+func (m *MittCache) Counts() (accepted, rejected uint64) { return m.accepted, m.rejected }
+
+// Resident reports whether [off, off+size) is fully cached.
+func (m *MittCache) Resident(off int64, size int) bool { return m.cache.Resident(off, size) }
+
+// AddrCheck models the addrcheck(&buf, size, deadline) system call: a
+// page-table walk before dereferencing an mmap-ed pointer. It returns nil
+// when the application may proceed (data resident, or a miss it is willing
+// to wait for) and EBUSY when the data was swapped out under memory
+// contention and the deadline expects residency. The walk costs
+// cache.AddrCheckCost() (82ns) — negligible, so it is not modeled as an
+// event, matching the paper's measurement.
+func (m *MittCache) AddrCheck(off int64, size int, deadline time.Duration) error {
+	if m.cache.Resident(off, size) {
+		return nil
+	}
+	if deadline > blockio.NoDeadline && deadline < m.minIO && m.cache.WasEverResident(off, size) {
+		m.rejected++
+		// Keep swapping the data in behind the EBUSY (§4.4).
+		m.cache.Prefetch(off, size, blockio.ClassBestEffort, 4, -1)
+		return &BusyError{PredictedWait: m.minIO}
+	}
+	return nil
+}
+
+// SubmitSLO implements Target for the read()-with-deadline path.
+func (m *MittCache) SubmitSLO(req *blockio.Request, onDone func(error)) {
+	now := m.eng.Now()
+	if req.SubmitTime == 0 {
+		req.SubmitTime = now
+	}
+	if req.Op == blockio.Write {
+		// Writes are absorbed by the cache; no deadline semantics (§7.8.6).
+		prev := req.OnComplete
+		req.OnComplete = func(r *blockio.Request) {
+			if prev != nil {
+				prev(r)
+			}
+			onDone(nil)
+		}
+		m.cache.Submit(req)
+		return
+	}
+
+	if m.cache.Resident(req.Offset, req.Size) {
+		m.accepted++
+		prev := req.OnComplete
+		req.OnComplete = func(r *blockio.Request) {
+			if prev != nil {
+				prev(r)
+			}
+			onDone(nil)
+		}
+		m.cache.Submit(req) // hit path
+		return
+	}
+
+	// Miss. The in-memory-expectation check (§4.4): a deadline below any
+	// possible IO latency plus evidence of prior residency = memory-space
+	// contention → EBUSY, with background swap-in.
+	hasSLO := req.Deadline > blockio.NoDeadline
+	if hasSLO && req.Deadline < m.minIO && !m.dec.shadow &&
+		m.cache.WasEverResident(req.Offset, req.Size) {
+		m.rejected++
+		m.cache.Prefetch(req.Offset, req.Size, req.Class, req.Priority, req.Proc)
+		busyErr := &BusyError{PredictedWait: m.minIO}
+		m.eng.Schedule(m.opt.SyscallCost, func() { onDone(busyErr) })
+		return
+	}
+
+	// Propagate the deadline to the IO layer below (§4.4), reading whole
+	// pages and populating the cache on success.
+	m.accepted++
+	prev := req.OnComplete
+	req.OnComplete = func(r *blockio.Request) {
+		if prev != nil {
+			prev(r)
+		}
+	}
+	m.lower.SubmitSLO(req, func(err error) {
+		if err == nil {
+			m.cache.Warm(req.Offset, req.Size)
+		}
+		onDone(err)
+	})
+}

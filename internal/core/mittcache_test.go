@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mittos/internal/blockio"
+	"mittos/internal/disk"
+	"mittos/internal/iosched"
+	"mittos/internal/oscache"
+	"mittos/internal/sim"
+)
+
+type cacheRig struct {
+	eng   *sim.Engine
+	cache *oscache.Cache
+	mitt  *MittCache
+	lower *MittNoop
+	disk  *disk.Disk
+	ids   blockio.IDGen
+}
+
+func newCacheRig(t *testing.T, capPages int) *cacheRig {
+	t.Helper()
+	eng := sim.NewEngine()
+	dcfg := disk.DefaultConfig()
+	d := disk.New(eng, dcfg, sim.NewRNG(41, t.Name()))
+	nop := iosched.NewNoop(eng, d)
+	prof := disk.ProfileTwin(dcfg, 42, disk.ProfilerOptions{Buckets: 16, Tries: 4, ProbeSize: 4096})
+	lower := NewMittNoop(eng, nop, prof, DefaultOptions())
+	ccfg := oscache.DefaultConfig()
+	ccfg.CapacityPages = capPages
+	cache := oscache.New(eng, ccfg, nop)
+	// Smallest possible IO latency below: a sequential 4KB disk read.
+	mitt := NewMittCache(eng, cache, lower, 300*time.Microsecond, DefaultOptions())
+	return &cacheRig{eng: eng, cache: cache, mitt: mitt, lower: lower, disk: d}
+}
+
+func (r *cacheRig) read(off int64, size int, deadline time.Duration, cb func(error)) *blockio.Request {
+	req := &blockio.Request{ID: r.ids.Next(), Op: blockio.Read, Offset: off,
+		Size: size, Deadline: deadline}
+	r.mitt.SubmitSLO(req, cb)
+	return req
+}
+
+func TestMittCacheHitServedFast(t *testing.T) {
+	r := newCacheRig(t, 1000)
+	r.cache.Warm(0, 4096)
+	var lat time.Duration
+	var err error = blockio.ErrBusy
+	start := r.eng.Now()
+	r.read(0, 4096, 100*time.Microsecond, func(e error) {
+		err = e
+		lat = r.eng.Now().Sub(start)
+	})
+	r.eng.Run()
+	if err != nil {
+		t.Fatalf("cache hit rejected: %v", err)
+	}
+	if lat > time.Millisecond {
+		t.Fatalf("hit latency %v", lat)
+	}
+}
+
+func TestMittCacheContentionMissRejected(t *testing.T) {
+	// §4.4: tiny deadline (in-memory expectation) + page swapped out under
+	// contention ⇒ EBUSY, and the data is swapped back in behind the error.
+	r := newCacheRig(t, 1000)
+	r.cache.Warm(0, 4096)
+	r.cache.EvictRange(0, 4096) // memory-space contention
+	var err error
+	r.read(0, 4096, 100*time.Microsecond, func(e error) { err = e })
+	r.eng.Run()
+	if !IsBusy(err) {
+		t.Fatalf("contention miss not rejected: %v", err)
+	}
+	// Background swap-in must have repopulated the page.
+	if !r.cache.Resident(0, 4096) {
+		t.Fatal("no background swap-in after EBUSY")
+	}
+}
+
+func TestMittCacheFirstAccessNotRejected(t *testing.T) {
+	// A cold first access is not memory contention: even with a tiny
+	// deadline, MittCache must not signal EBUSY for it (§4.4). The miss
+	// propagates to the IO layer, which accepts (the disk is idle).
+	r := newCacheRig(t, 1000)
+	var err error = blockio.ErrBusy
+	r.read(0, 4096, 100*time.Microsecond, func(e error) { err = e })
+	r.eng.Run()
+	if err != nil {
+		t.Fatalf("cold miss got %v; first-time access must not be EBUSY", err)
+	}
+}
+
+func TestMittCacheMissPropagatesDeadlineToIOLayer(t *testing.T) {
+	// With the disk made busy, a cold miss with a generous deadline is
+	// still rejected — by the IO layer below, not the cache.
+	r := newCacheRig(t, 1000)
+	rng := sim.NewRNG(5, "noise")
+	for i := 0; i < 10; i++ {
+		req := &blockio.Request{ID: r.ids.Next(), Op: blockio.Read,
+			Offset: rng.Int63n(900 << 30), Size: 4096}
+		r.lower.SubmitSLO(req, func(error) {})
+	}
+	var err error
+	r.read(500<<30, 4096, 10*time.Millisecond, func(e error) { err = e })
+	r.eng.Run()
+	if !IsBusy(err) {
+		t.Fatalf("busy-disk miss not rejected by the IO layer: %v", err)
+	}
+	_, rejCache := r.mitt.Counts()
+	if rejCache != 0 {
+		t.Fatal("rejection attributed to the cache; should come from the IO layer")
+	}
+}
+
+func TestMittCacheMissPopulatesCache(t *testing.T) {
+	r := newCacheRig(t, 1000)
+	var err error = blockio.ErrBusy
+	r.read(8192, 4096, 50*time.Millisecond, func(e error) { err = e })
+	r.eng.Run()
+	if err != nil {
+		t.Fatalf("miss read failed: %v", err)
+	}
+	if !r.cache.Resident(8192, 4096) {
+		t.Fatal("page not cached after miss read")
+	}
+	// Second read: a hit (no disk IO).
+	served := r.disk.Served()
+	r.read(8192, 4096, 50*time.Millisecond, func(error) {})
+	r.eng.Run()
+	if r.disk.Served() != served {
+		t.Fatal("second read hit the disk")
+	}
+}
+
+func TestMittCacheAddrCheck(t *testing.T) {
+	r := newCacheRig(t, 1000)
+	// Resident: OK.
+	r.cache.Warm(0, 4096)
+	if err := r.mitt.AddrCheck(0, 4096, 100*time.Microsecond); err != nil {
+		t.Fatalf("resident addrcheck: %v", err)
+	}
+	// Cold page: OK (first access).
+	if err := r.mitt.AddrCheck(1<<20, 4096, 100*time.Microsecond); err != nil {
+		t.Fatalf("cold addrcheck: %v", err)
+	}
+	// Evicted page with in-memory deadline: EBUSY.
+	r.cache.EvictRange(0, 4096)
+	err := r.mitt.AddrCheck(0, 4096, 100*time.Microsecond)
+	if !IsBusy(err) {
+		t.Fatalf("evicted addrcheck: %v", err)
+	}
+	// Evicted page with a disk-tolerant deadline: OK (the app will fault
+	// and wait).
+	if err := r.mitt.AddrCheck(0, 4096, 50*time.Millisecond); err != nil {
+		t.Fatalf("patient addrcheck: %v", err)
+	}
+	r.eng.Run()
+}
+
+func TestMittCacheWritesAbsorbed(t *testing.T) {
+	r := newCacheRig(t, 1000)
+	var err error = blockio.ErrBusy
+	var lat time.Duration
+	start := r.eng.Now()
+	req := &blockio.Request{ID: r.ids.Next(), Op: blockio.Write, Offset: 0, Size: 4096}
+	r.mitt.SubmitSLO(req, func(e error) {
+		err = e
+		lat = r.eng.Now().Sub(start)
+	})
+	r.eng.Run()
+	if err != nil {
+		t.Fatalf("write got %v", err)
+	}
+	if lat > time.Millisecond {
+		t.Fatalf("write latency %v; should be absorbed", lat)
+	}
+}
+
+func TestMittCacheBalloonCausesRejections(t *testing.T) {
+	// End-to-end §6 scenario: warm working set, another tenant balloons
+	// memory away, small-deadline reads start bouncing with EBUSY.
+	r := newCacheRig(t, 1000)
+	ps := int64(4096)
+	for p := int64(0); p < 500; p++ {
+		r.cache.Warm(p*ps, 4096)
+	}
+	r.cache.Balloon(960) // capacity 40 pages: evicts most of the working set
+	busy := 0
+	for p := int64(0); p < 500; p += 10 {
+		r.read(p*ps, 4096, 100*time.Microsecond, func(e error) {
+			if IsBusy(e) {
+				busy++
+			}
+		})
+		r.eng.Run()
+	}
+	if busy == 0 {
+		t.Fatal("ballooning produced no EBUSY")
+	}
+	// The background swap-ins kept repopulating the cache: re-reading the
+	// most recently rejected page must now hit.
+	var err error = blockio.ErrBusy
+	r.read(490*ps, 4096, 100*time.Microsecond, func(e error) { err = e })
+	r.eng.Run()
+	if err != nil {
+		t.Fatalf("re-read after swap-in got %v", err)
+	}
+}

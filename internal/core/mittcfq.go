@@ -1,0 +1,325 @@
+package core
+
+import (
+	"time"
+
+	"mittos/internal/blockio"
+	"mittos/internal/disk"
+	"mittos/internal/iosched"
+	"mittos/internal/sim"
+)
+
+// MittCFQ is MittOS integrated with the CFQ scheduler (§4.2).
+//
+// Admission is O(P), not O(N): the layer keeps a running predicted-total-IO
+// time per process node, so the wait estimate for an arriving IO is the
+// device drain time plus the totals of the nodes CFQ will service first.
+//
+// Because CFQ can accept an IO and later push it back behind
+// newly-arriving higher-priority IOs, MittCFQ additionally maintains the
+// paper's tolerable-time hash table: accepted deadline-carrying IOs are
+// bucketed by how much extra delay they can still absorb (1ms buckets).
+// When a higher-priority IO is admitted, affected entries are re-bucketed;
+// entries whose tolerable time goes negative are cancelled out of the CFQ
+// queues and their owners receive EBUSY.
+type MittCFQ struct {
+	eng   *sim.Engine
+	sched *iosched.CFQ
+	prof  *disk.Profile
+	opt   Options
+	dec   decider
+
+	// mirror models the device-resident IOs (the dispatched quantum) with
+	// the same SSTF replay MittNoop uses; CFQ-queued IOs are accounted via
+	// the per-node totals instead.
+	mirror *sstfMirror
+
+	// nodeTotal is the predicted total IO time per process node (§4.2:
+	// "MittCFQ keeps track of the predicted total IO time of each process
+	// node ... reducing O(N) to O(P)").
+	nodeTotal map[int]time.Duration
+
+	// Tolerable-time hash table: key = tolerable milliseconds.
+	buckets map[int64][]*cfqEntry
+	entries map[*blockio.Request]*cfqEntry
+
+	accepted  uint64
+	rejected  uint64 // at admission
+	cancelled uint64 // late EBUSY via the tolerable-time table
+}
+
+// cfqEntry is one accepted, still-cancellable, deadline-carrying IO.
+type cfqEntry struct {
+	req       *blockio.Request
+	onDone    func(error)
+	tolerable time.Duration
+	bucket    int64
+	class     blockio.Class
+	prio      int
+	svc       time.Duration
+	done      bool
+}
+
+// NewMittCFQ builds the layer over a CFQ scheduler and a disk profile.
+func NewMittCFQ(eng *sim.Engine, sched *iosched.CFQ, prof *disk.Profile, opt Options) *MittCFQ {
+	m := &MittCFQ{
+		eng: eng, sched: sched, prof: prof, opt: opt,
+		mirror:    newSSTFMirror(eng, prof, opt.Calibrate),
+		nodeTotal: make(map[int]time.Duration),
+		buckets:   make(map[int64][]*cfqEntry),
+		entries:   make(map[*blockio.Request]*cfqEntry),
+	}
+	m.dec.thop = opt.Thop
+	m.dec.shadow = opt.Shadow
+	sched.SetDispatchHook(m.onDispatch)
+	sched.SetDropHook(func(req *blockio.Request) {
+		// A request revoked by its owner (tied-request cancellation) was
+		// discarded before dispatch: release its node charge and entry.
+		if t := m.nodeTotal[req.Proc] - req.PredictedService; t > 0 {
+			m.nodeTotal[req.Proc] = t
+		} else {
+			m.nodeTotal[req.Proc] = 0
+		}
+		if entry, ok := m.entries[req]; ok {
+			m.dropEntry(entry)
+		}
+	})
+	return m
+}
+
+// SetErrorInjection enables §7.7 fault injection.
+func (m *MittCFQ) SetErrorInjection(fnRate, fpRate float64, rng *sim.RNG) {
+	m.dec.injFN, m.dec.injFP, m.dec.injRNG = fnRate, fpRate, rng
+}
+
+// Accuracy returns shadow-mode counters.
+func (m *MittCFQ) Accuracy() Accuracy { return m.dec.acc }
+
+// Counts returns accepted / rejected-at-admission / late-cancelled totals.
+func (m *MittCFQ) Counts() (accepted, rejected, cancelled uint64) {
+	return m.accepted, m.rejected, m.cancelled
+}
+
+// PredictWait estimates the queueing delay an IO from proc at the given
+// class would see right now: device drain + totals of nodes ahead + the
+// proc's own queued IOs.
+func (m *MittCFQ) PredictWait(proc int, class blockio.Class) time.Duration {
+	wait := m.mirror.drainTime()
+	for _, p := range m.sched.ProcsAheadOf(proc, class) {
+		t := m.nodeTotal[p]
+		// A node ahead can hold the device for at most its time slice per
+		// round before this proc's node is served — part of
+		// "understanding the queueing discipline of the target resource"
+		// (§3.4).
+		if slice := m.sched.NodeSlice(p); t > slice {
+			t = slice
+		}
+		wait += t
+	}
+	wait += m.nodeTotal[proc]
+	return wait
+}
+
+// SubmitSLO implements Target.
+func (m *MittCFQ) SubmitSLO(req *blockio.Request, onDone func(error)) {
+	now := m.eng.Now()
+	if req.SubmitTime == 0 {
+		req.SubmitTime = now
+	}
+	wait := m.PredictWait(req.Proc, req.Class)
+	svc := m.mirror.svcTime(m.mirror.headPos, req.Offset, req.Size)
+	req.PredictedWait = wait
+	req.PredictedService = svc
+
+	hasSLO := req.Deadline > blockio.NoDeadline
+	rawBusy := hasSLO && wait > m.dec.threshold(req.Deadline)
+	if hasSLO {
+		if m.dec.shadow {
+			req.ShadowBusy = rawBusy
+		} else if m.dec.rejects(rawBusy) {
+			m.rejected++
+			busyErr := &BusyError{PredictedWait: wait}
+			m.eng.Schedule(m.opt.SyscallCost, func() { onDone(busyErr) })
+			return
+		}
+	}
+
+	m.accepted++
+	m.nodeTotal[req.Proc] += svc
+
+	var entry *cfqEntry
+	if hasSLO && !m.dec.shadow {
+		// Track the IO in the tolerable-time table until dispatch.
+		entry = &cfqEntry{
+			req: req, onDone: onDone,
+			tolerable: m.dec.threshold(req.Deadline) - wait,
+			class:     req.Class, prio: req.Priority, svc: svc,
+		}
+		entry.bucket = bucketOf(entry.tolerable)
+		m.buckets[entry.bucket] = append(m.buckets[entry.bucket], entry)
+		m.entries[req] = entry
+	}
+
+	prev := req.OnComplete
+	req.OnComplete = func(r *blockio.Request) {
+		if entry != nil && entry.done {
+			// Cancelled late; EBUSY already delivered. (The scheduler drops
+			// cancelled IOs before dispatch, so this should not fire.)
+			return
+		}
+		if hasSLO && m.dec.shadow {
+			actualWait := r.Latency() - svc
+			if actualWait < 0 {
+				actualWait = 0
+			}
+			m.dec.observe(rawBusy, wait, actualWait, r.Deadline)
+		}
+		if prev != nil {
+			prev(r)
+		}
+		onDone(nil)
+	}
+	m.sched.Submit(req)
+
+	// A newly accepted IO consumes the slack of queued IOs it will be
+	// serviced ahead of.
+	m.chargeBumpedEntries(req, svc)
+}
+
+// onDispatch fires when an IO leaves CFQ for the device: its predicted time
+// moves from its node's total to the device mirror, and it stops being
+// cancellable.
+func (m *MittCFQ) onDispatch(req *blockio.Request) {
+	svc := req.PredictedService
+	if t := m.nodeTotal[req.Proc] - svc; t > 0 {
+		m.nodeTotal[req.Proc] = t
+	} else {
+		m.nodeTotal[req.Proc] = 0
+	}
+	if entry, ok := m.entries[req]; ok {
+		m.dropEntry(entry)
+	}
+	m.mirror.add(req)
+	prev := req.OnComplete
+	req.OnComplete = func(r *blockio.Request) {
+		m.mirror.complete(r)
+		if prev != nil {
+			prev(r)
+		}
+	}
+}
+
+// chargeBumpedEntries implements the re-bucketing rule (§4.2): every queued
+// entry that the new IO would be serviced ahead of loses `svc` of tolerable
+// time; entries that go negative are cancelled with EBUSY. An entry is
+// "bumped" when the newcomer outranks it (higher class or ionice priority)
+// or when CFQ's round-robin currently schedules the newcomer's node ahead
+// of the entry's — the same-priority variant of "accepted initially, but
+// soon new IOs arrive and the deadlines of the earlier IOs can be violated
+// as they are bumped to the back".
+func (m *MittCFQ) chargeBumpedEntries(newReq *blockio.Request, svc time.Duration) {
+	if len(m.entries) == 0 {
+		return
+	}
+	var victims []*cfqEntry
+	for _, entry := range m.entries {
+		if entry.req == newReq || entry.done || entry.req.Proc == newReq.Proc {
+			continue
+		}
+		bumps := outranks(newReq.Class, newReq.Priority, entry.class, entry.prio)
+		if !bumps && newReq.Class == entry.class {
+			for _, p := range m.sched.ProcsAheadOf(entry.req.Proc, entry.class) {
+				if p == newReq.Proc {
+					bumps = true
+					break
+				}
+			}
+		}
+		if !bumps {
+			continue
+		}
+		m.rebucket(entry, entry.tolerable-svc)
+		if entry.tolerable < 0 {
+			victims = append(victims, entry)
+		}
+	}
+	for _, v := range victims {
+		m.cancel(v)
+	}
+}
+
+// outranks reports whether (ca,pa) is scheduled ahead of (cb,pb): a higher
+// class always wins; within a class, a numerically lower ionice priority.
+func outranks(ca blockio.Class, pa int, cb blockio.Class, pb int) bool {
+	if ca != cb {
+		return ca.Rank() < cb.Rank()
+	}
+	return pa < pb
+}
+
+func bucketOf(d time.Duration) int64 {
+	ms := d / time.Millisecond
+	if d < 0 && d%time.Millisecond != 0 {
+		ms--
+	}
+	return int64(ms)
+}
+
+func (m *MittCFQ) rebucket(e *cfqEntry, newTolerable time.Duration) {
+	nb := bucketOf(newTolerable)
+	if nb != e.bucket {
+		m.removeFromBucket(e)
+		e.bucket = nb
+		m.buckets[nb] = append(m.buckets[nb], e)
+	}
+	e.tolerable = newTolerable
+}
+
+func (m *MittCFQ) removeFromBucket(e *cfqEntry) {
+	list := m.buckets[e.bucket]
+	for i, x := range list {
+		if x == e {
+			m.buckets[e.bucket] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(m.buckets[e.bucket]) == 0 {
+		delete(m.buckets, e.bucket)
+	}
+}
+
+func (m *MittCFQ) dropEntry(e *cfqEntry) {
+	m.removeFromBucket(e)
+	delete(m.entries, e.req)
+}
+
+// cancel delivers late EBUSY: the IO is pulled out of the CFQ queues (never
+// reaching the device) and its owner notified.
+func (m *MittCFQ) cancel(e *cfqEntry) {
+	if e.done {
+		return
+	}
+	if !m.dec.rejects(true) {
+		// Injected false negative (§7.7): the cancellation verdict is
+		// suppressed and the IO continues; stop tracking it.
+		m.dropEntry(e)
+		return
+	}
+	e.done = true
+	m.dropEntry(e)
+	if !m.sched.Remove(e.req) {
+		// Raced with dispatch: the IO is already at the device and will
+		// complete normally; undo the cancellation.
+		e.done = false
+		return
+	}
+	e.req.Cancel()
+	if t := m.nodeTotal[e.req.Proc] - e.svc; t > 0 {
+		m.nodeTotal[e.req.Proc] = t
+	} else {
+		m.nodeTotal[e.req.Proc] = 0
+	}
+	m.cancelled++
+	busyErr := &BusyError{PredictedWait: -e.tolerable + e.req.Deadline}
+	m.eng.Schedule(m.opt.SyscallCost, func() { e.onDone(busyErr) })
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mittos/internal/blockio"
+	"mittos/internal/sim"
+)
+
+func newThroughputRig(t *testing.T) (*sim.Engine, *ThroughputSLO) {
+	t.Helper()
+	eng := sim.NewEngine()
+	dev := &stubDevice{eng: eng, delay: 100 * time.Microsecond}
+	return eng, NewThroughputSLO(eng, &Vanilla{Dev: dev}, DefaultOptions())
+}
+
+func submitN(eng *sim.Engine, ts *ThroughputSLO, proc, n int) (ok, busy int) {
+	for i := 0; i < n; i++ {
+		req := &blockio.Request{Op: blockio.Read, Offset: int64(i) * 4096, Size: 4096, Proc: proc}
+		ts.SubmitSLO(req, func(err error) {
+			if IsBusy(err) {
+				busy++
+			} else {
+				ok++
+			}
+		})
+	}
+	eng.Run()
+	return ok, busy
+}
+
+func TestThroughputUncontractedUnlimited(t *testing.T) {
+	eng, ts := newThroughputRig(t)
+	ok, busy := submitN(eng, ts, 1, 1000)
+	if busy != 0 || ok != 1000 {
+		t.Fatalf("uncontracted tenant throttled: ok=%d busy=%d", ok, busy)
+	}
+}
+
+func TestThroughputBurstThenReject(t *testing.T) {
+	eng, ts := newThroughputRig(t)
+	ts.SetContract(7, 100, 10) // 100 IOPS, burst 10
+	ok, busy := submitN(eng, ts, 7, 50)
+	if ok != 10 {
+		t.Fatalf("burst allowed %d, want exactly 10", ok)
+	}
+	if busy != 40 {
+		t.Fatalf("rejected %d, want 40", busy)
+	}
+}
+
+func TestThroughputRefills(t *testing.T) {
+	eng, ts := newThroughputRig(t)
+	ts.SetContract(7, 100, 10)
+	submitN(eng, ts, 7, 10)            // drain the burst
+	eng.RunFor(100 * time.Millisecond) // refills 10 tokens at 100 IOPS
+	ok, busy := submitN(eng, ts, 7, 10)
+	if ok != 10 || busy != 0 {
+		t.Fatalf("after refill: ok=%d busy=%d", ok, busy)
+	}
+}
+
+func TestThroughputSustainedRate(t *testing.T) {
+	eng, ts := newThroughputRig(t)
+	ts.SetContract(7, 200, 5)
+	okTotal := 0
+	eng.NewTicker(time.Millisecond, func() {
+		req := &blockio.Request{Op: blockio.Read, Offset: 0, Size: 4096, Proc: 7}
+		ts.SubmitSLO(req, func(err error) {
+			if err == nil {
+				okTotal++
+			}
+		})
+	})
+	eng.RunUntil(sim.Time(2 * sim.Second))
+	// Offered 1000 IOPS; contracted 200: ~400 accepted over 2s (+burst).
+	if okTotal < 350 || okTotal > 450 {
+		t.Fatalf("sustained accepts = %d over 2s at 200 IOPS contract", okTotal)
+	}
+}
+
+func TestThroughputBusyCarriesWaitHint(t *testing.T) {
+	eng, ts := newThroughputRig(t)
+	ts.SetContract(7, 100, 1)
+	var errs []error
+	for i := 0; i < 2; i++ {
+		req := &blockio.Request{Op: blockio.Read, Offset: 0, Size: 4096, Proc: 7}
+		ts.SubmitSLO(req, func(err error) { errs = append(errs, err) })
+	}
+	eng.Run()
+	// The EBUSY (2µs syscall) lands before the accepted IO's completion.
+	if len(errs) != 2 || !IsBusy(errs[0]) || errs[1] != nil {
+		t.Fatalf("errs = %v", errs)
+	}
+	be := errs[0].(*BusyError)
+	// Next token at 100 IOPS is ~10ms away.
+	if be.PredictedWait < 5*time.Millisecond || be.PredictedWait > 15*time.Millisecond {
+		t.Fatalf("wait hint %v, want ≈10ms", be.PredictedWait)
+	}
+}
+
+func TestThroughputContractRemoval(t *testing.T) {
+	eng, ts := newThroughputRig(t)
+	ts.SetContract(7, 1, 1)
+	ts.SetContract(7, 0, 0) // remove
+	ok, busy := submitN(eng, ts, 7, 100)
+	if busy != 0 || ok != 100 {
+		t.Fatalf("removed contract still throttles: ok=%d busy=%d", ok, busy)
+	}
+	if ts.Remaining(7) != -1 {
+		t.Fatal("Remaining for uncontracted proc should be -1")
+	}
+}
+
+func TestThroughputRemainingPeeks(t *testing.T) {
+	eng, ts := newThroughputRig(t)
+	ts.SetContract(7, 100, 10)
+	if got := ts.Remaining(7); got != 10 {
+		t.Fatalf("initial tokens %v", got)
+	}
+	submitN(eng, ts, 7, 4)
+	got := ts.Remaining(7)
+	if got < 5.9 || got > 6.5 {
+		t.Fatalf("after 4 takes: %v tokens", got)
+	}
+}

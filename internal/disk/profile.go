@@ -1,0 +1,179 @@
+package disk
+
+import (
+	"time"
+
+	"mittos/internal/blockio"
+	"mittos/internal/sim"
+)
+
+// Profile is the white-box latency model MittOS learns about a disk by
+// offline profiling (Appendix A: "we measure the latency (seek cost) of all
+// pairs of random IOs per GB distance ... profile the disk with 10 tries and
+// use linear regression for more accuracy"). Predictors consume only this —
+// never the device's true parameters — so prediction error is real.
+type Profile struct {
+	// SeekBuckets holds the measured positioning cost per distance bucket;
+	// bucket i covers distances [i, i+1) * BucketBytes.
+	SeekBuckets []time.Duration
+	// BucketBytes is the distance width of one bucket.
+	BucketBytes int64
+	// SeqThreshold mirrors the device's sequential window as measured.
+	SeqThreshold int64
+	// SeqCost is the measured sequential positioning cost.
+	SeqCost time.Duration
+	// TransferPerKB is the measured per-KiB transfer slope.
+	TransferPerKB time.Duration
+	// AgeLimit is the device's command-aging bound (from the vendor spec
+	// or policy characterization, as Appendix A characterizes the queue
+	// policy): IOs older than this are served FIFO, not SSTF.
+	AgeLimit time.Duration
+}
+
+// SeekCost predicts the positioning cost for a head movement of dist bytes.
+func (p *Profile) SeekCost(dist int64) time.Duration {
+	if dist < 0 {
+		dist = -dist
+	}
+	if dist <= p.SeqThreshold {
+		return p.SeqCost
+	}
+	i := int(dist / p.BucketBytes)
+	if i >= len(p.SeekBuckets) {
+		i = len(p.SeekBuckets) - 1
+	}
+	return p.SeekBuckets[i]
+}
+
+// ServiceTime predicts the full service time of an IO of `size` bytes whose
+// start offset is `dist` away from the current head position. This is the
+// paper's TprocessNewIO = f(size, jump distance) (§4.1).
+func (p *Profile) ServiceTime(dist int64, size int) time.Duration {
+	kb := (size + 1023) / 1024
+	return p.SeekCost(dist) + time.Duration(kb)*p.TransferPerKB
+}
+
+// ProfilerOptions tunes the offline profiling pass.
+type ProfilerOptions struct {
+	// Buckets is the number of seek-distance buckets (the paper fills a
+	// 1000×1000 per-GB matrix; distance bucketing is the regression-style
+	// compression of that matrix).
+	Buckets int
+	// Tries is the number of measurements averaged per bucket.
+	Tries int
+	// ProbeSize is the IO size used for seek probing.
+	ProbeSize int
+}
+
+// DefaultProfilerOptions matches the paper's 10-try methodology.
+func DefaultProfilerOptions() ProfilerOptions {
+	return ProfilerOptions{Buckets: 64, Tries: 10, ProbeSize: 4096}
+}
+
+// ProfileDisk measures a disk's latency profile by running probe IOs on a
+// dedicated engine, exactly the way the paper's one-time 11-hour profiling
+// pass does (compressed here because virtual time is free). The disk must be
+// otherwise idle; profiling a shared engine mid-experiment would perturb it,
+// so callers typically profile a twin disk built from the same Config and
+// an identical RNG stream family.
+func ProfileDisk(eng *sim.Engine, d *Disk, opt ProfilerOptions) *Profile {
+	if opt.Buckets <= 0 || opt.Tries <= 0 || opt.ProbeSize <= 0 {
+		opt = DefaultProfilerOptions()
+	}
+	cap := d.cfg.CapacityBytes
+	bucketBytes := cap / int64(opt.Buckets)
+	if bucketBytes == 0 {
+		bucketBytes = 1
+	}
+	prof := &Profile{
+		BucketBytes:  bucketBytes,
+		SeqThreshold: d.cfg.SeqThreshold, // discoverable by bisection; taken as given
+		AgeLimit:     d.cfg.AgeLimit,     // queue-policy characterization
+		SeekBuckets:  make([]time.Duration, opt.Buckets),
+	}
+
+	var ids blockio.IDGen
+	measure := func(from, to int64, size int) time.Duration {
+		// Position the head deterministically, then measure the probe.
+		var latency time.Duration
+		pos := &blockio.Request{ID: ids.Next(), Op: blockio.Read, Offset: from, Size: 512}
+		pos.OnComplete = func(*blockio.Request) {}
+		d.Submit(pos)
+		eng.Run()
+		probe := &blockio.Request{ID: ids.Next(), Op: blockio.Read, Offset: to, Size: size}
+		probe.OnComplete = func(r *blockio.Request) { latency = r.ServiceTime() }
+		d.Submit(probe)
+		eng.Run()
+		return latency
+	}
+
+	// 1. Transfer slope: two sequential sizes at the same locality.
+	const bigProbe = 256 << 10
+	lat4k := measure(0, 4096, 4096)
+	latBig := measure(0, 4096, bigProbe)
+	deltaKB := (bigProbe - 4096) / 1024
+	slope := (latBig - lat4k) / time.Duration(deltaKB)
+	if slope < 0 {
+		slope = 0
+	}
+	prof.TransferPerKB = slope
+
+	// 2. Sequential cost: back-to-back probe, transfer removed.
+	seq := measure(0, 8192, opt.ProbeSize) - time.Duration((opt.ProbeSize+1023)/1024)*slope
+	if seq < 0 {
+		seq = 0
+	}
+	prof.SeqCost = seq
+
+	// 3. Seek cost per distance bucket, averaged over Tries.
+	transfer := time.Duration((opt.ProbeSize+1023)/1024) * slope
+	for b := 0; b < opt.Buckets; b++ {
+		dist := int64(b)*bucketBytes + bucketBytes/2
+		span := cap - dist - int64(opt.ProbeSize)
+		if span <= 0 {
+			// Bucket reaches past the end of the disk; measure from 0.
+			span = 1
+			dist = cap - int64(opt.ProbeSize) - 1
+		}
+		var sum time.Duration
+		n := 0
+		for t := 0; t < opt.Tries; t++ {
+			// Vary the starting track to average geometry effects.
+			from := (int64(t) * 977 * 4096) % span
+			to := from + dist
+			lat := measure(from, to, opt.ProbeSize) - transfer
+			if lat < 0 {
+				lat = 0
+			}
+			sum += lat
+			n++
+		}
+		prof.SeekBuckets[b] = sum / time.Duration(n)
+	}
+
+	// 4. Smooth the curve with a 3-point moving average — the stand-in for
+	// the paper's linear regression; it removes residual per-measurement
+	// noise while preserving the concave shape.
+	smoothed := make([]time.Duration, len(prof.SeekBuckets))
+	for i := range prof.SeekBuckets {
+		sum, n := time.Duration(0), 0
+		for j := i - 1; j <= i+1; j++ {
+			if j >= 0 && j < len(prof.SeekBuckets) {
+				sum += prof.SeekBuckets[j]
+				n++
+			}
+		}
+		smoothed[i] = sum / time.Duration(n)
+	}
+	prof.SeekBuckets = smoothed
+	return prof
+}
+
+// ProfileTwin builds a fresh engine + disk from cfg and profiles it — the
+// usual entry point: experiments profile a twin so the production disk's RNG
+// stream is untouched.
+func ProfileTwin(cfg Config, seed int64, opt ProfilerOptions) *Profile {
+	eng := sim.NewEngine()
+	d := New(eng, cfg, sim.NewRNG(seed, "disk-profiler"))
+	return ProfileDisk(eng, d, opt)
+}

@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// tinyOptions keep the macro experiments test-sized.
+func tinyOptions() Options {
+	o := QuickOptions()
+	o.Nodes = 6
+	o.Clients = 4
+	o.Duration = 5 * time.Second
+	o.Keys = 10000
+	return o
+}
+
+func TestFig5ShapeHolds(t *testing.T) {
+	res := Fig5(tinyOptions())
+	mitt := res.FindSeries("MittCFQ")
+	base := res.FindSeries("Base")
+	hedged := res.FindSeries("Hedged")
+	appTO := res.FindSeries("AppTO")
+	if mitt == nil || base == nil || hedged == nil || appTO == nil {
+		t.Fatal("missing series")
+	}
+	// The paper's ordering at the tail: MittCFQ < Hedged < AppTO-ish < Base.
+	if mitt.Sample.Percentile(95) >= base.Sample.Percentile(95) {
+		t.Fatalf("MittCFQ p95 %v not better than Base %v",
+			mitt.Sample.Percentile(95), base.Sample.Percentile(95))
+	}
+	if mitt.Sample.Percentile(95) >= hedged.Sample.Percentile(95) {
+		t.Fatalf("MittCFQ p95 %v not better than Hedged %v",
+			mitt.Sample.Percentile(95), hedged.Sample.Percentile(95))
+	}
+	if mitt.Sample.Percentile(99) >= appTO.Sample.Percentile(99) {
+		t.Fatalf("MittCFQ p99 %v not better than AppTO %v",
+			mitt.Sample.Percentile(99), appTO.Sample.Percentile(99))
+	}
+	if res.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestFig5Deterministic(t *testing.T) {
+	a := Fig5(tinyOptions())
+	b := Fig5(tinyOptions())
+	if a.String() != b.String() {
+		t.Fatal("Fig5 not reproducible with the same seed")
+	}
+}
+
+func TestFig6ScaleAmplification(t *testing.T) {
+	res := Fig6(tinyOptions())
+	// User-request latency must grow with the scale factor for both
+	// strategies, and MittCFQ must win at p95 for the larger factors.
+	h1 := res.FindSeries("Hedged-SF1").Sample
+	h10 := res.FindSeries("Hedged-SF10").Sample
+	if h10.Percentile(75) <= h1.Percentile(75) {
+		t.Fatalf("no amplification: SF1 p75 %v vs SF10 p75 %v",
+			h1.Percentile(75), h10.Percentile(75))
+	}
+	for _, sf := range []string{"5", "10"} {
+		m := res.FindSeries("MittCFQ-SF" + sf).Sample
+		h := res.FindSeries("Hedged-SF" + sf).Sample
+		if m.Percentile(95) >= h.Percentile(95) {
+			t.Fatalf("SF%s: MittCFQ p95 %v not better than Hedged %v",
+				sf, m.Percentile(95), h.Percentile(95))
+		}
+	}
+}
+
+func TestFig3Distributions(t *testing.T) {
+	opt := QuickFig3Options()
+	res := Fig3(opt)
+	// Panel g: with §6 calibration, zero-busy dominates and P(k) decays.
+	if res.BusyPMF[0] < 0.4 {
+		t.Fatalf("P(0 busy) = %.2f; noise far too strong", res.BusyPMF[0])
+	}
+	if res.BusyPMF[1] <= res.BusyPMF[2] {
+		t.Fatalf("P(1)=%.3f should exceed P(2)=%.3f", res.BusyPMF[1], res.BusyPMF[2])
+	}
+	if res.BusyPMF[1] == 0 {
+		t.Fatal("no busy periods observed; noise inert")
+	}
+	// Panels a–c: disk noise-free band ~6-10ms, tails above it.
+	disk := res.FindSeries("disk").Sample
+	if med := disk.Percentile(50); med < 4*time.Millisecond || med > 12*time.Millisecond {
+		t.Fatalf("disk median %v outside 4–12ms", med)
+	}
+	if disk.Max() < 20*time.Millisecond {
+		t.Fatal("disk fleet shows no tail at all")
+	}
+	cache := res.FindSeries("cache").Sample
+	if med := cache.Percentile(50); med > 100*time.Microsecond {
+		t.Fatalf("cache median %v; should be a hit", med)
+	}
+	// Panels d–f: inter-arrivals recorded.
+	if res.InterArrival["disk"].N() == 0 {
+		t.Fatal("no noisy-period inter-arrivals recorded")
+	}
+}
+
+func TestFig4MittTracksNoNoise(t *testing.T) {
+	opt := QuickFig4Options()
+	opt.Duration = 5 * time.Second
+	res := Fig4(opt)
+	for _, panel := range []string{"CFQ-LowPrioNoise", "CFQ-HighPrioNoise", "SSD-WriteNoise", "Cache-Evict20"} {
+		base := res.FindSeries(panel + "/Base").Sample
+		mitt := res.FindSeries(panel + "/MittOS").Sample
+		if mitt.Percentile(95) >= base.Percentile(95) {
+			t.Fatalf("%s: MittOS p95 %v not better than Base %v",
+				panel, mitt.Percentile(95), base.Percentile(95))
+		}
+	}
+	// Panel (b): high-priority noise hurts Base from the median down.
+	baseHigh := res.FindSeries("CFQ-HighPrioNoise/Base").Sample
+	noNoise := res.FindSeries("CFQ-HighPrioNoise/NoNoise").Sample
+	if baseHigh.Percentile(50) < 2*noNoise.Percentile(50) {
+		t.Fatalf("high-prio noise should hurt Base at p50: %v vs %v",
+			baseHigh.Percentile(50), noNoise.Percentile(50))
+	}
+}
+
+func TestFig7MittCacheBeatsHedged(t *testing.T) {
+	res := Fig7(tinyOptions())
+	// With the §6-calibrated ~2% miss rate, SF=1 differences live in the
+	// p99 tail; fan-out amplifies the miss probability so SF=5 shows at
+	// p95 (§7.3's 1−(1−P)^N).
+	m1 := res.FindSeries("MittCache-SF1").Sample
+	h1 := res.FindSeries("Hedged-SF1").Sample
+	if m1.Mean() >= h1.Mean() {
+		t.Fatalf("SF1: MittCache mean %v not better than Hedged %v",
+			m1.Mean(), h1.Mean())
+	}
+	m5 := res.FindSeries("MittCache-SF5").Sample
+	h5 := res.FindSeries("Hedged-SF5").Sample
+	if m5.Percentile(95) >= h5.Percentile(95) {
+		t.Fatalf("SF5: MittCache p95 %v not better than Hedged %v",
+			m5.Percentile(95), h5.Percentile(95))
+	}
+}
+
+func TestFig8HedgedBackfires(t *testing.T) {
+	opt := QuickFig8Options()
+	opt.Duration = 5 * time.Second
+	res := Fig8(opt)
+	base := res.FindSeries("Base").Sample
+	hedged := res.FindSeries("Hedged").Sample
+	mitt := res.FindSeries("MittSSD").Sample
+	// §7.5's surprise: hedged is WORSE than base in the body (CPU
+	// contention from thread doubling).
+	if hedged.Percentile(90) <= base.Percentile(90) {
+		t.Fatalf("hedged p90 %v not worse than base %v; CPU pathology missing",
+			hedged.Percentile(90), base.Percentile(90))
+	}
+	if mitt.Percentile(95) >= hedged.Percentile(95) {
+		t.Fatalf("MittSSD p95 %v not better than Hedged %v",
+			mitt.Percentile(95), hedged.Percentile(95))
+	}
+}
+
+func TestFig9AccuracyBands(t *testing.T) {
+	opt := QuickFig9Options()
+	opt.TraceLen = 2 * time.Minute
+	opt.Window = 30 * time.Second
+	_, rows := Fig9(opt)
+	if len(rows) != 20 {
+		t.Fatalf("rows = %d, want 5 traces × 4 layers", len(rows))
+	}
+	var cfqWorst, ssdWorst, naiveBest float64
+	naiveBest = 1
+	for _, r := range rows {
+		switch r.Layer {
+		case "MittDL":
+			if r.Acc.InaccuracyRate() > 0.20 {
+				t.Fatalf("%s MittDL inaccuracy %.1f%%", r.Trace, 100*r.Acc.InaccuracyRate())
+			}
+		case "MittCFQ":
+			if r.Acc.InaccuracyRate() > cfqWorst {
+				cfqWorst = r.Acc.InaccuracyRate()
+			}
+			if r.Acc.MeanAbsDiff() > 5*time.Millisecond {
+				t.Fatalf("%s MittCFQ mean |diff| %v too large", r.Trace, r.Acc.MeanAbsDiff())
+			}
+		case "MittSSD":
+			if r.Acc.InaccuracyRate() > ssdWorst {
+				ssdWorst = r.Acc.InaccuracyRate()
+			}
+		case "Naive":
+			if r.Acc.InaccuracyRate() < naiveBest {
+				naiveBest = r.Acc.InaccuracyRate()
+			}
+		}
+		if r.Acc.Total() == 0 {
+			t.Fatalf("%s/%s verdicted nothing", r.Trace, r.Layer)
+		}
+	}
+	if cfqWorst > 0.15 {
+		t.Fatalf("MittCFQ worst inaccuracy %.1f%% too high", 100*cfqWorst)
+	}
+	if ssdWorst > 0.15 {
+		t.Fatalf("MittSSD worst inaccuracy %.1f%% too high", 100*ssdWorst)
+	}
+}
+
+func TestFig10ErrorSensitivity(t *testing.T) {
+	res := Fig10(tinyOptions())
+	noErr := res.FindSeries("NoError").Sample
+	fn100 := res.FindSeries("FalseNeg-100%").Sample
+	fp100 := res.FindSeries("FalsePos-100%").Sample
+	base := res.FindSeries("Base").Sample
+	// §7.7: 100% FN ≈ Base (MittOS absent); 100% FP floods with failovers
+	// and is far worse than NoError.
+	if fn100.Percentile(99) < noErr.Percentile(99) {
+		t.Fatalf("100%% FN p99 %v should not beat NoError %v",
+			fn100.Percentile(99), noErr.Percentile(99))
+	}
+	ratio := float64(fn100.Percentile(99)) / float64(base.Percentile(99))
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("100%% FN p99 should approximate Base: ratio %.2f", ratio)
+	}
+	if fp100.Mean() <= noErr.Mean() {
+		t.Fatalf("100%% FP mean %v should exceed NoError %v",
+			fp100.Mean(), noErr.Mean())
+	}
+}
+
+func TestFig12C3FailsUnderFastRotation(t *testing.T) {
+	res := Fig12(tinyOptions())
+	noBusy := res.FindSeries("C3/NoBusy").Sample
+	fast := res.FindSeries("C3/1B2F-1sec").Sample
+	slow := res.FindSeries("C3/1B2F-5sec").Sample
+	if fast.Percentile(99) <= noBusy.Percentile(99) {
+		t.Fatal("1-second rotation did not hurt C3 at all")
+	}
+	// C3 adapts at 5s rotation: its p99 must be much closer to NoBusy.
+	if slow.Percentile(99) >= fast.Percentile(99) {
+		t.Fatalf("C3 5s-rotation p99 %v not better than 1s %v",
+			slow.Percentile(99), fast.Percentile(99))
+	}
+}
+
+func TestFig13EBUSYTimelineTracksQueueDepth(t *testing.T) {
+	res := Fig13(tinyOptions())
+	base := res.FindSeries("Base").Sample
+	mitt := res.FindSeries("MittCFQ").Sample
+	if mitt.Percentile(95) >= base.Percentile(95) {
+		t.Fatalf("Riak+LevelDB: Mitt p95 %v not better than Base %v",
+			mitt.Percentile(95), base.Percentile(95))
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("no timeline samples")
+	}
+	// Rejections must only grow, and some must have happened.
+	var last uint64
+	for _, p := range res.Timeline {
+		if p.Rejected < last {
+			t.Fatal("rejected counter went backwards")
+		}
+		last = p.Rejected
+	}
+}
+
+func TestWritesUnaffectedByNoise(t *testing.T) {
+	res := Writes(tinyOptions())
+	nn := res.FindSeries("NoNoise").Sample
+	base := res.FindSeries("Base").Sample
+	// §7.8.6: "the Base and NoNoise latency lines are very close".
+	ratio := float64(base.Percentile(95)) / float64(nn.Percentile(95))
+	if ratio > 1.5 {
+		t.Fatalf("write p95 inflated %.2f× by noise; write buffering broken", ratio)
+	}
+}
+
+func TestAllInOneCoexistence(t *testing.T) {
+	opt := tinyOptions()
+	res := AllInOne(opt)
+	for _, user := range []string{"disk-user(20ms)", "ssd-user(1ms)", "cache-user(0.2ms)"} {
+		base := res.FindSeries(user + "/Base").Sample
+		mitt := res.FindSeries(user + "/Mitt").Sample
+		if mitt.Percentile(95) >= base.Percentile(95) {
+			t.Fatalf("%s: Mitt p95 %v not better than Base %v",
+				user, mitt.Percentile(95), base.Percentile(95))
+		}
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	res := Table1(tinyOptions())
+	out := res.String()
+	for _, want := range []string{"Cassandra", "MongoDB", "Voldemort"} {
+		if !contains(out, want) {
+			t.Fatalf("table1 output missing %s", want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFig11MixReductionPositive(t *testing.T) {
+	res := Fig11(tinyOptions())
+	mitt := res.FindSeries("MittCFQ").Sample
+	hedged := res.FindSeries("Hedged").Sample
+	if mitt.Percentile(95) >= hedged.Percentile(95) {
+		t.Fatalf("workload mix: Mitt p95 %v not better than Hedged %v",
+			mitt.Percentile(95), hedged.Percentile(95))
+	}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mittos/internal/cluster"
+	"mittos/internal/sim"
+	"mittos/internal/stats"
+)
+
+// Fig5 reproduces Figure 5: MittCFQ vs hedged requests, cloning, and
+// application timeout on a 20-node disk-based MongoDB-like cluster with
+// EC2-derived noise (§7.2). Panel (a) is the per-IO latency CDF; panel (b)
+// the %-latency-reduction bars of MittCFQ against each alternative.
+func Fig5(opt Options) *Result {
+	res := &Result{ID: "fig5", Title: "MittCFQ vs Hedged/Clone/AppTO with EC2 noise (§7.2)"}
+
+	// The p95 of the noisy baseline sets every knob, as in the paper.
+	p95, baseIO := baselineP95(opt, fleetDisk, true)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("deadline/timeout/hedge trigger = noisy-Base p95 = %v", p95))
+	res.Series = append(res.Series, Series{Name: "Base", Sample: baseIO})
+
+	samples := map[string]*stats.Sample{"Base": baseIO}
+	runs := []struct {
+		name string
+		mitt bool
+		mk   func(c *cluster.Cluster) cluster.Strategy
+	}{
+		{"AppTO", false, func(c *cluster.Cluster) cluster.Strategy {
+			return &cluster.TimeoutStrategy{C: c, TO: p95}
+		}},
+		{"Clone", false, func(c *cluster.Cluster) cluster.Strategy {
+			return &cluster.CloneStrategy{C: c, RNG: sim.NewRNG(opt.Seed, "clone")}
+		}},
+		{"Hedged", false, func(c *cluster.Cluster) cluster.Strategy {
+			return &cluster.HedgedStrategy{C: c, HedgeAfter: p95}
+		}},
+		{"MittCFQ", true, func(c *cluster.Cluster) cluster.Strategy {
+			return &cluster.MittOSStrategy{C: c, Deadline: p95}
+		}},
+	}
+	for _, r := range runs {
+		f := newFleet(opt, fleetDisk, r.mitt, r.name)
+		f.addEC2DiskNoise(opt)
+		io, _ := f.runClients(opt, r.mk(f.c), 1)
+		samples[r.name] = io
+		res.Series = append(res.Series, Series{Name: r.name, Sample: io})
+	}
+
+	res.Tables = append(res.Tables, reductionTable(samples["MittCFQ"], samples))
+	return res
+}
+
+// Fig6 reproduces Figure 6: tail amplified by scale. A user request fans
+// out to SF parallel gets and waits for all; MittCFQ and Hedged are
+// compared at SF ∈ {1, 2, 5, 10} (§7.3).
+func Fig6(opt Options) *Result {
+	res := &Result{ID: "fig6", Title: "Tail amplified by scale: MittCFQ vs Hedged (§7.3)"}
+	p95, _ := baselineP95(opt, fleetDisk, true)
+	res.Notes = append(res.Notes, fmt.Sprintf("deadline/hedge trigger = %v", p95))
+
+	tb := &stats.Table{Header: []string{"SF", "Avg", "p75", "p90", "p95", "p99"}}
+	for _, sf := range []int{1, 2, 5, 10} {
+		// A user request fans out to SF gets; spacing user requests SF×
+		// apart keeps the per-node IO load constant across panels (the
+		// paper's closed-loop YCSB clients self-limit the same way).
+		sopt := opt
+		sopt.Interval = opt.Interval * time.Duration(sf)
+
+		fh := newFleet(sopt, fleetDisk, false, fmt.Sprintf("hedged-sf%d", sf))
+		fh.addEC2DiskNoise(sopt)
+		_, hedgedUser := fh.runClients(sopt, &cluster.HedgedStrategy{C: fh.c, HedgeAfter: p95}, sf)
+
+		fm := newFleet(sopt, fleetDisk, true, fmt.Sprintf("mitt-sf%d", sf))
+		fm.addEC2DiskNoise(sopt)
+		_, mittUser := fm.runClients(sopt, &cluster.MittOSStrategy{C: fm.c, Deadline: p95}, sf)
+
+		res.Series = append(res.Series,
+			Series{Name: fmt.Sprintf("Hedged-SF%d", sf), Sample: hedgedUser},
+			Series{Name: fmt.Sprintf("MittCFQ-SF%d", sf), Sample: mittUser},
+		)
+		row := stats.ReductionRow(mittUser, hedgedUser)
+		cells := []string{fmt.Sprintf("%d", sf)}
+		for _, v := range row {
+			cells = append(cells, stats.FormatPct(v))
+		}
+		tb.AddRow(cells...)
+	}
+	res.Tables = append(res.Tables, tb)
+	res.Notes = append(res.Notes,
+		"table: % latency reduction of MittCFQ vs Hedged per scale factor")
+	return res
+}
+
+// Fig10 reproduces Figure 10: tail sensitivity to injected prediction error
+// on the Fig5 setup. Panel (a) injects false negatives (suppressed EBUSY),
+// panel (b) false positives (spurious EBUSY), at E ∈ {20%, 60%, 100%}
+// (§7.7).
+func Fig10(opt Options) *Result {
+	res := &Result{ID: "fig10", Title: "Tail sensitivity to prediction error (§7.7)"}
+	p95, baseIO := baselineP95(opt, fleetDisk, true)
+	res.Notes = append(res.Notes, fmt.Sprintf("deadline = %v", p95))
+	res.Series = append(res.Series, Series{Name: "Base", Sample: baseIO})
+
+	run := func(name string, fn, fp float64) {
+		f := newFleet(opt, fleetDisk, true, name)
+		f.addEC2DiskNoise(opt)
+		for _, n := range f.c.Nodes {
+			n.MittCFQ.SetErrorInjection(fn, fp, sim.NewRNG(opt.Seed, "inj-"+name))
+		}
+		io, _ := f.runClients(opt, &cluster.MittOSStrategy{C: f.c, Deadline: p95}, 1)
+		res.Series = append(res.Series, Series{Name: name, Sample: io})
+	}
+	run("NoError", 0, 0)
+	for _, e := range []float64{0.2, 0.6, 1.0} {
+		run(fmt.Sprintf("FalseNeg-%d%%", int(e*100)), e, 0)
+	}
+	for _, e := range []float64{0.2, 0.6, 1.0} {
+		run(fmt.Sprintf("FalsePos-%d%%", int(e*100)), 0, e)
+	}
+	return res
+}
+
+// deadlineFor exposes the measured baseline p95 for reuse by callers that
+// need the paper's deadline value without rerunning Fig5.
+func deadlineFor(opt Options, kind fleetKind, withNoise bool) time.Duration {
+	p95, _ := baselineP95(opt, kind, withNoise)
+	return p95
+}

@@ -1,0 +1,406 @@
+package iosched
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mittos/internal/blockio"
+	"mittos/internal/disk"
+	"mittos/internal/sim"
+)
+
+// slowDevice is a depth-1 Downstream with fixed service time, giving tests
+// full control over ordering.
+type slowDevice struct {
+	eng     *sim.Engine
+	svc     time.Duration
+	busy    bool
+	waiting []*blockio.Request
+	order   []*blockio.Request
+	hook    func()
+}
+
+func (d *slowDevice) Submit(req *blockio.Request) {
+	if d.busy {
+		panic("slowDevice: submit while busy (scheduler ignored backpressure)")
+	}
+	d.busy = true
+	d.order = append(d.order, req)
+	req.DispatchTime = d.eng.Now()
+	d.eng.Schedule(d.svc, func() {
+		d.busy = false
+		req.CompleteTime = d.eng.Now()
+		if req.OnComplete != nil {
+			req.OnComplete(req)
+		}
+		if d.hook != nil {
+			d.hook()
+		}
+	})
+}
+
+func (d *slowDevice) InFlight() int {
+	if d.busy {
+		return 1
+	}
+	return 0
+}
+func (d *slowDevice) CanAccept() bool          { return !d.busy }
+func (d *slowDevice) SetSlotFreeHook(f func()) { d.hook = f }
+
+func mkReq(proc int, class blockio.Class, prio int, off int64) *blockio.Request {
+	r := &blockio.Request{Op: blockio.Read, Offset: off, Size: 4096,
+		Proc: proc, Class: class, Priority: prio}
+	r.OnComplete = func(*blockio.Request) {}
+	return r
+}
+
+func TestNoopFIFOOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := &slowDevice{eng: eng, svc: time.Millisecond}
+	n := NewNoop(eng, dev)
+	for _, off := range []int64{30, 10, 20} {
+		n.Submit(mkReq(1, blockio.ClassBestEffort, 4, off))
+	}
+	eng.Run()
+	want := []int64{30, 10, 20}
+	for i, r := range dev.order {
+		if r.Offset != want[i] {
+			t.Fatalf("noop dispatched %v, want FIFO %v", offsets(dev.order), want)
+		}
+	}
+}
+
+func TestNoopRespectsBackpressure(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := &slowDevice{eng: eng, svc: time.Millisecond}
+	n := NewNoop(eng, dev)
+	for i := 0; i < 5; i++ {
+		n.Submit(mkReq(1, blockio.ClassBestEffort, 4, int64(i)*4096))
+	}
+	if n.QueueLen() != 4 {
+		t.Fatalf("dispatch queue = %d, want 4 held back", n.QueueLen())
+	}
+	eng.Run()
+	if len(dev.order) != 5 {
+		t.Fatalf("served %d of 5", len(dev.order))
+	}
+	if n.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after drain", n.InFlight())
+	}
+}
+
+func TestNoopDropsCanceled(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := &slowDevice{eng: eng, svc: time.Millisecond}
+	n := NewNoop(eng, dev)
+	n.Submit(mkReq(1, blockio.ClassBestEffort, 4, 0))
+	victim := mkReq(1, blockio.ClassBestEffort, 4, 4096)
+	n.Submit(victim)
+	victim.Cancel()
+	eng.Run()
+	if len(dev.order) != 1 {
+		t.Fatalf("device saw %d IOs, want canceled one dropped", len(dev.order))
+	}
+}
+
+func TestCFQRealTimePreemptsBestEffort(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := &slowDevice{eng: eng, svc: time.Millisecond}
+	c := NewCFQ(eng, DefaultCFQConfig(), dev)
+	// BE process floods; an RT IO arrives later but must be served before
+	// the remaining BE queue.
+	for i := 0; i < 5; i++ {
+		c.Submit(mkReq(1, blockio.ClassBestEffort, 4, int64(i)*4096))
+	}
+	rt := mkReq(2, blockio.ClassRealTime, 0, 999*4096)
+	c.Submit(rt)
+	eng.Run()
+	pos := -1
+	for i, r := range dev.order {
+		if r == rt {
+			pos = i
+		}
+	}
+	if pos == -1 || pos > 1 {
+		t.Fatalf("RT IO served at position %d of %v", pos, offsets(dev.order))
+	}
+}
+
+func TestCFQFairnessAcrossProcesses(t *testing.T) {
+	// Two BE processes with equal priority submitting equal loads should
+	// interleave (round robin), not starve one another.
+	eng := sim.NewEngine()
+	dev := &slowDevice{eng: eng, svc: 2 * time.Millisecond}
+	cfg := CFQConfig{SliceBase: 4 * time.Millisecond, SliceStep: time.Millisecond}
+	c := NewCFQ(eng, cfg, dev)
+	for i := 0; i < 6; i++ {
+		c.Submit(mkReq(1, blockio.ClassBestEffort, 4, int64(i)*4096))
+		c.Submit(mkReq(2, blockio.ClassBestEffort, 4, int64(1000+i)*4096))
+	}
+	eng.Run()
+	// Proc 2 must not wait for all of proc 1's IOs.
+	firstP2 := -1
+	for i, r := range dev.order {
+		if r.Proc == 2 {
+			firstP2 = i
+			break
+		}
+	}
+	if firstP2 == -1 || firstP2 >= 6 {
+		t.Fatalf("proc 2 first served at %d; RR fairness broken", firstP2)
+	}
+}
+
+func TestCFQHigherPriorityGetsLongerSlice(t *testing.T) {
+	cfg := DefaultCFQConfig()
+	if cfg.Slice(0) <= cfg.Slice(7) {
+		t.Fatalf("slice(0)=%v should exceed slice(7)=%v", cfg.Slice(0), cfg.Slice(7))
+	}
+	if cfg.Slice(-5) != cfg.Slice(0) || cfg.Slice(99) != cfg.Slice(7) {
+		t.Fatal("priority clamping broken")
+	}
+}
+
+func TestCFQElevatorOrderWithinProcess(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := &slowDevice{eng: eng, svc: time.Millisecond}
+	c := NewCFQ(eng, DefaultCFQConfig(), dev)
+	// One process, shuffled offsets: dispatch should be ascending after
+	// the first (which departs immediately on an idle device).
+	for _, off := range []int64{500, 100, 300, 200, 400} {
+		c.Submit(mkReq(1, blockio.ClassBestEffort, 4, off*4096))
+	}
+	eng.Run()
+	got := offsets(dev.order)
+	// First IO (500) dispatched before the rest arrived; the remaining
+	// four wrap the elevator and come out ascending.
+	want := []int64{500 * 4096, 100 * 4096, 200 * 4096, 300 * 4096, 400 * 4096}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCFQRemoveQueuedRequest(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := &slowDevice{eng: eng, svc: time.Millisecond}
+	c := NewCFQ(eng, DefaultCFQConfig(), dev)
+	c.Submit(mkReq(1, blockio.ClassBestEffort, 4, 0))
+	victim := mkReq(1, blockio.ClassBestEffort, 4, 4096)
+	c.Submit(victim)
+	if !c.Remove(victim) {
+		t.Fatal("Remove failed for a queued request")
+	}
+	if c.Remove(victim) {
+		t.Fatal("double Remove succeeded")
+	}
+	eng.Run()
+	if len(dev.order) != 1 {
+		t.Fatalf("device saw %d IOs after removal", len(dev.order))
+	}
+}
+
+func TestCFQRemoveDispatchedFails(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := &slowDevice{eng: eng, svc: time.Millisecond}
+	c := NewCFQ(eng, DefaultCFQConfig(), dev)
+	r := mkReq(1, blockio.ClassBestEffort, 4, 0)
+	c.Submit(r) // goes straight to the idle device
+	if c.Remove(r) {
+		t.Fatal("removed an IO already at the device; §7.8.2 says device queue is invisible")
+	}
+	eng.Run()
+}
+
+func TestCFQProcsAheadOf(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := &slowDevice{eng: eng, svc: 50 * time.Millisecond}
+	c := NewCFQ(eng, DefaultCFQConfig(), dev)
+	c.Submit(mkReq(1, blockio.ClassBestEffort, 4, 0))     // active (dispatched), tree empty
+	c.Submit(mkReq(1, blockio.ClassBestEffort, 4, 4096))  // queued under proc 1
+	c.Submit(mkReq(2, blockio.ClassRealTime, 0, 8192))    // queued RT
+	c.Submit(mkReq(3, blockio.ClassBestEffort, 4, 12288)) // queued BE
+
+	ahead := c.ProcsAheadOf(4, blockio.ClassBestEffort)
+	if !containsInt(ahead, 2) {
+		t.Fatalf("RT proc 2 not ahead of new BE proc: %v", ahead)
+	}
+	if !containsInt(ahead, 3) {
+		t.Fatalf("earlier BE proc 3 not ahead of new BE proc: %v", ahead)
+	}
+	// A new RT proc only waits for other RT nodes (and the active node).
+	aheadRT := c.ProcsAheadOf(5, blockio.ClassRealTime)
+	if containsInt(aheadRT, 3) {
+		t.Fatalf("BE proc ahead of RT proc: %v", aheadRT)
+	}
+	eng.Run()
+}
+
+func TestCFQPendingOfAndEachQueued(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := &slowDevice{eng: eng, svc: 50 * time.Millisecond}
+	c := NewCFQ(eng, DefaultCFQConfig(), dev)
+	for i := 0; i < 4; i++ {
+		c.Submit(mkReq(7, blockio.ClassBestEffort, 4, int64(i)*4096))
+	}
+	// One went to the device; three remain queued.
+	if got := c.PendingOf(7); got != 3 {
+		t.Fatalf("PendingOf = %d, want 3", got)
+	}
+	count := 0
+	c.EachQueued(7, func(*blockio.Request) bool { count++; return true })
+	if count != 3 {
+		t.Fatalf("EachQueued visited %d", count)
+	}
+	if c.PendingOf(99) != 0 {
+		t.Fatal("unknown proc should have 0 pending")
+	}
+	eng.Run()
+}
+
+func TestCFQOverDiskIntegration(t *testing.T) {
+	// End-to-end: CFQ over the real disk model with two tenants; all IOs
+	// complete and the scheduler drains.
+	eng := sim.NewEngine()
+	d := disk.New(eng, disk.DefaultConfig(), sim.NewRNG(3, "cfq-disk"))
+	c := NewCFQ(eng, DefaultCFQConfig(), d)
+	rng := sim.NewRNG(4, "offsets")
+	done := 0
+	for i := 0; i < 60; i++ {
+		r := mkReq(i%3, blockio.ClassBestEffort, 4, rng.Int63n(900<<30))
+		r.OnComplete = func(*blockio.Request) { done++ }
+		c.Submit(r)
+	}
+	eng.Run()
+	if done != 60 {
+		t.Fatalf("completed %d of 60", done)
+	}
+	if c.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after drain", c.InFlight())
+	}
+	if c.Dispatched() != 60 {
+		t.Fatalf("Dispatched = %d", c.Dispatched())
+	}
+}
+
+func TestCFQIdleClassServedLast(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := &slowDevice{eng: eng, svc: time.Millisecond}
+	c := NewCFQ(eng, DefaultCFQConfig(), dev)
+	c.Submit(mkReq(1, blockio.ClassBestEffort, 4, 0)) // occupies device
+	idle := mkReq(2, blockio.ClassIdle, 7, 4096)
+	c.Submit(idle)
+	c.Submit(mkReq(3, blockio.ClassBestEffort, 4, 8192))
+	c.Submit(mkReq(4, blockio.ClassRealTime, 0, 12288))
+	eng.Run()
+	if dev.order[len(dev.order)-1] != idle {
+		t.Fatalf("idle-class IO not served last: %v", offsets(dev.order))
+	}
+}
+
+func offsets(rs []*blockio.Request) []int64 {
+	out := make([]int64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Offset
+	}
+	return out
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPropertyCFQConservation(t *testing.T) {
+	// Work conservation: for any submission pattern (procs, classes,
+	// priorities, offsets), every non-cancelled request completes exactly
+	// once, no request completes twice, and the queues drain to zero.
+	// (A cancel landing after dispatch legitimately still completes —
+	// device queues are beyond revocation, §7.8.2.)
+	f := func(ops []uint32) bool {
+		eng := sim.NewEngine()
+		dev := &slowDevice{eng: eng, svc: time.Millisecond}
+		c := NewCFQ(eng, DefaultCFQConfig(), dev)
+		type tracked struct {
+			req       *blockio.Request
+			cancelled bool
+			done      int
+		}
+		var reqs []*tracked
+		for _, op := range ops {
+			tr := &tracked{}
+			r := &blockio.Request{Op: blockio.Read, Offset: int64(op%1024) << 20,
+				Size: 4096, Proc: int(op % 5), Class: blockio.Class(op / 5 % 3),
+				Priority: int(op / 16 % 8)}
+			r.OnComplete = func(*blockio.Request) { tr.done++ }
+			tr.req = r
+			c.Submit(r)
+			if op%7 == 0 {
+				r.Cancel()
+				tr.cancelled = true
+			}
+			reqs = append(reqs, tr)
+		}
+		eng.Run()
+		for _, tr := range reqs {
+			if !tr.cancelled && tr.done != 1 {
+				return false
+			}
+			if tr.done > 1 {
+				return false
+			}
+		}
+		return c.InFlight() == 0 && c.QueueLen() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDeadlineConservation(t *testing.T) {
+	f := func(ops []uint32) bool {
+		eng := sim.NewEngine()
+		dev := &slowDevice{eng: eng, svc: time.Millisecond}
+		d := NewDeadline(eng, DefaultDeadlineConfig(), dev)
+		type tracked struct {
+			cancelled bool
+			done      int
+		}
+		var reqs []*tracked
+		for _, op := range ops {
+			kind := blockio.Read
+			if op%3 == 0 {
+				kind = blockio.Write
+			}
+			tr := &tracked{}
+			r := &blockio.Request{Op: kind, Offset: int64(op%1024) << 20, Size: 4096, Proc: 1}
+			r.OnComplete = func(*blockio.Request) { tr.done++ }
+			d.Submit(r)
+			if op%11 == 0 {
+				r.Cancel()
+				tr.cancelled = true
+			}
+			reqs = append(reqs, tr)
+		}
+		eng.Run()
+		for _, tr := range reqs {
+			if !tr.cancelled && tr.done != 1 {
+				return false
+			}
+			if tr.done > 1 {
+				return false
+			}
+		}
+		return d.InFlight() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,375 @@
+// Package kv implements a LevelDB-shaped single-node storage engine: a
+// memtable absorbing writes, a write-ahead log, immutable sorted runs laid
+// out on the device address space with in-memory block indexes, and
+// background compaction. Reads descend memtable → runs and issue exactly
+// one block IO through the SLO-aware storage stack — the engine the paper
+// modifies to call MittOS system calls ("we first modify LevelDB to use
+// MITTOS system calls, and then the returned EBUSY is propagated to Riak",
+// §5).
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mittos/internal/blockio"
+	"mittos/internal/core"
+	"mittos/internal/sim"
+)
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = errors.New("kv: key not found")
+
+// Config shapes the engine.
+type Config struct {
+	// BlockSize is the on-device record block (4KB: a 1KB value plus
+	// key/metadata padding rounds to one page).
+	BlockSize int
+	// MemtableCap is the number of entries buffered before a flush.
+	MemtableCap int
+	// MaxRuns triggers compaction when exceeded.
+	MaxRuns int
+	// RegionBase/RegionSize bound the device range the engine owns.
+	RegionBase int64
+	RegionSize int64
+	// MemLatency is the cost of a memtable hit.
+	MemLatency time.Duration
+	// Proc/Class/Priority are the engine's IO identity.
+	Proc     int
+	Class    blockio.Class
+	Priority int
+	// Mmap selects the mmap read path (§5: "MongoDB by default uses
+	// mmap() to read data file"): gets call addrcheck() before touching
+	// the mapped block and page-fault on misses, instead of read().
+	// Requires a MittCache target (set via UseMmap).
+	Mmap bool
+}
+
+// DefaultConfig sizes the engine for a region of the given extent.
+func DefaultConfig(base, size int64) Config {
+	return Config{
+		BlockSize:   4096,
+		MemtableCap: 4096,
+		MaxRuns:     6,
+		RegionBase:  base,
+		RegionSize:  size,
+		MemLatency:  5 * time.Microsecond,
+		Proc:        1,
+		Class:       blockio.ClassBestEffort,
+		Priority:    4,
+	}
+}
+
+// run is one immutable sorted table: an in-memory index from key to block
+// slot within the run's device extent. stride is the slot spacing: flushed
+// runs pack blocks contiguously (stride == block size), while the preloaded
+// base run spreads them across the whole region the way a long-lived,
+// fragmented database does — giving random gets realistic seek distances.
+type run struct {
+	base   int64
+	stride int64
+	index  map[int64]int32
+}
+
+func (r *run) offsetOf(key int64, blockSize int) (int64, bool) {
+	slot, ok := r.index[key]
+	if !ok {
+		return 0, false
+	}
+	stride := r.stride
+	if stride < int64(blockSize) {
+		stride = int64(blockSize)
+	}
+	return r.base + int64(slot)*stride, true
+}
+
+// Store is the engine.
+type Store struct {
+	eng    *sim.Engine
+	cfg    Config
+	target core.Target
+	mcache *core.MittCache // non-nil in mmap mode
+	ids    *blockio.IDGen
+
+	memtable map[int64]bool
+	runs     []*run // newest first
+	alloc    int64  // bump allocator within the region
+	walPos   int64
+	// versions tracks each key's write count — the replication timestamp
+	// consistency-aware failover compares (§8.3). Keys absent from the
+	// map are at their preloaded base version 0.
+	versions map[int64]uint64
+
+	gets, puts, flushes, compactions uint64
+}
+
+// New builds a store over an SLO-aware storage target. The IDGen is shared
+// with the rest of the node so request IDs stay unique.
+func New(eng *sim.Engine, cfg Config, target core.Target, ids *blockio.IDGen) *Store {
+	if cfg.BlockSize <= 0 || cfg.RegionSize <= 0 {
+		panic("kv: invalid config")
+	}
+	if cfg.MemtableCap <= 0 {
+		cfg.MemtableCap = 1024
+	}
+	if cfg.MaxRuns <= 1 {
+		cfg.MaxRuns = 2
+	}
+	return &Store{
+		eng: eng, cfg: cfg, target: target, ids: ids,
+		memtable: make(map[int64]bool),
+		versions: make(map[int64]uint64),
+		alloc:    cfg.RegionBase,
+	}
+}
+
+// UseMmap switches the store to the mmap read path over the given
+// MittCache: every Get does an addrcheck() page-table walk first; EBUSY
+// from the walk propagates to the caller exactly as a read() rejection
+// would, and misses the application is willing to wait for page-fault
+// through the cache.
+func (s *Store) UseMmap(mc *core.MittCache) {
+	s.cfg.Mmap = true
+	s.mcache = mc
+}
+
+// Mmap reports whether the store reads via the mmap path.
+func (s *Store) Mmap() bool { return s.cfg.Mmap && s.mcache != nil }
+
+// Stats returns operation counters.
+func (s *Store) Stats() (gets, puts, flushes, compactions uint64) {
+	return s.gets, s.puts, s.flushes, s.compactions
+}
+
+// Runs returns the current number of immutable runs.
+func (s *Store) Runs() int { return len(s.runs) }
+
+// Preload installs keys [0, n) as one base run without consuming virtual
+// time — the bulk-load phase every experiment starts from.
+func (s *Store) Preload(n int64) {
+	if n <= 0 {
+		return
+	}
+	need := n * int64(s.cfg.BlockSize)
+	if need > s.cfg.RegionSize {
+		panic(fmt.Sprintf("kv: preload of %d keys exceeds region (%d > %d bytes)",
+			n, need, s.cfg.RegionSize))
+	}
+	// Spread the base run across the usable region (minus the WAL tail)
+	// so random gets seek like they would on a real aged database.
+	const walReserve = 1024 * 4096 * 2
+	usable := s.cfg.RegionSize - walReserve
+	stride := (usable / n) &^ 4095
+	if stride < int64(s.cfg.BlockSize) {
+		stride = int64(s.cfg.BlockSize)
+	}
+	r := &run{base: s.cfg.RegionBase, stride: stride, index: make(map[int64]int32, n)}
+	for k := int64(0); k < n; k++ {
+		r.index[k] = int32(k)
+	}
+	s.runs = append([]*run{r}, s.runs...)
+	if s.alloc < s.cfg.RegionBase+stride*n {
+		s.alloc = s.cfg.RegionBase + stride*n
+	}
+}
+
+// Version reports a key's current write count (0 for preloaded-only keys).
+func (s *Store) Version(key int64) uint64 { return s.versions[key] }
+
+// ApplyReplicated records that a replicated write at the given version has
+// been applied locally (replication apply is asynchronous in
+// eventually-consistent stores; only newer versions win). The simulation
+// does not carry payload bytes, so only the version metadata moves — reads
+// of the key still exercise the normal storage path.
+func (s *Store) ApplyReplicated(key int64, version uint64) {
+	if version > s.versions[key] {
+		s.versions[key] = version
+	}
+}
+
+// KeyOffset reports the device offset currently serving a key (tests and
+// the cache-warming setup use it).
+func (s *Store) KeyOffset(key int64) (int64, bool) {
+	for _, r := range s.runs {
+		if off, ok := r.offsetOf(key, s.cfg.BlockSize); ok {
+			return off, true
+		}
+	}
+	return 0, false
+}
+
+func (s *Store) allocExtent(size int64) int64 {
+	if s.alloc+size > s.cfg.RegionBase+s.cfg.RegionSize {
+		// Wrap: immutable runs are replaced wholesale by compaction, so
+		// reusing the front of the region models space reclamation.
+		s.alloc = s.cfg.RegionBase
+	}
+	base := s.alloc
+	s.alloc += size
+	return base
+}
+
+// Get reads a key with an optional deadline SLO. onDone receives nil,
+// blockio.ErrBusy (possibly wrapped) on MittOS rejection, or ErrNotFound.
+// The returned request (nil for memtable hits and misses) lets callers
+// revoke the IO while it is still queued — the hook tied requests need.
+func (s *Store) Get(key int64, deadline time.Duration, onDone func(error)) *blockio.Request {
+	s.gets++
+	if s.memtable[key] {
+		s.eng.Schedule(s.cfg.MemLatency, func() { onDone(nil) })
+		return nil
+	}
+	for _, r := range s.runs {
+		off, ok := r.offsetOf(key, s.cfg.BlockSize)
+		if !ok {
+			continue
+		}
+		if s.Mmap() {
+			// The §5 MongoDB path: addrcheck(&myDB[i], size, deadline)
+			// before dereferencing the mapped pointer.
+			if err := s.mcache.AddrCheck(off, s.cfg.BlockSize, deadline); err != nil {
+				s.eng.Schedule(s.cfg.MemLatency, func() { onDone(err) })
+				return nil
+			}
+			// Resident (or a tolerable fault): touch the mapping. The
+			// fault path carries no deadline — the check already decided.
+			req := &blockio.Request{
+				ID: s.ids.Next(), Op: blockio.Read, Offset: off, Size: s.cfg.BlockSize,
+				Proc: s.cfg.Proc, Class: s.cfg.Class, Priority: s.cfg.Priority,
+			}
+			s.mcache.SubmitSLO(req, onDone)
+			return req
+		}
+		req := &blockio.Request{
+			ID: s.ids.Next(), Op: blockio.Read, Offset: off, Size: s.cfg.BlockSize,
+			Proc: s.cfg.Proc, Class: s.cfg.Class, Priority: s.cfg.Priority,
+			Deadline: deadline,
+		}
+		s.target.SubmitSLO(req, onDone)
+		return req
+	}
+	s.eng.Schedule(s.cfg.MemLatency, func() { onDone(ErrNotFound) })
+	return nil
+}
+
+// Put inserts/overwrites a key. User-facing latency is the memtable insert:
+// "writes are first buffered to memory and flushed in the background, thus
+// user-facing write latencies are not directly affected by drive-level
+// contention" (§7.8.6). The WAL append proceeds asynchronously (group
+// commit) and the memtable flush when it fills.
+func (s *Store) Put(key int64, onDone func(error)) {
+	s.puts++
+	s.memtable[key] = true
+	s.versions[key]++
+	wal := &blockio.Request{
+		ID: s.ids.Next(), Op: blockio.Write,
+		Offset: s.walOffset(), Size: s.cfg.BlockSize,
+		Proc: s.cfg.Proc, Class: s.cfg.Class, Priority: s.cfg.Priority,
+	}
+	s.target.SubmitSLO(wal, func(error) {})
+	if len(s.memtable) >= s.cfg.MemtableCap {
+		s.flush()
+	}
+	s.eng.Schedule(s.cfg.MemLatency, func() { onDone(nil) })
+}
+
+// walOffset cycles a small log extent at the region tail.
+func (s *Store) walOffset() int64 {
+	const walBlocks = 1024
+	off := s.cfg.RegionBase + s.cfg.RegionSize - int64(walBlocks*s.cfg.BlockSize) +
+		(s.walPos%walBlocks)*int64(s.cfg.BlockSize)
+	s.walPos++
+	return off
+}
+
+// flush turns the memtable into a new run, writing its blocks sequentially
+// in the background at the engine's priority.
+func (s *Store) flush() {
+	s.flushes++
+	n := int64(len(s.memtable))
+	r := &run{
+		base:   s.allocExtent(n * int64(s.cfg.BlockSize)),
+		stride: int64(s.cfg.BlockSize),
+		index:  make(map[int64]int32, n),
+	}
+	slot := int32(0)
+	for k := range s.memtable {
+		r.index[k] = slot
+		slot++
+	}
+	s.memtable = make(map[int64]bool)
+	s.runs = append([]*run{r}, s.runs...)
+	// Background sequential writes, fire-and-forget: chunked 256KB IOs.
+	const chunk = 256 << 10
+	bytes := n * int64(s.cfg.BlockSize)
+	for off := int64(0); off < bytes; off += chunk {
+		size := chunk
+		if off+int64(size) > bytes {
+			size = int(bytes - off)
+		}
+		w := &blockio.Request{
+			ID: s.ids.Next(), Op: blockio.Write, Offset: r.base + off, Size: size,
+			Proc: s.cfg.Proc, Class: blockio.ClassIdle, Priority: 7,
+		}
+		s.target.SubmitSLO(w, func(error) {})
+	}
+	if len(s.runs) > s.cfg.MaxRuns {
+		s.compact()
+	}
+}
+
+// compact merges all runs into one, reading and rewriting sequentially at
+// idle priority — the background churn that makes LSM stores noisy
+// neighbors to themselves.
+func (s *Store) compact() {
+	s.compactions++
+	merged := make(map[int64]int32)
+	total := int64(0)
+	for i := len(s.runs) - 1; i >= 0; i-- { // oldest first; newer overwrite
+		for k := range s.runs[i].index {
+			if _, seen := merged[k]; !seen {
+				total++
+			}
+			merged[k] = 0
+		}
+	}
+	r := &run{base: s.allocExtent(total * int64(s.cfg.BlockSize)),
+		stride: int64(s.cfg.BlockSize), index: merged}
+	slot := int32(0)
+	for k := range merged {
+		merged[k] = slot
+		slot++
+	}
+	old := s.runs
+	s.runs = []*run{r}
+	// Background IO: one large sequential read per old run + sequential
+	// writes of the merged run.
+	const chunk = 1 << 20
+	for _, o := range old {
+		bytes := int64(len(o.index)) * int64(s.cfg.BlockSize)
+		for off := int64(0); off < bytes; off += chunk {
+			size := chunk
+			if off+int64(size) > bytes {
+				size = int(bytes - off)
+			}
+			rd := &blockio.Request{
+				ID: s.ids.Next(), Op: blockio.Read, Offset: o.base + off, Size: size,
+				Proc: s.cfg.Proc, Class: blockio.ClassIdle, Priority: 7,
+			}
+			s.target.SubmitSLO(rd, func(error) {})
+		}
+	}
+	bytes := total * int64(s.cfg.BlockSize)
+	for off := int64(0); off < bytes; off += chunk {
+		size := chunk
+		if off+int64(size) > bytes {
+			size = int(bytes - off)
+		}
+		w := &blockio.Request{
+			ID: s.ids.Next(), Op: blockio.Write, Offset: r.base + off, Size: size,
+			Proc: s.cfg.Proc, Class: blockio.ClassIdle, Priority: 7,
+		}
+		s.target.SubmitSLO(w, func(error) {})
+	}
+}

@@ -1,0 +1,273 @@
+package kv
+
+import (
+	"testing"
+	"time"
+
+	"mittos/internal/blockio"
+	"mittos/internal/core"
+	"mittos/internal/disk"
+	"mittos/internal/iosched"
+	"mittos/internal/oscache"
+	"mittos/internal/sim"
+)
+
+type kvRig struct {
+	eng   *sim.Engine
+	disk  *disk.Disk
+	store *Store
+	mitt  *core.MittNoop
+}
+
+func newKVRig(t *testing.T) *kvRig {
+	t.Helper()
+	eng := sim.NewEngine()
+	dcfg := disk.DefaultConfig()
+	d := disk.New(eng, dcfg, sim.NewRNG(51, t.Name()))
+	nop := iosched.NewNoop(eng, d)
+	prof := disk.ProfileTwin(dcfg, 42, disk.ProfilerOptions{Buckets: 16, Tries: 4, ProbeSize: 4096})
+	mitt := core.NewMittNoop(eng, nop, prof, core.DefaultOptions())
+	var ids blockio.IDGen
+	store := New(eng, DefaultConfig(0, 100<<30), mitt, &ids)
+	return &kvRig{eng: eng, disk: d, store: store, mitt: mitt}
+}
+
+func TestGetPreloadedKey(t *testing.T) {
+	r := newKVRig(t)
+	r.store.Preload(10000)
+	var err error = blockio.ErrBusy
+	r.store.Get(1234, 50*time.Millisecond, func(e error) { err = e })
+	r.eng.Run()
+	if err != nil {
+		t.Fatalf("Get = %v", err)
+	}
+	if r.disk.Served() != 1 {
+		t.Fatalf("disk served %d IOs, want exactly 1 per get", r.disk.Served())
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	r := newKVRig(t)
+	r.store.Preload(100)
+	var err error
+	r.store.Get(9999, 0, func(e error) { err = e })
+	r.eng.Run()
+	if err != ErrNotFound {
+		t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPutThenGetServedFromMemtable(t *testing.T) {
+	r := newKVRig(t)
+	r.store.Preload(100)
+	done := false
+	r.store.Put(5, func(e error) {
+		if e != nil {
+			t.Fatalf("Put = %v", e)
+		}
+		done = true
+	})
+	r.eng.Run()
+	if !done {
+		t.Fatal("Put never completed")
+	}
+	served := r.disk.Served()
+	var err error = blockio.ErrBusy
+	r.store.Get(5, 0, func(e error) { err = e })
+	r.eng.Run()
+	if err != nil {
+		t.Fatalf("Get = %v", err)
+	}
+	if r.disk.Served() != served {
+		t.Fatal("memtable hit went to disk")
+	}
+}
+
+func TestPutIsFastUnderReadNoise(t *testing.T) {
+	// §7.8.6: writes are WAL appends absorbed by NVRAM; read contention
+	// must not inflate them.
+	r := newKVRig(t)
+	r.store.Preload(10000)
+	rng := sim.NewRNG(3, "noise")
+	// Saturate the disk with reads.
+	for i := 0; i < 20; i++ {
+		r.store.Get(rng.Int63n(10000), 0, func(error) {})
+	}
+	start := r.eng.Now()
+	var lat time.Duration
+	r.store.Put(3, func(error) { lat = r.eng.Now().Sub(start) })
+	r.eng.Run()
+	if lat > time.Millisecond {
+		t.Fatalf("Put latency %v under read noise; want NVRAM-fast", lat)
+	}
+}
+
+func TestGetWithDeadlineGetsEBUSYUnderContention(t *testing.T) {
+	r := newKVRig(t)
+	r.store.Preload(1 << 20) // 4GB of blocks: room for real seeks
+	rng := sim.NewRNG(4, "noise")
+	// Noise concentrated at the low end of the key space; the probe lands
+	// at the far end, so SSTF cannot jump it ahead of the pack.
+	for i := 0; i < 15; i++ {
+		r.store.Get(rng.Int63n(1000), 0, func(error) {})
+	}
+	var err error
+	r.store.Get(1<<20-1, 5*time.Millisecond, func(e error) { err = e })
+	r.eng.Run()
+	if !core.IsBusy(err) {
+		t.Fatalf("contended deadline Get = %v, want EBUSY", err)
+	}
+}
+
+func TestFlushCreatesRunsAndGetStillWorks(t *testing.T) {
+	r := newKVRig(t)
+	cfg := DefaultConfig(0, 100<<30)
+	cfg.MemtableCap = 64
+	var ids blockio.IDGen
+	r.store = New(r.eng, cfg, r.mitt, &ids)
+	r.store.Preload(1000)
+	for k := int64(2000); k < 2200; k++ {
+		r.store.Put(k, func(error) {})
+		r.eng.Run()
+	}
+	_, _, flushes, _ := r.store.Stats()
+	if flushes == 0 {
+		t.Fatal("no flush after 200 puts with cap 64")
+	}
+	if r.store.Runs() < 2 {
+		t.Fatalf("runs = %d", r.store.Runs())
+	}
+	// A flushed (non-memtable) key must still be readable via a run.
+	var err error = blockio.ErrBusy
+	r.store.Get(2000, 0, func(e error) { err = e })
+	r.eng.Run()
+	if err != nil {
+		t.Fatalf("Get(flushed) = %v", err)
+	}
+}
+
+func TestCompactionBoundsRuns(t *testing.T) {
+	r := newKVRig(t)
+	cfg := DefaultConfig(0, 100<<30)
+	cfg.MemtableCap = 32
+	cfg.MaxRuns = 3
+	var ids blockio.IDGen
+	r.store = New(r.eng, cfg, r.mitt, &ids)
+	for k := int64(0); k < 1000; k++ {
+		r.store.Put(k%200, func(error) {}) // overwrites force merge work
+		r.eng.Run()
+	}
+	_, _, _, compactions := r.store.Stats()
+	if compactions == 0 {
+		t.Fatal("no compaction happened")
+	}
+	if r.store.Runs() > cfg.MaxRuns {
+		t.Fatalf("runs = %d > MaxRuns %d after compaction", r.store.Runs(), cfg.MaxRuns)
+	}
+	// All live keys must remain readable.
+	for _, k := range []int64{0, 100, 199} {
+		var err error = blockio.ErrBusy
+		r.store.Get(k, 0, func(e error) { err = e })
+		r.eng.Run()
+		if err != nil {
+			t.Fatalf("Get(%d) after compaction = %v", k, err)
+		}
+	}
+}
+
+func TestKeyOffsetStable(t *testing.T) {
+	r := newKVRig(t)
+	r.store.Preload(1000)
+	off1, ok1 := r.store.KeyOffset(42)
+	off2, ok2 := r.store.KeyOffset(42)
+	if !ok1 || !ok2 || off1 != off2 {
+		t.Fatal("KeyOffset unstable")
+	}
+	if _, ok := r.store.KeyOffset(99999); ok {
+		t.Fatal("KeyOffset found a missing key")
+	}
+}
+
+func TestPreloadTooBigPanics(t *testing.T) {
+	r := newKVRig(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.store.Preload(1 << 40)
+}
+
+func TestMmapPathAddrCheckEBUSY(t *testing.T) {
+	// §5's MongoDB integration: gets through the mmap path call
+	// addrcheck() first; a swapped-out block with an in-memory deadline
+	// bounces with EBUSY and keeps swapping in behind the error.
+	eng := sim.NewEngine()
+	dcfg := disk.DefaultConfig()
+	d := disk.New(eng, dcfg, sim.NewRNG(91, "mmap-disk"))
+	nop := iosched.NewNoop(eng, d)
+	prof := disk.ProfileTwin(dcfg, 42, disk.ProfilerOptions{Buckets: 16, Tries: 4, ProbeSize: 4096})
+	lower := core.NewMittNoop(eng, nop, prof, core.DefaultOptions())
+	ccfg := oscache.DefaultConfig()
+	ccfg.CapacityPages = 100000
+	cache := oscache.New(eng, ccfg, nop)
+	mc := core.NewMittCache(eng, cache, lower, dcfg.SeqCost, core.DefaultOptions())
+
+	var ids blockio.IDGen
+	store := New(eng, DefaultConfig(0, 100<<30), mc, &ids)
+	store.UseMmap(mc)
+	store.Preload(1000)
+	if !store.Mmap() {
+		t.Fatal("mmap mode not active")
+	}
+
+	// Warm key 7's block, then evict it (memory contention).
+	off, _ := store.KeyOffset(7)
+	cache.Warm(off, 4096)
+	var err error = blockio.ErrBusy
+	store.Get(7, 200*time.Microsecond, func(e error) { err = e })
+	eng.Run()
+	if err != nil {
+		t.Fatalf("resident mmap get: %v", err)
+	}
+	cache.EvictRange(off, 4096)
+	store.Get(7, 200*time.Microsecond, func(e error) { err = e })
+	eng.Run()
+	if !core.IsBusy(err) {
+		t.Fatalf("evicted mmap get: %v, want EBUSY from addrcheck", err)
+	}
+	// Background swap-in repopulated the page: the retry hits.
+	store.Get(7, 200*time.Microsecond, func(e error) { err = e })
+	eng.Run()
+	if err != nil {
+		t.Fatalf("post-swap-in mmap get: %v", err)
+	}
+}
+
+func TestMmapPathColdFaultTolerated(t *testing.T) {
+	// A cold block with a disk-tolerant deadline page-faults through.
+	eng := sim.NewEngine()
+	dcfg := disk.DefaultConfig()
+	d := disk.New(eng, dcfg, sim.NewRNG(92, "mmap-disk"))
+	nop := iosched.NewNoop(eng, d)
+	prof := disk.ProfileTwin(dcfg, 42, disk.ProfilerOptions{Buckets: 16, Tries: 4, ProbeSize: 4096})
+	lower := core.NewMittNoop(eng, nop, prof, core.DefaultOptions())
+	ccfg := oscache.DefaultConfig()
+	cache := oscache.New(eng, ccfg, nop)
+	mc := core.NewMittCache(eng, cache, lower, dcfg.SeqCost, core.DefaultOptions())
+	var ids blockio.IDGen
+	store := New(eng, DefaultConfig(0, 100<<30), mc, &ids)
+	store.UseMmap(mc)
+	store.Preload(1000)
+	var err error = blockio.ErrBusy
+	store.Get(3, 50*time.Millisecond, func(e error) { err = e })
+	eng.Run()
+	if err != nil {
+		t.Fatalf("cold mmap fault: %v", err)
+	}
+	// And it is now resident.
+	off, _ := store.KeyOffset(3)
+	if !cache.Resident(off, 4096) {
+		t.Fatal("fault did not populate the mapping")
+	}
+}

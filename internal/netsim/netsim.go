@@ -1,0 +1,74 @@
+// Package netsim models the datacenter network between NoSQL clients and
+// replica nodes: a one-hop latency with small jitter. The paper measures
+// this hop at ~0.3ms on EC2 and Emulab (§3.3) and MittOS's entire advantage
+// rests on the failover costing one such hop instead of a multi-millisecond
+// wait.
+package netsim
+
+import (
+	"time"
+
+	"mittos/internal/sim"
+)
+
+// Config holds the network parameters.
+type Config struct {
+	// HopLatency is the one-way client↔node latency.
+	HopLatency time.Duration
+	// JitterStd is the standard deviation of Gaussian per-message jitter.
+	JitterStd time.Duration
+}
+
+// DefaultConfig matches the paper's testbed: 0.3ms per hop with a little
+// jitter. (RAMCloud-style Infiniband would be 10µs, §3.3.)
+func DefaultConfig() Config {
+	return Config{HopLatency: 300 * time.Microsecond, JitterStd: 20 * time.Microsecond}
+}
+
+// Network delivers messages between endpoints in virtual time.
+type Network struct {
+	eng *sim.Engine
+	cfg Config
+	rng *sim.RNG
+
+	sent uint64
+}
+
+// New builds a network on the engine.
+func New(eng *sim.Engine, cfg Config, rng *sim.RNG) *Network {
+	if cfg.HopLatency < 0 {
+		panic("netsim: negative hop latency")
+	}
+	return &Network{eng: eng, cfg: cfg, rng: rng}
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Sent returns the number of messages delivered so far.
+func (n *Network) Sent() uint64 { return n.sent }
+
+// HopCost samples one hop's latency.
+func (n *Network) HopCost() time.Duration {
+	d := n.cfg.HopLatency
+	if n.cfg.JitterStd > 0 && n.rng != nil {
+		d = n.rng.NormalDuration(d, n.cfg.JitterStd)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Send delivers fn after one network hop.
+func (n *Network) Send(fn func()) {
+	n.sent++
+	n.eng.Schedule(n.HopCost(), fn)
+}
+
+// RoundTrip delivers fn after two hops (request + response), the cost of
+// asking a remote node that answers immediately.
+func (n *Network) RoundTrip(fn func()) {
+	n.sent += 2
+	n.eng.Schedule(n.HopCost()+n.HopCost(), fn)
+}

@@ -1,0 +1,58 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"mittos/internal/sim"
+)
+
+func TestSendTakesOneHop(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, Config{HopLatency: 300 * time.Microsecond}, nil)
+	var at sim.Time
+	n.Send(func() { at = eng.Now() })
+	eng.Run()
+	if at != sim.Time(300*time.Microsecond) {
+		t.Fatalf("delivered at %v, want 300µs", at)
+	}
+	if n.Sent() != 1 {
+		t.Fatalf("Sent = %d", n.Sent())
+	}
+}
+
+func TestRoundTripTakesTwoHops(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, Config{HopLatency: 300 * time.Microsecond}, nil)
+	var at sim.Time
+	n.RoundTrip(func() { at = eng.Now() })
+	eng.Run()
+	if at != sim.Time(600*time.Microsecond) {
+		t.Fatalf("delivered at %v, want 600µs", at)
+	}
+}
+
+func TestJitterVariesButStaysPositive(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, DefaultConfig(), sim.NewRNG(1, "net"))
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 100; i++ {
+		d := n.HopCost()
+		if d < 0 {
+			t.Fatalf("negative hop cost %v", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 10 {
+		t.Fatal("jitter produced nearly constant hops")
+	}
+}
+
+func TestNegativeLatencyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(sim.NewEngine(), Config{HopLatency: -time.Second}, nil)
+}

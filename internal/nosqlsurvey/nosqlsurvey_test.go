@@ -1,0 +1,110 @@
+package nosqlsurvey
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mittos/internal/blockio"
+	"mittos/internal/cluster"
+	"mittos/internal/core"
+	"mittos/internal/disk"
+	"mittos/internal/netsim"
+	"mittos/internal/noise"
+	"mittos/internal/sim"
+)
+
+var testProfile = disk.ProfileTwin(disk.DefaultConfig(), 42,
+	disk.ProfilerOptions{Buckets: 16, Tries: 4, ProbeSize: 4096})
+
+func buildSurveyCluster(seed int64) (*cluster.Cluster, func(), func()) {
+	eng := sim.NewEngine()
+	net := netsim.New(eng, netsim.DefaultConfig(), sim.NewRNG(seed, "net"))
+	tmpl := cluster.NodeConfig{
+		Device:      cluster.DeviceDisk,
+		DiskConfig:  disk.DefaultConfig(),
+		UseCFQ:      true,
+		MittOptions: core.DefaultOptions(),
+		Keys:        20000,
+		DiskProfile: testProfile,
+	}
+	c := cluster.NewCluster(eng, net, 3, 3, tmpl, sim.NewRNG(seed, "nodes"))
+	sinks := []blockio.Device{
+		c.Nodes[0].NoiseSink(), c.Nodes[1].NoiseSink(), c.Nodes[2].NoiseSink(),
+	}
+	rot := noise.NewRotating(eng, sinks, time.Second, 4, 1<<20, 500<<30,
+		sim.NewRNG(seed, "rot"))
+	return c, rot.Start, rot.Stop
+}
+
+func TestTable1Specs(t *testing.T) {
+	specs := Systems()
+	if len(specs) != 6 {
+		t.Fatalf("systems = %d, want 6", len(specs))
+	}
+	// §2's findings encoded in the specs:
+	noDefault, noFailover, clones, hedges := 0, 0, 0, 0
+	for _, s := range specs {
+		if !s.DefaultTT {
+			noDefault++
+		}
+		if !s.FailoverOnTimeout {
+			noFailover++
+		}
+		if s.Clone {
+			clones++
+		}
+		if s.HedgedOrTied {
+			hedges++
+		}
+		if s.DefaultTO < 5*time.Second {
+			t.Fatalf("%s default TO %v; the paper reports tens of seconds", s.Name, s.DefaultTO)
+		}
+	}
+	if noDefault != 6 {
+		t.Fatal("all six systems lack default tail tolerance")
+	}
+	if noFailover != 3 {
+		t.Fatalf("three systems must not failover on timeout, got %d", noFailover)
+	}
+	if clones != 2 {
+		t.Fatalf("exactly two systems clone, got %d", clones)
+	}
+	if hedges != 0 {
+		t.Fatalf("no system hedges, got %d", hedges)
+	}
+}
+
+func TestSurveyMeasuresNoTT(t *testing.T) {
+	opt := DefaultRunOptions()
+	opt.Requests = 400 // keep the test quick; the bench runs full scale
+	results := Run(opt, buildSurveyCluster)
+	if len(results) != 6 {
+		t.Fatalf("rows = %d", len(results))
+	}
+	for _, r := range results {
+		// Default config: coarse timeouts never fire, so rotating
+		// contention shows up in the p99.
+		if r.DefaultP99 < 20*time.Millisecond {
+			t.Fatalf("%s default p99 = %v; contention invisible", r.Spec.Name, r.DefaultP99)
+		}
+		if r.Spec.FailoverOnTimeout || r.Spec.Snitch {
+			if r.TunedErrors != 0 {
+				t.Fatalf("%s surfaced %d errors despite failover support",
+					r.Spec.Name, r.TunedErrors)
+			}
+		} else if r.TunedErrors == 0 {
+			t.Fatalf("%s should surface read errors with a 100ms timeout", r.Spec.Name)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	results := []Result{{Spec: Systems()[0], DefaultP99: 42 * time.Millisecond}}
+	out := Table(results)
+	for _, want := range []string{"Cassandra", "12s", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Every component of the MittOS reproduction — disks, SSDs, the page cache,
+// IO schedulers, the network, noisy neighbors, and NoSQL clients — runs in
+// virtual time on top of this engine. Virtual time makes every experiment
+// exactly reproducible: the same seed yields the same latency tables, which
+// is essential both for the test suite and for regenerating the paper's
+// figures without testbed noise.
+//
+// The engine is intentionally single-threaded. Events execute in
+// (time, sequence) order; ties in time break by scheduling order, so the
+// simulation is a total order and there are no data races by construction.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It deliberately mirrors time.Duration's resolution so model
+// constants can be written as time.Duration literals.
+type Time int64
+
+// Duration aliases time.Duration for readability at call sites.
+type Duration = time.Duration
+
+// Common durations used by device models.
+const (
+	Microsecond = Time(time.Microsecond)
+	Millisecond = Time(time.Millisecond)
+	Second      = Time(time.Second)
+)
+
+// MaxTime is the largest representable virtual time.
+const MaxTime = Time(math.MaxInt64)
+
+// Add returns t shifted by d. It saturates at MaxTime.
+func (t Time) Add(d Duration) Time {
+	s := t + Time(d)
+	if d > 0 && s < t {
+		return MaxTime
+	}
+	return s
+}
+
+// Sub returns the duration t−u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Duration converts the absolute time into a duration since time zero.
+func (t Time) Duration() Duration { return Duration(t) }
+
+// String formats the time as a duration since simulation start.
+func (t Time) String() string { return Duration(t).String() }
+
+// Event is a scheduled callback. Events are returned by the Schedule family
+// so callers can cancel them (e.g. a hedged request cancelling its timeout
+// when the first reply wins).
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	index     int // heap index; -1 once popped or cancelled
+	cancelled bool
+}
+
+// Time reports when the event fires.
+func (e *Event) Time() Time { return e.at }
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. The event stays in the heap and is
+// discarded when popped; this keeps Cancel O(1).
+func (e *Event) Cancel() {
+	e.cancelled = true
+	e.fn = nil
+}
+
+// Engine is the event loop. The zero value is not usable; use NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	nLive  int // scheduled, not-yet-cancelled events
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine positioned at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far (diagnostics).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled, not-cancelled events.
+func (e *Engine) Pending() int { return e.nLive }
+
+// Schedule runs fn after delay d. A negative delay is treated as zero: the
+// event fires "now", after any events already scheduled for the current
+// instant (FIFO within a timestamp).
+func (e *Engine) Schedule(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// At runs fn at absolute virtual time t. Scheduling in the past is clamped
+// to the present.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	e.nLive++
+	return ev
+}
+
+// Step executes the next event, if any, and reports whether one ran.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.nLive--
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		fn := ev.fn
+		ev.fn = nil
+		e.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Halt is called.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps ≤ t, then sets the clock to t
+// (if the clock has not already passed it). Events scheduled exactly at t
+// do run.
+func (e *Engine) RunUntil(t Time) {
+	e.halted = false
+	for !e.halted {
+		ev := e.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Halt stops Run/RunUntil after the currently executing event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		if e.queue[0].cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0]
+	}
+	return nil
+}
+
+// Sleep returns a channel-free helper used in tests: it schedules fn after d
+// and returns the event; semantic sugar for Schedule.
+func (e *Engine) Sleep(d Duration, fn func()) *Event { return e.Schedule(d, fn) }
+
+// String summarizes engine state.
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine{now=%v pending=%d fired=%d}", e.now, e.nLive, e.fired)
+}
+
+// eventHeap orders by (time, seq).
+type eventHeap []*Event
+
+// Len, Less, Swap, Push, and Pop implement container/heap.Interface.
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Ticker repeatedly invokes fn every period until Stop is called. It is the
+// virtual-time analogue of time.Ticker and is used by probe loops and noise
+// generators.
+type Ticker struct {
+	e      *Engine
+	period Duration
+	fn     func()
+	ev     *Event
+	stop   bool
+}
+
+// NewTicker schedules fn every period, with the first firing after period.
+// A non-positive period panics: a zero-period ticker would live-lock the
+// event loop.
+func (e *Engine) NewTicker(period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: NewTicker requires a positive period")
+	}
+	t := &Ticker{e: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.e.Schedule(t.period, func() {
+		if t.stop {
+			return
+		}
+		t.fn()
+		if !t.stop {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stop = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}

@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameTimestampFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("FIFO violated at %d: %v", i, got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Schedule(7*time.Millisecond, func() { at = e.Now() })
+	e.Run()
+	if at != Time(7*time.Millisecond) {
+		t.Fatalf("event saw clock %v, want 7ms", at)
+	}
+	if e.Now() != Time(7*time.Millisecond) {
+		t.Fatalf("final clock %v, want 7ms", e.Now())
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(5*time.Millisecond, func() {
+		e.Schedule(-time.Second, func() { ran = true })
+		if e.Pending() != 1 {
+			t.Fatalf("pending = %d", e.Pending())
+		}
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("negative-delay event never ran")
+	}
+	if e.Now() != Time(5*time.Millisecond) {
+		t.Fatalf("clock went backwards: %v", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.Schedule(time.Millisecond, func() { ran = true })
+	ev.Cancel()
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	// Cancelling twice is a no-op.
+	ev.Cancel()
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	var ev *Event
+	e.Schedule(time.Millisecond, func() { ev.Cancel() })
+	ev = e.Schedule(2*time.Millisecond, func() { ran = true })
+	e.Run()
+	if ran {
+		t.Fatal("event cancelled mid-run still ran")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Duration
+	for _, d := range []Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(Time(2 * time.Millisecond))
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 1ms and 2ms", fired)
+	}
+	if e.Now() != Time(2*time.Millisecond) {
+		t.Fatalf("clock %v, want 2ms", e.Now())
+	}
+	e.Run()
+	if len(fired) != 3 {
+		t.Fatalf("remaining event did not run: %v", fired)
+	}
+}
+
+func TestRunForAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	e.RunFor(time.Second)
+	if e.Now() != Time(time.Second) {
+		t.Fatalf("clock %v, want 1s", e.Now())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 (halt should stop the loop)", count)
+	}
+	e.Run()
+	if count != 10 {
+		t.Fatalf("count = %d, want 10 after resuming", count)
+	}
+}
+
+func TestEventsScheduledFromEvents(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(time.Microsecond, recurse)
+		}
+	}
+	e.Schedule(0, recurse)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if e.Now() != Time(99*time.Microsecond) {
+		t.Fatalf("clock %v, want 99µs", e.Now())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	var tk *Ticker
+	tk = e.NewTicker(10*time.Millisecond, func() {
+		ticks++
+		if ticks == 5 {
+			tk.Stop()
+		}
+	})
+	e.RunUntil(Time(time.Second))
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero-period ticker")
+		}
+	}()
+	NewEngine().NewTicker(0, func() {})
+}
+
+func TestAtNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil callback")
+		}
+	}()
+	NewEngine().At(0, nil)
+}
+
+func TestTimeAddSaturates(t *testing.T) {
+	if MaxTime.Add(time.Hour) != MaxTime {
+		t.Fatal("Add should saturate at MaxTime")
+	}
+}
+
+func TestPropertyEventOrderMatchesSort(t *testing.T) {
+	// Property: for any set of delays, events fire in nondecreasing
+	// timestamp order, and equal timestamps preserve insertion order.
+	f := func(delaysRaw []uint16) bool {
+		e := NewEngine()
+		type firing struct {
+			at  Time
+			idx int
+		}
+		var fired []firing
+		for i, d := range delaysRaw {
+			i, d := i, d
+			e.Schedule(Duration(d)*time.Microsecond, func() {
+				fired = append(fired, firing{e.Now(), i})
+			})
+		}
+		e.Run()
+		if len(fired) != len(delaysRaw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].idx < fired[i-1].idx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyClockMonotonic(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			e.Schedule(Duration(d)*time.Microsecond, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	e := NewEngine()
+	if e.String() == "" {
+		t.Fatal("String() empty")
+	}
+}

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a := NewRNG(42, "disk")
+	b := NewRNG(42, "disk")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same (seed,name) produced different streams")
+		}
+	}
+}
+
+func TestRNGNameSeparation(t *testing.T) {
+	a := NewRNG(42, "disk")
+	b := NewRNG(42, "ssd")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("different names produced identical streams")
+	}
+}
+
+func TestRNGFork(t *testing.T) {
+	a := NewRNG(1, "root").Fork("child")
+	b := NewRNG(1, "root").Fork("child")
+	if a.Float64() != b.Float64() {
+		t.Fatal("forked streams not deterministic")
+	}
+}
+
+func TestDurationBounds(t *testing.T) {
+	g := NewRNG(7, "t")
+	for i := 0; i < 1000; i++ {
+		d := g.Duration(time.Millisecond)
+		if d < 0 || d >= time.Millisecond {
+			t.Fatalf("Duration out of range: %v", d)
+		}
+	}
+	if g.Duration(0) != 0 {
+		t.Fatal("Duration(0) should be 0")
+	}
+	if g.Duration(-time.Second) != 0 {
+		t.Fatal("Duration(negative) should be 0")
+	}
+}
+
+func TestDurationRange(t *testing.T) {
+	g := NewRNG(7, "t")
+	lo, hi := 2*time.Millisecond, 5*time.Millisecond
+	for i := 0; i < 1000; i++ {
+		d := g.DurationRange(lo, hi)
+		if d < lo || d >= hi {
+			t.Fatalf("DurationRange out of range: %v", d)
+		}
+	}
+	if g.DurationRange(hi, lo) != hi {
+		t.Fatal("inverted range should return lo")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := NewRNG(11, "exp")
+	mean := 10 * time.Millisecond
+	var sum time.Duration
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += g.Exp(mean)
+	}
+	got := float64(sum) / float64(n)
+	want := float64(mean)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("Exp mean = %v, want ≈ %v", time.Duration(got), mean)
+	}
+	if g.Exp(0) != 0 {
+		t.Fatal("Exp(0) should be 0")
+	}
+}
+
+func TestNormalDurationNonNegative(t *testing.T) {
+	g := NewRNG(3, "norm")
+	for i := 0; i < 1000; i++ {
+		if d := g.NormalDuration(time.Millisecond, 5*time.Millisecond); d < 0 {
+			t.Fatalf("NormalDuration returned negative %v", d)
+		}
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	g := NewRNG(5, "pareto")
+	for i := 0; i < 5000; i++ {
+		v := g.Pareto(1.0, 1.5, 100.0)
+		if v < 1.0 || v > 100.0 {
+			t.Fatalf("Pareto out of [1,100]: %v", v)
+		}
+	}
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	// With alpha=1.1 a nontrivial fraction of mass should exceed 5×xm.
+	g := NewRNG(5, "pareto2")
+	over := 0
+	n := 10000
+	for i := 0; i < n; i++ {
+		if g.Pareto(1.0, 1.1, 1000.0) > 5.0 {
+			over++
+		}
+	}
+	frac := float64(over) / float64(n)
+	if frac < 0.05 || frac > 0.5 {
+		t.Fatalf("tail fraction %v implausible for Pareto(1.1)", frac)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	g := NewRNG(9, "bool")
+	n, hits := 20000, 0
+	for i := 0; i < n; i++ {
+		if g.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("Bool(0.3) hit rate %v", frac)
+	}
+	if g.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !g.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+}
+
+func TestZipfInRangeProperty(t *testing.T) {
+	g := NewRNG(13, "zipf")
+	z := NewZipf(g, 1000, 0.99)
+	f := func(_ uint8) bool {
+		v := z.Next()
+		return v >= 0 && v < 1000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewRNG(13, "zipfskew")
+	z := NewZipf(g, 10000, 0.99)
+	n := 50000
+	hot := 0
+	for i := 0; i < n; i++ {
+		if z.Next() < 100 { // top 1% of keys
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(n)
+	// YCSB zipfian(0.99): top 1% of a 10k key space draws well over a third
+	// of accesses.
+	if frac < 0.3 {
+		t.Fatalf("top-1%% key fraction = %v, want skewed (>0.3)", frac)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	g := NewRNG(1, "z")
+	for _, fn := range []func(){
+		func() { NewZipf(g, 0, 0.99) },
+		func() { NewZipf(g, 10, 0) },
+		func() { NewZipf(g, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestParetoAlphaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for alpha<=0")
+		}
+	}()
+	NewRNG(1, "p").Pareto(1, 0, 10)
+}

@@ -1,0 +1,143 @@
+package smr
+
+import (
+	"testing"
+	"time"
+
+	"mittos/internal/blockio"
+	"mittos/internal/sim"
+)
+
+func newTestDrive(t *testing.T) (*sim.Engine, *Drive) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.CacheBytes = 64 << 20 // small cache so cleaning triggers quickly
+	return eng, New(eng, cfg, sim.NewRNG(1, t.Name()))
+}
+
+func write(d *Drive, off int64, size int) {
+	req := &blockio.Request{Op: blockio.Write, Offset: off, Size: size}
+	req.OnComplete = func(*blockio.Request) {}
+	d.Submit(req)
+}
+
+func TestWritesFillCache(t *testing.T) {
+	eng, d := newTestDrive(t)
+	write(d, 0, 1<<20)
+	eng.Run()
+	if d.CacheFill() <= 0 {
+		t.Fatal("cache fill did not grow")
+	}
+	if d.Cleaning() {
+		t.Fatal("cleaning started below the high watermark")
+	}
+}
+
+func TestCleaningTriggersAtHighWater(t *testing.T) {
+	eng, d := newTestDrive(t)
+	events := 0
+	d.SetCleanHook(func(ev CleanEvent) {
+		events++
+		if ev.BusyFor <= 0 {
+			t.Fatal("zero-duration clean")
+		}
+	})
+	// Fill past the 75% watermark with writes spread over many bands.
+	rng := sim.NewRNG(2, "offsets")
+	for d.CacheFill() < d.Config().CleanHighWater {
+		write(d, rng.Int63n(900<<30)&^4095, 1<<20)
+		eng.RunFor(time.Millisecond)
+	}
+	eng.RunFor(time.Minute)
+	if events == 0 {
+		t.Fatal("no band cleans happened")
+	}
+	if d.CacheFill() > d.Config().CleanHighWater {
+		t.Fatalf("cache still at %.0f%% after cleaning", 100*d.CacheFill())
+	}
+	if d.Cleans() != uint64(events) {
+		t.Fatalf("Cleans()=%d, events=%d", d.Cleans(), events)
+	}
+}
+
+func TestCleanStartHookPredictsDuration(t *testing.T) {
+	eng, d := newTestDrive(t)
+	var predicted time.Duration
+	var actual time.Duration
+	d.SetCleanStartHook(func(_ int64, est time.Duration) {
+		if predicted == 0 {
+			predicted = est
+		}
+	})
+	d.SetCleanHook(func(ev CleanEvent) {
+		if actual == 0 {
+			actual = ev.BusyFor
+		}
+	})
+	rng := sim.NewRNG(2, "offsets")
+	for d.CacheFill() < d.Config().CleanHighWater {
+		write(d, rng.Int63n(900<<30)&^4095, 1<<20)
+		eng.RunFor(time.Millisecond)
+	}
+	eng.RunFor(time.Minute)
+	if predicted == 0 || actual == 0 {
+		t.Fatal("hooks did not fire")
+	}
+	ratio := float64(actual) / float64(predicted)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("clean estimate %v vs actual %v (ratio %.2f)", predicted, actual, ratio)
+	}
+}
+
+func TestReadsStallBehindCleaning(t *testing.T) {
+	eng, d := newTestDrive(t)
+	cleanStarted := false
+	var stalled time.Duration
+	d.SetCleanStartHook(func(int64, time.Duration) {
+		if cleanStarted {
+			return
+		}
+		cleanStarted = true
+		// Issue a read right as the clean starts; it queues behind the
+		// band read-modify-write.
+		req := &blockio.Request{Op: blockio.Read, Offset: 500 << 30, Size: 4096,
+			SubmitTime: eng.Now()}
+		req.OnComplete = func(r *blockio.Request) { stalled = r.Latency() }
+		d.Submit(req)
+	})
+	rng := sim.NewRNG(2, "offsets")
+	for !cleanStarted {
+		write(d, rng.Int63n(900<<30)&^4095, 1<<20)
+		eng.RunFor(5 * time.Millisecond)
+	}
+	eng.RunFor(time.Minute)
+	if stalled < 100*time.Millisecond {
+		t.Fatalf("read during band clean took %v; §8.2 expects a long stall", stalled)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.BandBytes = 0 },
+		func(c *Config) { c.CleanLowWater = 0.9 },
+	} {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			New(sim.NewEngine(), cfg, sim.NewRNG(1, "x"))
+		}()
+	}
+}
+
+func TestDriveString(t *testing.T) {
+	_, d := newTestDrive(t)
+	if d.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,562 @@
+// Package ssd models a host-managed (OpenChannel / LightNVM) SSD: parallel
+// channels and chips with independent queues, page-granular reads, MLC
+// lower/upper-page program-time asymmetry, block erases, and a page-mapped
+// FTL with greedy garbage collection (§4.3 of the paper).
+//
+// Contention structure is what matters for MittSSD: a read is a two-stage
+// operation (chip cell read, then channel transfer), chips queue
+// independently, and the channel is shared by all chips behind it. The
+// paper's constants are used throughout: 100µs unloaded page read, 60µs
+// channel queueing delay per outstanding same-channel IO, 1ms/2ms
+// lower/upper-page programs, 6ms erases.
+package ssd
+
+import (
+	"fmt"
+	"time"
+
+	"mittos/internal/blockio"
+	"mittos/internal/sim"
+)
+
+// Config holds SSD geometry and timing.
+type Config struct {
+	Channels        int
+	ChipsPerChannel int
+	BlocksPerChip   int
+	PagesPerBlock   int
+	PageSize        int
+
+	// ChipReadTime is the cell-array read portion of a page read.
+	ChipReadTime time.Duration
+	// ChannelXferTime is the channel-transfer portion of a page read (and
+	// the inbound transfer of a page program). ChipReadTime +
+	// ChannelXferTime = the paper's 100µs unloaded page read.
+	ChannelXferTime time.Duration
+	// LowerPageProgram / UpperPageProgram are MLC program times (§4.3:
+	// lower bits 1ms, upper bits 2ms).
+	LowerPageProgram time.Duration
+	UpperPageProgram time.Duration
+	// EraseTime is the block-erase time (6ms).
+	EraseTime time.Duration
+
+	// GCFreeBlockLow triggers garbage collection on a chip when its free
+	// block count drops to this threshold.
+	GCFreeBlockLow int
+	// OverprovisionBlocks per chip are invisible to the logical space.
+	OverprovisionBlocks int
+	// WearLevelEvery triggers a wear-leveling episode on a chip after
+	// this many erases (0 disables): the most-worn block's content moves
+	// to a fresh block and both are erased — §4.3's "occasional
+	// wear-leveling page movements will introduce a significant noise".
+	WearLevelEvery int
+}
+
+// DefaultConfig mirrors the paper's OpenChannel SSD: 16 channels, 128 chips,
+// 16KB pages, 512 pages/block. Block count is sized for a small-but-real
+// logical space; experiments that need more override it.
+func DefaultConfig() Config {
+	return Config{
+		Channels:            16,
+		ChipsPerChannel:     8,
+		BlocksPerChip:       64,
+		PagesPerBlock:       512,
+		PageSize:            16 << 10,
+		ChipReadTime:        40 * time.Microsecond,
+		ChannelXferTime:     60 * time.Microsecond,
+		LowerPageProgram:    time.Millisecond,
+		UpperPageProgram:    2 * time.Millisecond,
+		EraseTime:           6 * time.Millisecond,
+		GCFreeBlockLow:      2,
+		OverprovisionBlocks: 8,
+		WearLevelEvery:      64,
+	}
+}
+
+// TotalChips returns the chip count.
+func (c Config) TotalChips() int { return c.Channels * c.ChipsPerChannel }
+
+// LogicalBytes returns the exposed logical capacity (excluding
+// overprovisioning).
+func (c Config) LogicalBytes() int64 {
+	user := c.BlocksPerChip - c.OverprovisionBlocks
+	return int64(c.TotalChips()) * int64(user) * int64(c.PagesPerBlock) * int64(c.PageSize)
+}
+
+// ProgramPattern returns the per-physical-page program time for a block,
+// reproducing the paper's profiled "11111121121122...2112" lower/upper
+// layout: a 10-page prefix, a repeating "1122" body, and a "2112" suffix.
+func (c Config) ProgramPattern() []time.Duration {
+	n := c.PagesPerBlock
+	pat := make([]time.Duration, n)
+	lower, upper := c.LowerPageProgram, c.UpperPageProgram
+	prefix := []byte("1111112112")
+	suffix := []byte("2112")
+	body := []byte("1122")
+	for i := 0; i < n; i++ {
+		var ch byte
+		switch {
+		case i < len(prefix):
+			ch = prefix[i]
+		case i >= n-len(suffix):
+			ch = suffix[i-(n-len(suffix))]
+		default:
+			ch = body[(i-len(prefix))%len(body)]
+		}
+		if ch == '1' {
+			pat[i] = lower
+		} else {
+			pat[i] = upper
+		}
+	}
+	return pat
+}
+
+// GCEvent describes one garbage-collection or wear-leveling episode on a
+// chip, reported to the host (host-managed flash: the OS initiates both and
+// therefore knows about them — the white-box visibility MittSSD relies on).
+type GCEvent struct {
+	Chip       int
+	MovedPages int
+	// BusyFor is the chip time consumed: page moves + erases.
+	BusyFor time.Duration
+	// WearLevel marks a wear-leveling episode rather than space reclaim.
+	WearLevel bool
+}
+
+// SSD is the device model. It implements blockio.Device.
+type SSD struct {
+	eng *sim.Engine
+	cfg Config
+
+	chips    []*chip
+	channels []*channel
+	pattern  []time.Duration
+
+	inflight int
+	reads    uint64
+	writes   uint64
+	erases   uint64
+	wlMoves  uint64
+
+	erasesSinceWL []int
+
+	gcHook     func(GCEvent)
+	submitHook func(*blockio.Request)
+}
+
+// server is a serial FIFO executor (a chip die or a channel bus). Each task
+// receives a release function and must call it when the server may proceed
+// to the next task.
+type server struct {
+	queue   []func(release func())
+	running bool
+}
+
+func (sv *server) run(task func(release func())) {
+	sv.queue = append(sv.queue, task)
+	sv.kick()
+}
+
+func (sv *server) kick() {
+	if sv.running || len(sv.queue) == 0 {
+		return
+	}
+	sv.running = true
+	t := sv.queue[0]
+	sv.queue = sv.queue[1:]
+	t(func() {
+		sv.running = false
+		sv.kick()
+	})
+}
+
+func (sv *server) occupancy() int {
+	n := len(sv.queue)
+	if sv.running {
+		n++
+	}
+	return n
+}
+
+// chip is one flash die: a serial server with its own queue plus FTL state.
+type chip struct {
+	id  int
+	srv server
+
+	// FTL state.
+	mapping     []int32 // chip-local logical page → physical page (block*ppb+idx), -1 unmapped
+	rmap        []int32 // physical page → chip-local logical page, -1 when not valid
+	pageState   []int8  // physical page: 0 free, 1 valid, 2 invalid
+	validCount  []int   // per block
+	writeFront  []int   // per block: next unwritten page index
+	freeBlocks  []int
+	activeBlock int
+	eraseCount  []int
+}
+
+// channel is the shared transfer bus behind a set of chips.
+type channel struct {
+	id  int
+	srv server
+}
+
+// New builds an SSD on the engine.
+func New(eng *sim.Engine, cfg Config) *SSD {
+	if cfg.Channels <= 0 || cfg.ChipsPerChannel <= 0 || cfg.BlocksPerChip <= 1 ||
+		cfg.PagesPerBlock <= 0 || cfg.PageSize <= 0 {
+		panic("ssd: invalid geometry")
+	}
+	if cfg.OverprovisionBlocks >= cfg.BlocksPerChip {
+		panic("ssd: overprovisioning exceeds capacity")
+	}
+	s := &SSD{eng: eng, cfg: cfg, pattern: cfg.ProgramPattern(),
+		erasesSinceWL: make([]int, cfg.TotalChips())}
+	for i := 0; i < cfg.Channels; i++ {
+		s.channels = append(s.channels, &channel{id: i})
+	}
+	pagesPerChip := cfg.BlocksPerChip * cfg.PagesPerBlock
+	userPages := (cfg.BlocksPerChip - cfg.OverprovisionBlocks) * cfg.PagesPerBlock
+	for i := 0; i < cfg.TotalChips(); i++ {
+		c := &chip{
+			id:          i,
+			mapping:     make([]int32, userPages),
+			rmap:        make([]int32, pagesPerChip),
+			pageState:   make([]int8, pagesPerChip),
+			validCount:  make([]int, cfg.BlocksPerChip),
+			writeFront:  make([]int, cfg.BlocksPerChip),
+			eraseCount:  make([]int, cfg.BlocksPerChip),
+			activeBlock: 0,
+		}
+		for j := range c.mapping {
+			c.mapping[j] = -1
+		}
+		for j := range c.rmap {
+			c.rmap[j] = -1
+		}
+		for b := 1; b < cfg.BlocksPerChip; b++ {
+			c.freeBlocks = append(c.freeBlocks, b)
+		}
+		s.chips = append(s.chips, c)
+	}
+	return s
+}
+
+// Config returns the SSD configuration.
+func (s *SSD) Config() Config { return s.cfg }
+
+// SetGCHook registers the host-visible GC notification.
+func (s *SSD) SetGCHook(fn func(GCEvent)) { s.gcHook = fn }
+
+// SetSubmitHook registers a tap on every submitted request (used by the
+// MittSSD predictor to track outstanding per-channel IOs).
+func (s *SSD) SetSubmitHook(fn func(*blockio.Request)) { s.submitHook = fn }
+
+// InFlight implements blockio.Device.
+func (s *SSD) InFlight() int { return s.inflight }
+
+// Stats returns operation counters (reads, writes, erases).
+func (s *SSD) Stats() (reads, writes, erases uint64) {
+	return s.reads, s.writes, s.erases
+}
+
+// EraseCount returns the total block erases on a chip (wear accounting).
+func (s *SSD) EraseCount(chipID int) int {
+	total := 0
+	for _, e := range s.chips[chipID].eraseCount {
+		total += e
+	}
+	return total
+}
+
+// ChipForOffset exposes the static striping: which chip and channel serve a
+// logical byte offset. MittSSD uses this to pick the queue to inspect.
+func (s *SSD) ChipForOffset(off int64) (chipID, channelID int) {
+	lp := off / int64(s.cfg.PageSize)
+	chipID = int(lp % int64(s.cfg.TotalChips()))
+	channelID = chipID % s.cfg.Channels
+	return chipID, channelID
+}
+
+// PageSpan returns the logical pages covered by [off, off+size).
+func (s *SSD) PageSpan(off int64, size int) (first, count int64) {
+	ps := int64(s.cfg.PageSize)
+	first = off / ps
+	last := (off + int64(size) - 1) / ps
+	return first, last - first + 1
+}
+
+// Submit implements blockio.Device. Requests larger than a page are striped
+// into per-page sub-IOs; the request completes when the last sub-IO does
+// (§4.3: ">16KB multi-page read ... is automatically chopped").
+func (s *SSD) Submit(req *blockio.Request) {
+	if req.Offset < 0 || req.End() > s.cfg.LogicalBytes() {
+		panic(fmt.Sprintf("ssd: IO out of range: %v", req))
+	}
+	if req.Op == blockio.Erase {
+		panic("ssd: erase is device-internal")
+	}
+	req.DispatchTime = s.eng.Now()
+	s.inflight++
+	if s.submitHook != nil {
+		s.submitHook(req)
+	}
+	first, count := s.PageSpan(req.Offset, req.Size)
+	remaining := int(count)
+	done := func() {
+		remaining--
+		if remaining == 0 {
+			req.CompleteTime = s.eng.Now()
+			s.inflight--
+			if req.OnComplete != nil {
+				req.OnComplete(req)
+			}
+		}
+	}
+	for p := first; p < first+count; p++ {
+		lp := p
+		if req.Op == blockio.Read {
+			s.readPage(lp, done)
+		} else {
+			s.writePage(lp, done)
+		}
+	}
+}
+
+// readPage: chip cell read (die occupied), then channel transfer out.
+func (s *SSD) readPage(lp int64, done func()) {
+	chipID := int(lp % int64(s.cfg.TotalChips()))
+	c := s.chips[chipID]
+	ch := s.channels[chipID%s.cfg.Channels]
+	s.reads++
+	c.srv.run(func(release func()) {
+		s.eng.Schedule(s.cfg.ChipReadTime, func() {
+			release()
+			ch.srv.run(func(rel func()) {
+				s.eng.Schedule(s.cfg.ChannelXferTime, func() {
+					rel()
+					done()
+				})
+			})
+		})
+	})
+}
+
+// writePage: the die slot is reserved at submit time (so later reads queue
+// behind it, as on real NAND), but programming can only start once the
+// channel has transferred the data in.
+func (s *SSD) writePage(lp int64, done func()) {
+	chipID := int(lp % int64(s.cfg.TotalChips()))
+	c := s.chips[chipID]
+	ch := s.channels[chipID%s.cfg.Channels]
+	s.writes++
+	transferred := false
+	var resume func()
+	ch.srv.run(func(rel func()) {
+		s.eng.Schedule(s.cfg.ChannelXferTime, func() {
+			rel()
+			transferred = true
+			if resume != nil {
+				resume()
+			}
+		})
+	})
+	c.srv.run(func(release func()) {
+		start := func() {
+			s.maybeGC(c)
+			phys := s.allocPage(c, int32(lp/int64(s.cfg.TotalChips())))
+			progTime := s.pattern[phys%s.cfg.PagesPerBlock]
+			s.eng.Schedule(progTime, func() {
+				release()
+				done()
+			})
+		}
+		if transferred {
+			start()
+		} else {
+			resume = start
+		}
+	})
+}
+
+// allocPage invalidates the old mapping of chip-local logical page cl and
+// returns a fresh physical page on the active block.
+func (s *SSD) allocPage(c *chip, cl int32) int {
+	if old := c.mapping[cl]; old >= 0 {
+		c.pageState[old] = 2 // invalid
+		c.rmap[old] = -1
+		c.validCount[int(old)/s.cfg.PagesPerBlock]--
+	}
+	if c.writeFront[c.activeBlock] >= s.cfg.PagesPerBlock {
+		if len(c.freeBlocks) == 0 {
+			// GC must have freed something by now; if not, the device is
+			// truly full — a configuration error in the experiment.
+			panic("ssd: chip out of free blocks (logical space overcommitted)")
+		}
+		c.activeBlock = c.freeBlocks[0]
+		c.freeBlocks = c.freeBlocks[1:]
+	}
+	phys := c.activeBlock*s.cfg.PagesPerBlock + c.writeFront[c.activeBlock]
+	c.writeFront[c.activeBlock]++
+	c.pageState[phys] = 1
+	c.rmap[phys] = cl
+	c.validCount[c.activeBlock]++
+	c.mapping[cl] = int32(phys)
+	return phys
+}
+
+// maybeGC runs greedy garbage collection when the chip's free-block pool is
+// low: pick the block with the fewest valid pages, copy its valid pages to
+// the active block (intra-chip copyback: read + program per page), erase it.
+// The chip is busy for the whole episode — the background noise MittSSD is
+// designed to dodge.
+func (s *SSD) maybeGC(c *chip) {
+	if len(c.freeBlocks) > s.cfg.GCFreeBlockLow {
+		return
+	}
+	victim := -1
+	best := int(^uint(0) >> 1)
+	for b := 0; b < s.cfg.BlocksPerChip; b++ {
+		if b == c.activeBlock {
+			continue
+		}
+		if c.writeFront[b] == 0 {
+			continue // never written; nothing to reclaim
+		}
+		if c.writeFront[b] < s.cfg.PagesPerBlock {
+			continue // still open
+		}
+		if c.validCount[b] < best {
+			victim, best = b, c.validCount[b]
+		}
+	}
+	if victim < 0 {
+		return
+	}
+	var busy time.Duration
+	moved := 0
+	// Copy valid pages forward.
+	for p := 0; p < s.cfg.PagesPerBlock; p++ {
+		phys := victim*s.cfg.PagesPerBlock + p
+		if c.pageState[phys] != 1 {
+			continue
+		}
+		// Find the chip-local logical page mapped here.
+		cl := c.rmap[phys]
+		if cl < 0 {
+			continue
+		}
+		moved++
+		busy += s.cfg.ChipReadTime
+		newPhys := s.allocPage(c, cl)
+		busy += s.pattern[newPhys%s.cfg.PagesPerBlock]
+		c.pageState[phys] = 2
+		c.rmap[phys] = -1
+	}
+	// Erase the victim.
+	busy += s.cfg.EraseTime
+	s.erases++
+	c.eraseCount[victim]++
+	c.validCount[victim] = 0
+	c.writeFront[victim] = 0
+	for p := 0; p < s.cfg.PagesPerBlock; p++ {
+		c.pageState[victim*s.cfg.PagesPerBlock+p] = 0
+	}
+	c.freeBlocks = append(c.freeBlocks, victim)
+	// Occupy the chip for the episode (the moves + erase run after the
+	// program that triggered them; timing-wise the chip is busy either way).
+	c.srv.run(func(release func()) {
+		s.eng.Schedule(busy, release)
+	})
+	if s.gcHook != nil {
+		s.gcHook(GCEvent{Chip: c.id, MovedPages: moved, BusyFor: busy})
+	}
+	s.maybeWearLevel(c)
+}
+
+// maybeWearLevel periodically migrates a full block to spread erase wear:
+// read+program every valid page, then erase the source — another chip-busy
+// episode MittSSD must see coming.
+func (s *SSD) maybeWearLevel(c *chip) {
+	if s.cfg.WearLevelEvery <= 0 {
+		return
+	}
+	s.erasesSinceWL[c.id]++
+	if s.erasesSinceWL[c.id] < s.cfg.WearLevelEvery {
+		return
+	}
+	s.erasesSinceWL[c.id] = 0
+	// Victim: the most-erased block with valid content.
+	victim, worst := -1, -1
+	for b := 0; b < s.cfg.BlocksPerChip; b++ {
+		if b == c.activeBlock || c.validCount[b] == 0 {
+			continue
+		}
+		if c.writeFront[b] < s.cfg.PagesPerBlock {
+			continue
+		}
+		if c.eraseCount[b] > worst {
+			victim, worst = b, c.eraseCount[b]
+		}
+	}
+	if victim < 0 || len(c.freeBlocks) == 0 {
+		return
+	}
+	var busy time.Duration
+	moved := 0
+	for p := 0; p < s.cfg.PagesPerBlock; p++ {
+		phys := victim*s.cfg.PagesPerBlock + p
+		if c.pageState[phys] != 1 {
+			continue
+		}
+		cl := c.rmap[phys]
+		if cl < 0 {
+			continue
+		}
+		moved++
+		busy += s.cfg.ChipReadTime
+		newPhys := s.allocPage(c, cl)
+		busy += s.pattern[newPhys%s.cfg.PagesPerBlock]
+		c.pageState[phys] = 2
+		c.rmap[phys] = -1
+	}
+	busy += s.cfg.EraseTime
+	s.erases++
+	s.wlMoves += uint64(moved)
+	c.eraseCount[victim]++
+	c.validCount[victim] = 0
+	c.writeFront[victim] = 0
+	for p := 0; p < s.cfg.PagesPerBlock; p++ {
+		c.pageState[victim*s.cfg.PagesPerBlock+p] = 0
+	}
+	c.freeBlocks = append(c.freeBlocks, victim)
+	c.srv.run(func(release func()) {
+		s.eng.Schedule(busy, release)
+	})
+	if s.gcHook != nil {
+		s.gcHook(GCEvent{Chip: c.id, MovedPages: moved, BusyFor: busy, WearLevel: true})
+	}
+}
+
+// WearLevelMoves returns the total pages moved by wear leveling.
+func (s *SSD) WearLevelMoves() uint64 { return s.wlMoves }
+
+// NextProgramTime returns the program duration the next page write on the
+// chip will incur. On host-managed flash the OS runs the FTL, so this is
+// legitimately host-visible knowledge (§4.3: upper/lower page position
+// determines 1ms vs 2ms programming).
+func (s *SSD) NextProgramTime(chipID int) time.Duration {
+	c := s.chips[chipID]
+	idx := c.writeFront[c.activeBlock]
+	if idx >= s.cfg.PagesPerBlock {
+		idx = 0 // a fresh block starts at page 0
+	}
+	return s.pattern[idx]
+}
+
+// ChipQueueLen reports the number of queued-or-running tasks on a chip
+// (diagnostics and tests).
+func (s *SSD) ChipQueueLen(chipID int) int { return s.chips[chipID].srv.occupancy() }
+
+// ChannelQueueLen reports the transfer-stage occupancy of a channel.
+func (s *SSD) ChannelQueueLen(chID int) int { return s.channels[chID].srv.occupancy() }

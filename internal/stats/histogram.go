@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Histogram is a streaming log-scale latency histogram: O(1) memory over
+// arbitrarily long runs, at the cost of bounded relative error on quantile
+// queries. Experiments that keep every sample use Sample; monitors that run
+// for virtual hours (Figure 3's probes) can use this instead.
+type Histogram struct {
+	// buckets[i] counts observations in [min*growth^i, min*growth^(i+1)).
+	buckets []uint64
+	min     time.Duration
+	growth  float64
+	under   uint64 // below min
+	count   uint64
+	sum     time.Duration
+	max     time.Duration
+}
+
+// NewHistogram builds a histogram covering [min, max] with the given
+// per-bucket growth factor (e.g. 1.1 → ≤10% relative quantile error).
+func NewHistogram(min, max time.Duration, growth float64) *Histogram {
+	if min <= 0 || max <= min || growth <= 1 {
+		panic("stats: NewHistogram requires 0 < min < max and growth > 1")
+	}
+	n := int(math.Ceil(math.Log(float64(max)/float64(min))/math.Log(growth))) + 1
+	return &Histogram{buckets: make([]uint64, n), min: min, growth: growth}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(d time.Duration) {
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	if d < h.min {
+		h.under++
+		return
+	}
+	i := int(math.Log(float64(d)/float64(h.min)) / math.Log(h.growth))
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+}
+
+// N returns the observation count.
+func (h *Histogram) N() uint64 { return h.count }
+
+// Mean returns the mean latency.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Percentile returns an approximation of the p-th percentile: the upper
+// edge of the bucket containing that rank.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank <= h.under {
+		return h.min
+	}
+	seen := h.under
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			edge := float64(h.min) * math.Pow(h.growth, float64(i+1))
+			if d := time.Duration(edge); d < h.max {
+				return d
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// Merge folds another histogram (same shape) into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if len(o.buckets) != len(h.buckets) || o.min != h.min || o.growth != h.growth {
+		panic("stats: merging histograms of different shapes")
+	}
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.under += o.under
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// PlotCDFs renders labelled samples as an ASCII CDF chart: x = latency
+// (log scale), y = cumulative probability. Each series gets a marker; the
+// paper's latency-CDF figures map directly onto it.
+func PlotCDFs(series []struct {
+	Name   string
+	Sample *Sample
+}, width, height int) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	var lo, hi time.Duration
+	first := true
+	for _, s := range series {
+		if s.Sample.N() == 0 {
+			continue
+		}
+		mn, mx := s.Sample.Min(), s.Sample.Max()
+		if first || mn < lo {
+			lo = mn
+		}
+		if first || mx > hi {
+			hi = mx
+		}
+		first = false
+	}
+	if first || lo <= 0 || hi <= lo {
+		return "(no data)\n"
+	}
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	markers := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+	logLo, logHi := math.Log(float64(lo)), math.Log(float64(hi))
+	xOf := func(d time.Duration) int {
+		frac := (math.Log(float64(d)) - logLo) / (logHi - logLo)
+		x := int(frac * float64(width-1))
+		if x < 0 {
+			x = 0
+		}
+		if x >= width {
+			x = width - 1
+		}
+		return x
+	}
+	var legend strings.Builder
+	for si, s := range series {
+		if s.Sample.N() == 0 {
+			continue
+		}
+		m := markers[si%len(markers)]
+		fmt.Fprintf(&legend, "  %c %s", m, s.Name)
+		for _, pt := range s.Sample.CDF(width * 2) {
+			x := xOf(pt.Latency)
+			y := height - 1 - int(pt.P*float64(height-1))
+			if y < 0 {
+				y = 0
+			}
+			if grid[y][x] == ' ' {
+				grid[y][x] = m
+			}
+		}
+	}
+	var b strings.Builder
+	for y, row := range grid {
+		p := 1 - float64(y)/float64(height-1)
+		fmt.Fprintf(&b, "%5.2f |%s|\n", p, string(row))
+	}
+	b.WriteString("      ")
+	b.WriteString(strings.Repeat("-", width+2))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "      %-*s%s (log scale)\n", width-8, FormatDuration(lo), FormatDuration(hi))
+	b.WriteString(legend.String())
+	b.WriteByte('\n')
+	return b.String()
+}

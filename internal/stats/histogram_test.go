@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(time.Microsecond, time.Second, 1.1)
+	for i := 1; i <= 1000; i++ {
+		h.Add(time.Duration(i) * time.Millisecond)
+	}
+	if h.N() != 1000 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Max() != time.Second {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	mean := h.Mean()
+	if mean < 480*time.Millisecond || mean > 520*time.Millisecond {
+		t.Fatalf("Mean = %v, want ≈500ms", mean)
+	}
+}
+
+func TestHistogramPercentileRelativeError(t *testing.T) {
+	h := NewHistogram(time.Microsecond, 10*time.Second, 1.1)
+	for i := 1; i <= 10000; i++ {
+		h.Add(time.Duration(i) * 100 * time.Microsecond) // 0.1ms .. 1s
+	}
+	for _, p := range []float64{50, 90, 95, 99} {
+		exact := time.Duration(p/100*10000) * 100 * time.Microsecond
+		got := h.Percentile(p)
+		rel := math.Abs(float64(got-exact)) / float64(exact)
+		if rel > 0.12 {
+			t.Fatalf("p%v = %v vs exact %v (rel err %.2f)", p, got, exact, rel)
+		}
+	}
+}
+
+func TestHistogramUnderflowAndEmpty(t *testing.T) {
+	h := NewHistogram(time.Millisecond, time.Second, 1.5)
+	if h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should be zero")
+	}
+	h.Add(time.Microsecond) // below min
+	if h.N() != 1 {
+		t.Fatal("underflow not counted")
+	}
+	if h.Percentile(50) != time.Millisecond {
+		t.Fatalf("underflow percentile = %v, want clamped to min", h.Percentile(50))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(time.Microsecond, time.Second, 1.2)
+	b := NewHistogram(time.Microsecond, time.Second, 1.2)
+	for i := 1; i <= 500; i++ {
+		a.Add(time.Duration(i) * time.Millisecond)
+		b.Add(time.Duration(i+500) * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.N() != 1000 {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	med := a.Percentile(50)
+	if med < 400*time.Millisecond || med > 600*time.Millisecond {
+		t.Fatalf("merged median %v", med)
+	}
+}
+
+func TestHistogramMergeShapeMismatchPanics(t *testing.T) {
+	a := NewHistogram(time.Microsecond, time.Second, 1.2)
+	b := NewHistogram(time.Microsecond, time.Second, 1.3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+func TestHistogramInvalidConfigPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, time.Second, 1.1) },
+		func() { NewHistogram(time.Second, time.Second, 1.1) },
+		func() { NewHistogram(time.Microsecond, time.Second, 1.0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPropertyHistogramQuantilesMonotone(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram(time.Microsecond, time.Minute, 1.15)
+		for _, r := range raw {
+			h.Add(time.Duration(r%60000) * time.Millisecond / 60)
+		}
+		prev := time.Duration(0)
+		for _, p := range []float64{10, 25, 50, 75, 90, 99} {
+			q := h.Percentile(p)
+			if q < prev {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlotCDFs(t *testing.T) {
+	a := NewSample(0)
+	b := NewSample(0)
+	for i := 1; i <= 100; i++ {
+		a.Add(time.Duration(i) * time.Millisecond)
+		b.Add(time.Duration(i) * 2 * time.Millisecond)
+	}
+	out := PlotCDFs([]struct {
+		Name   string
+		Sample *Sample
+	}{{"fast", a}, {"slow", b}}, 60, 12)
+	for _, want := range []string{"*", "+", "fast", "slow", "log scale", "1.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestPlotCDFsEmpty(t *testing.T) {
+	out := PlotCDFs(nil, 60, 12)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot = %q", out)
+	}
+}

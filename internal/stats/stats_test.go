@@ -1,0 +1,302 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		s.Add(x)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.Var()-2.5) > 1e-9 {
+		t.Fatalf("Var = %v, want 2.5", s.Var())
+	}
+	if math.Abs(s.Stddev()-math.Sqrt(2.5)) > 1e-9 {
+		t.Fatalf("Stddev = %v", s.Stddev())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.N() != 0 {
+		t.Fatal("empty summary should be all-zero")
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	var a, b, whole Summary
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	for i, x := range xs {
+		whole.Add(x)
+		if i < 5 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-9 {
+		t.Fatalf("merged mean %v, want %v", a.Mean(), whole.Mean())
+	}
+	if math.Abs(a.Var()-whole.Var()) > 1e-9 {
+		t.Fatalf("merged var %v, want %v", a.Var(), whole.Var())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatal("merged min/max mismatch")
+	}
+}
+
+func TestSummaryMergeEmptySides(t *testing.T) {
+	var a, b Summary
+	b.Add(7)
+	a.Merge(&b) // empty ← nonempty
+	if a.N() != 1 || a.Mean() != 7 {
+		t.Fatal("merge into empty failed")
+	}
+	var c Summary
+	a.Merge(&c) // nonempty ← empty
+	if a.N() != 1 {
+		t.Fatal("merge of empty changed state")
+	}
+}
+
+func TestSamplePercentileNearestRank(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, time.Millisecond},
+		{50, 50 * time.Millisecond},
+		{95, 95 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Fatalf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	s := NewSample(0)
+	if s.Percentile(95) != 0 || s.Mean() != 0 || s.Max() != 0 || s.Min() != 0 {
+		t.Fatal("empty sample should return zeros")
+	}
+	if s.CDF(10) != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+	if s.FractionAbove(time.Second) != 0 {
+		t.Fatal("empty FractionAbove should be 0")
+	}
+}
+
+func TestSampleInterleavedAddQuery(t *testing.T) {
+	s := NewSample(0)
+	s.Add(10 * time.Millisecond)
+	if s.Percentile(100) != 10*time.Millisecond {
+		t.Fatal("single-element percentile")
+	}
+	s.Add(5 * time.Millisecond) // add after a query must re-sort
+	if s.Percentile(0) != 5*time.Millisecond {
+		t.Fatal("sample did not re-sort after Add")
+	}
+}
+
+func TestFractionAbove(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 10; i++ {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	if got := s.FractionAbove(7 * time.Millisecond); got != 0.3 {
+		t.Fatalf("FractionAbove(7ms) = %v, want 0.3", got)
+	}
+	if got := s.FractionAbove(0); got != 1.0 {
+		t.Fatalf("FractionAbove(0) = %v, want 1", got)
+	}
+	if got := s.FractionAbove(time.Second); got != 0 {
+		t.Fatalf("FractionAbove(1s) = %v, want 0", got)
+	}
+}
+
+func TestCDFShape(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 1000; i++ {
+		s.Add(time.Duration(i) * time.Microsecond)
+	}
+	pts := s.CDF(100)
+	if len(pts) != 100 {
+		t.Fatalf("CDF points = %d", len(pts))
+	}
+	if pts[len(pts)-1].P != 1.0 {
+		t.Fatalf("last CDF point P = %v, want 1", pts[len(pts)-1].P)
+	}
+	if pts[len(pts)-1].Latency != time.Millisecond {
+		t.Fatalf("last CDF latency = %v, want max", pts[len(pts)-1].Latency)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].P < pts[i-1].P || pts[i].Latency < pts[i-1].Latency {
+			t.Fatal("CDF not monotone")
+		}
+	}
+}
+
+func TestCDFFull(t *testing.T) {
+	s := NewSample(0)
+	s.Add(time.Millisecond)
+	s.Add(2 * time.Millisecond)
+	pts := s.CDF(0)
+	if len(pts) != 2 {
+		t.Fatalf("full CDF points = %d", len(pts))
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(77*time.Millisecond, 100*time.Millisecond); math.Abs(got-23) > 1e-9 {
+		t.Fatalf("Reduction = %v, want 23", got)
+	}
+	if Reduction(time.Millisecond, 0) != 0 {
+		t.Fatal("Reduction with zero baseline should be 0")
+	}
+	if got := Reduction(120*time.Millisecond, 100*time.Millisecond); got >= 0 {
+		t.Fatalf("worse latency should be negative reduction, got %v", got)
+	}
+}
+
+func TestReductionRow(t *testing.T) {
+	mitt, other := NewSample(0), NewSample(0)
+	for i := 1; i <= 100; i++ {
+		mitt.Add(time.Duration(i) * time.Millisecond / 2)
+		other.Add(time.Duration(i) * time.Millisecond)
+	}
+	row := ReductionRow(mitt, other)
+	if len(row) != 1+len(Percentiles) {
+		t.Fatalf("row len = %d", len(row))
+	}
+	for _, v := range row {
+		if math.Abs(v-50) > 1e-9 {
+			t.Fatalf("uniform halving should be 50%% everywhere, got %v", row)
+		}
+	}
+}
+
+func TestSampleValuesSortedCopy(t *testing.T) {
+	s := NewSample(0)
+	s.Add(3 * time.Millisecond)
+	s.Add(time.Millisecond)
+	v := s.Values()
+	if !sort.SliceIsSorted(v, func(i, j int) bool { return v[i] < v[j] }) {
+		t.Fatal("Values not sorted")
+	}
+	v[0] = time.Hour // mutation must not affect the sample
+	if s.Percentile(0) == time.Hour {
+		t.Fatal("Values returned aliased slice")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"strategy", "p95"}}
+	tb.AddRow("MittCFQ", "13ms")
+	tb.AddRow("Hedged", "17ms")
+	out := tb.String()
+	if out == "" {
+		t.Fatal("empty table output")
+	}
+	for _, want := range []string{"strategy", "MittCFQ", "Hedged", "---"} {
+		if !contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		2 * time.Second:        "2.00s",
+		13 * time.Millisecond:  "13.00ms",
+		300 * time.Microsecond: "300.0µs",
+		5 * time.Nanosecond:    "5ns",
+	}
+	for d, want := range cases {
+		if got := FormatDuration(d); got != want {
+			t.Fatalf("FormatDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestPropertyPercentileMatchesSort(t *testing.T) {
+	f := func(raw []uint32, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := float64(pRaw) / 255 * 100
+		s := NewSample(len(raw))
+		vals := make([]time.Duration, len(raw))
+		for i, r := range raw {
+			d := time.Duration(r)
+			vals[i] = d
+			s.Add(d)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		rank := int(math.Ceil(p / 100 * float64(len(vals))))
+		if rank < 1 {
+			rank = 1
+		}
+		return s.Percentile(p) == vals[rank-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySummaryMeanMatchesNaive(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Summary
+		sum := 0.0
+		for _, r := range raw {
+			s.Add(float64(r))
+			sum += float64(r)
+		}
+		naive := sum / float64(len(raw))
+		return math.Abs(s.Mean()-naive) < 1e-6*(1+math.Abs(naive))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mittos/internal/blockio"
+	"mittos/internal/sim"
+)
+
+func genFor(t *testing.T, name string, dur time.Duration) *Trace {
+	t.Helper()
+	p, ok := ProfileByName(name, 100<<30)
+	if !ok {
+		t.Fatalf("unknown profile %s", name)
+	}
+	return Generate(p, dur, sim.NewRNG(1, name))
+}
+
+func TestAllProfilesGenerate(t *testing.T) {
+	for _, p := range Profiles(100 << 30) {
+		tr := Generate(p, 10*time.Second, sim.NewRNG(1, p.Name))
+		st := tr.Stats()
+		if st.Records == 0 {
+			t.Fatalf("%s: empty trace", p.Name)
+		}
+		// The long-run rate should be in the ballpark of MeanIOPS.
+		if st.IOPS < p.MeanIOPS*0.4 || st.IOPS > p.MeanIOPS*2.5 {
+			t.Fatalf("%s: IOPS %.1f vs target %.1f", p.Name, st.IOPS, p.MeanIOPS)
+		}
+		if math.Abs(st.ReadFrac-p.ReadFrac) > 0.1 {
+			t.Fatalf("%s: read frac %.2f vs target %.2f", p.Name, st.ReadFrac, p.ReadFrac)
+		}
+	}
+}
+
+func TestProfilesAreDistinct(t *testing.T) {
+	// The five workloads must differ meaningfully (that is their entire
+	// purpose in §7.6): compare mean sizes and read fractions pairwise.
+	stats := map[string]Stats{}
+	for _, p := range Profiles(100 << 30) {
+		stats[p.Name] = Generate(p, 10*time.Second, sim.NewRNG(1, p.Name)).Stats()
+	}
+	if !(stats["DTRS"].MeanSize > 4*stats["TPCC"].MeanSize) {
+		t.Fatalf("DTRS (%d) should be much larger IOs than TPCC (%d)",
+			stats["DTRS"].MeanSize, stats["TPCC"].MeanSize)
+	}
+	if !(stats["EXCH"].ReadFrac < stats["DTRS"].ReadFrac) {
+		t.Fatal("EXCH should be writier than DTRS")
+	}
+}
+
+func TestRecordsOrderedAndInRange(t *testing.T) {
+	tr := genFor(t, "EXCH", 20*time.Second)
+	var prev time.Duration
+	for _, r := range tr.Records {
+		if r.At < prev {
+			t.Fatal("records out of order")
+		}
+		prev = r.At
+		if r.Offset < 0 || r.Offset+int64(r.Size) > 100<<30 {
+			t.Fatalf("record out of range: %+v", r)
+		}
+		if r.Offset%4096 != 0 {
+			t.Fatalf("unaligned offset %d", r.Offset)
+		}
+	}
+}
+
+func TestBusiestWindow(t *testing.T) {
+	tr := genFor(t, "EXCH", 60*time.Second)
+	busy := tr.Busiest(5 * time.Second)
+	if len(busy.Records) == 0 {
+		t.Fatal("empty busiest window")
+	}
+	if busy.Records[0].At != 0 {
+		t.Fatal("busiest window not rebased")
+	}
+	last := busy.Records[len(busy.Records)-1].At
+	if last >= 5*time.Second {
+		t.Fatalf("window spans %v > 5s", last)
+	}
+	// It must be at least as dense as the average.
+	avgRate := float64(len(tr.Records)) / 60
+	busyRate := float64(len(busy.Records)) / 5
+	if busyRate < avgRate {
+		t.Fatalf("busiest rate %.1f < average %.1f", busyRate, avgRate)
+	}
+}
+
+func TestBusiestEmpty(t *testing.T) {
+	tr := &Trace{Name: "empty"}
+	if got := tr.Busiest(time.Second); len(got.Records) != 0 {
+		t.Fatal("busiest of empty trace not empty")
+	}
+}
+
+func TestRerate(t *testing.T) {
+	tr := genFor(t, "TPCC", 10*time.Second)
+	fast := tr.Rerate(128)
+	if len(fast.Records) != len(tr.Records) {
+		t.Fatal("rerate changed record count")
+	}
+	origDur := tr.Records[len(tr.Records)-1].At
+	fastDur := fast.Records[len(fast.Records)-1].At
+	ratio := float64(origDur) / float64(fastDur)
+	if ratio < 127 || ratio > 129 {
+		t.Fatalf("rerate ratio %.1f, want 128", ratio)
+	}
+}
+
+func TestRerateInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Trace{}).Rerate(0)
+}
+
+func TestClampFitsCapacity(t *testing.T) {
+	tr := genFor(t, "LMBE", 10*time.Second)
+	small := tr.Clamp(1 << 30)
+	for _, r := range small.Records {
+		if r.Offset < 0 || r.Offset+int64(r.Size) > 1<<30 {
+			t.Fatalf("clamped record out of range: %+v", r)
+		}
+	}
+}
+
+func TestReplayerIssuesAllInOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := genFor(t, "DAPPS", 5*time.Second)
+	var got []Record
+	rep := NewReplayer(eng, tr, func(rec Record) { got = append(got, rec) })
+	rep.Start()
+	eng.Run()
+	if len(got) != len(tr.Records) {
+		t.Fatalf("replayed %d of %d", len(got), len(tr.Records))
+	}
+	if rep.Issued() != len(tr.Records) {
+		t.Fatalf("Issued = %d", rep.Issued())
+	}
+	for i := range got {
+		if got[i] != tr.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genFor(t, "TPCC", 5*time.Second)
+	b := genFor(t, "TPCC", 5*time.Second)
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("nondeterministic generation")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatal("nondeterministic record")
+		}
+	}
+}
+
+func TestGenerateInvalidProfilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(Profile{Name: "bad"}, time.Second, sim.NewRNG(1, "bad"))
+}
+
+func TestStatsEmptyTrace(t *testing.T) {
+	var tr Trace
+	st := tr.Stats()
+	if st.Records != 0 || st.IOPS != 0 {
+		t.Fatal("empty stats not zero")
+	}
+}
+
+func TestPropertyClampAlwaysInRange(t *testing.T) {
+	f := func(offs []int64, capRaw uint32) bool {
+		capacity := int64(capRaw)%(10<<30) + (1 << 20)
+		tr := &Trace{}
+		for i, o := range offs {
+			tr.Records = append(tr.Records, Record{
+				At: time.Duration(i) * time.Millisecond, Op: blockio.Read,
+				Offset: o, Size: 4096,
+			})
+		}
+		c := tr.Clamp(capacity)
+		for _, r := range c.Records {
+			if r.Offset < 0 || r.Offset+int64(r.Size) > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

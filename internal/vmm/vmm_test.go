@@ -1,0 +1,172 @@
+package vmm
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mittos/internal/core"
+	"mittos/internal/sim"
+	"mittos/internal/stats"
+)
+
+func newHost(t *testing.T, n int, cpuBound ...int) (*sim.Engine, *Host) {
+	t.Helper()
+	eng := sim.NewEngine()
+	vms := make([]*VM, n)
+	for i := range vms {
+		vms[i] = &VM{ID: i}
+	}
+	for _, i := range cpuBound {
+		vms[i].CPUBound = true
+	}
+	return eng, NewHost(eng, DefaultConfig(), vms)
+}
+
+func TestDeliverToRunningVMIsFast(t *testing.T) {
+	eng, h := newHost(t, 3, 0, 1, 2)
+	var lat time.Duration
+	start := eng.Now()
+	h.Deliver(0, 0, func(err error) {
+		if err != nil {
+			t.Fatalf("deliver: %v", err)
+		}
+		lat = eng.Now().Sub(start)
+	})
+	eng.RunFor(time.Millisecond)
+	if lat == 0 || lat > time.Millisecond {
+		t.Fatalf("delivery to running VM took %v", lat)
+	}
+}
+
+func TestParkedVMStallsWithoutDeadline(t *testing.T) {
+	// §8.2: "user requests to a frozen VM will be parked in the VMM for
+	// tens of ms".
+	eng, h := newHost(t, 3, 0, 1, 2)
+	var lat time.Duration
+	start := eng.Now()
+	h.Deliver(2, 0, func(error) { lat = eng.Now().Sub(start) })
+	eng.RunFor(200 * time.Millisecond)
+	// VM2 runs after VM0's and VM1's 30ms slices.
+	if lat < 50*time.Millisecond || lat > 70*time.Millisecond {
+		t.Fatalf("parked delivery took %v, want ≈60ms", lat)
+	}
+}
+
+func TestMittVMMRejectsFrozenVM(t *testing.T) {
+	eng, h := newHost(t, 3, 0, 1, 2)
+	var err error
+	h.Deliver(2, 20*time.Millisecond, func(e error) { err = e })
+	eng.RunFor(time.Millisecond)
+	if !core.IsBusy(err) {
+		t.Fatalf("frozen-VM deliver: %v, want EBUSY", err)
+	}
+	be := err.(*core.BusyError)
+	if be.PredictedWait < 50*time.Millisecond {
+		t.Fatalf("wait hint %v, want ≈60ms", be.PredictedWait)
+	}
+	_, rejected := h.Stats()
+	if rejected != 1 {
+		t.Fatalf("rejected = %d", rejected)
+	}
+}
+
+func TestMittVMMAcceptsWhenWaitFitsDeadline(t *testing.T) {
+	eng, h := newHost(t, 3, 0, 1, 2)
+	var err error = errors.New("unset")
+	h.Deliver(1, 40*time.Millisecond, func(e error) { err = e })
+	eng.RunFor(100 * time.Millisecond)
+	if err != nil {
+		t.Fatalf("deliver within deadline: %v", err)
+	}
+}
+
+func TestIdleVMsYieldInstantly(t *testing.T) {
+	// Only VM0 is CPU-bound; messages to idle VM2 should not wait behind
+	// idle VM1's quantum.
+	eng, h := newHost(t, 3, 0)
+	var lat time.Duration
+	start := eng.Now()
+	h.Deliver(2, 0, func(error) { lat = eng.Now().Sub(start) })
+	eng.RunFor(100 * time.Millisecond)
+	if lat > 35*time.Millisecond {
+		t.Fatalf("idle-chain delivery took %v; idle VMs must yield", lat)
+	}
+}
+
+func TestMittVMMTailDistribution(t *testing.T) {
+	// Probes to a random VM on a contended host: with deadlines + failover
+	// to a replica VM on an idle host, the tail collapses.
+	run := func(useDeadline bool) *stats.Sample {
+		eng := sim.NewEngine()
+		busyHost := NewHost(eng, DefaultConfig(), []*VM{
+			{ID: 0, CPUBound: true}, {ID: 1, CPUBound: true}, {ID: 2, CPUBound: true},
+		})
+		idleHost := NewHost(eng, DefaultConfig(), []*VM{{ID: 0}})
+		lat := stats.NewSample(0)
+		rng := sim.NewRNG(9, "vm-probe")
+		eng.NewTicker(5*time.Millisecond, func() {
+			target := rng.Intn(3)
+			start := eng.Now()
+			deadline := time.Duration(0)
+			if useDeadline {
+				deadline = 10 * time.Millisecond
+			}
+			busyHost.Deliver(target, deadline, func(err error) {
+				if core.IsBusy(err) {
+					// Instant failover to the replica on the idle host.
+					idleHost.Deliver(0, 0, func(error) {
+						lat.Add(eng.Now().Sub(start))
+					})
+					return
+				}
+				lat.Add(eng.Now().Sub(start))
+			})
+		})
+		eng.RunUntil(sim.Time(10 * sim.Second))
+		return lat
+	}
+	base := run(false)
+	mitt := run(true)
+	if mitt.Percentile(95) >= base.Percentile(95) {
+		t.Fatalf("MittVMM p95 %v not better than Base %v",
+			mitt.Percentile(95), base.Percentile(95))
+	}
+	if base.Percentile(95) < 30*time.Millisecond {
+		t.Fatalf("base p95 %v; VM parking not visible", base.Percentile(95))
+	}
+	// Accepted deliveries may wait up to the deadline; nothing should
+	// exceed it by more than scheduling slop.
+	if mitt.Percentile(99) > 11*time.Millisecond {
+		t.Fatalf("MittVMM p99 %v exceeds the 10ms deadline", mitt.Percentile(99))
+	}
+}
+
+func TestInvalidHostPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHost(sim.NewEngine(), DefaultConfig(), nil) },
+		func() {
+			NewHost(sim.NewEngine(), Config{Timeslice: 0}, []*VM{{ID: 0}})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUnknownVMPanics(t *testing.T) {
+	eng, h := newHost(t, 2, 0, 1)
+	_ = eng
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.Deliver(99, 0, func(error) {})
+}

@@ -1,0 +1,109 @@
+package ycsb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mittos/internal/sim"
+)
+
+func TestUniformKeysInRange(t *testing.T) {
+	w := New(DefaultConfig(1000), sim.NewRNG(1, "u"))
+	f := func(_ uint8) bool {
+		k := w.NextKey()
+		return k >= 0 && k < 1000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	cfg := DefaultConfig(10000)
+	cfg.Dist = Zipfian
+	w := New(cfg, sim.NewRNG(2, "z"))
+	hot := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		if w.NextKey() < 100 {
+			hot++
+		}
+	}
+	if frac := float64(hot) / float64(n); frac < 0.3 {
+		t.Fatalf("zipfian top-1%% fraction %.2f, want skew", frac)
+	}
+}
+
+func TestLatestFavorsRecentInserts(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	cfg.Dist = Latest
+	cfg.ReadFraction = 0.5
+	w := New(cfg, sim.NewRNG(3, "l"))
+	// Run some inserts to move the frontier.
+	inserts := int64(0)
+	for i := 0; i < 2000; i++ {
+		if w.Next().Kind == OpInsert {
+			inserts++
+		}
+	}
+	if inserts == 0 {
+		t.Fatal("no inserts at 50% write fraction")
+	}
+	// Now most reads should target the newer half of the key space.
+	newer := 0
+	n := 2000
+	for i := 0; i < n; i++ {
+		if w.NextKey() > 500 {
+			newer++
+		}
+	}
+	if frac := float64(newer) / float64(n); frac < 0.8 {
+		t.Fatalf("latest distribution read %.2f from newer half", frac)
+	}
+}
+
+func TestReadFraction(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	cfg.ReadFraction = 0.0
+	w := New(cfg, sim.NewRNG(4, "w"))
+	for i := 0; i < 100; i++ {
+		if w.Next().Kind != OpInsert {
+			t.Fatal("read produced at ReadFraction 0")
+		}
+	}
+	cfg.ReadFraction = 1.0
+	w = New(cfg, sim.NewRNG(4, "r"))
+	for i := 0; i < 100; i++ {
+		if w.Next().Kind != OpRead {
+			t.Fatal("insert produced at ReadFraction 1")
+		}
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Uniform.String() != "uniform" || Zipfian.String() != "zipfian" ||
+		Latest.String() != "latest" || Distribution(9).String() == "" {
+		t.Fatal("Distribution.String broken")
+	}
+}
+
+func TestInvalidRecordsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(DefaultConfig(0), sim.NewRNG(1, "x"))
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := DefaultConfig(5000)
+	cfg.Dist = Zipfian
+	a := New(cfg, sim.NewRNG(7, "d"))
+	b := New(cfg, sim.NewRNG(7, "d"))
+	for i := 0; i < 1000; i++ {
+		if a.NextKey() != b.NextKey() {
+			t.Fatal("nondeterministic workload")
+		}
+	}
+}

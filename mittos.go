@@ -1,0 +1,149 @@
+// Package mittos is a complete, simulation-backed reproduction of
+// "MittOS: Supporting Millisecond Tail Tolerance with Fast Rejecting
+// SLO-Aware OS Interface" (Hao et al., SOSP 2017).
+//
+// MittOS advocates one principle: the operating system should quickly
+// reject IOs whose latency SLOs it predicts it cannot meet, instead of
+// silently queueing them. Applications attach deadlines to reads; when the
+// OS predicts the deadline will be violated it returns EBUSY immediately
+// (sub-5µs), and a replicated data store fails the request over to another
+// node at the cost of one network hop instead of a multi-millisecond wait.
+//
+// This package is the public facade. It exposes:
+//
+//   - the deterministic simulation engine everything runs on (Engine),
+//   - a single-node SLO-aware storage stack (Stack) covering all four
+//     resource managers of the paper — the noop and CFQ disk schedulers,
+//     host-managed flash, and the OS page cache,
+//   - the replicated NoSQL cluster and every client-side tail-tolerance
+//     strategy the paper compares (Base, application timeout, cloning,
+//     hedged requests, snitching, C3, MittOS failover),
+//   - and runners that regenerate every table and figure of the paper's
+//     evaluation (RunExperiment).
+//
+// Everything is stdlib-only and fully deterministic: a fixed seed
+// reproduces results bit-for-bit. See DESIGN.md for the system inventory
+// and the paper→simulation substitution map, and EXPERIMENTS.md for
+// paper-vs-measured results.
+package mittos
+
+import (
+	"errors"
+	"time"
+
+	"mittos/internal/blockio"
+	"mittos/internal/cluster"
+	"mittos/internal/core"
+	"mittos/internal/netsim"
+	"mittos/internal/sim"
+)
+
+// ErrBusy is the fast-rejection signal: the IO was not queued because its
+// deadline SLO cannot be met (the paper's EBUSY errno).
+var ErrBusy = blockio.ErrBusy
+
+// IsBusy reports whether err is an EBUSY rejection (including the enriched
+// *BusyError carrying the predicted wait).
+func IsBusy(err error) bool { return errors.Is(err, blockio.ErrBusy) }
+
+// BusyError is the enriched rejection carrying MittOS's predicted wait —
+// the paper's "return EBUSY with wait time" extension (§8.1).
+type BusyError = core.BusyError
+
+// Engine is the deterministic discrete-event simulation engine. All MittOS
+// components run in virtual time on an Engine; use NewEngine, schedule work
+// with Schedule/At, and advance time with Run/RunFor/RunUntil.
+type Engine = sim.Engine
+
+// NewEngine returns an engine positioned at virtual time zero.
+func NewEngine() *Engine { return sim.NewEngine() }
+
+// RNG is a named, seeded random stream; every component takes its own so
+// experiments stay reproducible under change.
+type RNG = sim.RNG
+
+// NewRNG derives a deterministic stream from a root seed and a name.
+func NewRNG(seed int64, name string) *RNG { return sim.NewRNG(seed, name) }
+
+// Request is one block IO descriptor, including the Deadline SLO field
+// MittOS adds to the kernel's request struct.
+type Request = blockio.Request
+
+// IO operation kinds and scheduling classes, re-exported for request
+// construction.
+const (
+	OpRead  = blockio.Read
+	OpWrite = blockio.Write
+
+	ClassRealTime   = blockio.ClassRealTime
+	ClassBestEffort = blockio.ClassBestEffort
+	ClassIdle       = blockio.ClassIdle
+)
+
+// Target is a deadline-aware storage endpoint: SubmitSLO either completes
+// the request or delivers ErrBusy.
+type Target = core.Target
+
+// Options configure a MittOS admission layer (Thop allowance, shadow mode,
+// calibration, the naive-predictor ablation).
+type Options = core.Options
+
+// DefaultOptions returns the paper's constants (0.3ms Thop, 2µs syscall
+// cost, calibration on).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Accuracy carries shadow-mode prediction-quality counters (§7.6).
+type Accuracy = core.Accuracy
+
+// Cluster is the replicated NoSQL store; Node one replica server.
+type (
+	Cluster    = cluster.Cluster
+	Node       = cluster.Node
+	NodeConfig = cluster.NodeConfig
+	GetResult  = cluster.GetResult
+	Strategy   = cluster.Strategy
+	Client     = cluster.Client
+	CPUPool    = cluster.CPUPool
+)
+
+// DeviceKind selects a storage medium.
+type DeviceKind = cluster.DeviceKind
+
+// Device kinds for NodeConfig and StackConfig.
+const (
+	DeviceDisk = cluster.DeviceDisk
+	DeviceSSD  = cluster.DeviceSSD
+)
+
+// Client-side request strategies (§7.2): the paper's comparison points.
+type (
+	BaseStrategy    = cluster.BaseStrategy
+	TimeoutStrategy = cluster.TimeoutStrategy
+	CloneStrategy   = cluster.CloneStrategy
+	HedgedStrategy  = cluster.HedgedStrategy
+	SnitchStrategy  = cluster.SnitchStrategy
+	C3Strategy      = cluster.C3Strategy
+	MittOSStrategy  = cluster.MittOSStrategy
+)
+
+// Network models the one-hop datacenter fabric (0.3ms per hop by default).
+type Network = netsim.Network
+
+// NewNetwork builds a network on the engine; cfg hop latency defaults to
+// the paper's 0.3ms when zero.
+func NewNetwork(eng *Engine, hop time.Duration, rng *RNG) *Network {
+	cfg := netsim.DefaultConfig()
+	if hop > 0 {
+		cfg.HopLatency = hop
+	}
+	return netsim.New(eng, cfg, rng)
+}
+
+// NewCluster builds an n-node cluster with R-way replication from a node
+// template.
+func NewCluster(eng *Engine, net *Network, n, replication int, tmpl NodeConfig, rng *RNG) *Cluster {
+	return cluster.NewCluster(eng, net, n, replication, tmpl, rng)
+}
+
+// NewCPUPool models one machine's cores shared by colocated processes.
+func NewCPUPool(eng *Engine, cores int) *CPUPool { return cluster.NewCPUPool(eng, cores) }
