@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mittos/internal/experiments"
+	"mittos/internal/stats"
 )
 
 // reportTailMetrics attaches a series' headline percentiles to the bench.
@@ -167,7 +168,9 @@ func BenchmarkAdmissionDecision(b *testing.B) {
 }
 
 // BenchmarkEngineThroughput measures raw event-loop throughput, the floor
-// under every experiment's wall-clock time.
+// under every experiment's wall-clock time. It drives the fire-and-forget
+// After path the device models use; with the engine's freelist warm,
+// steady-state scheduling is allocation-free.
 func BenchmarkEngineThroughput(b *testing.B) {
 	eng := NewEngine()
 	n := 0
@@ -175,10 +178,11 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	tick = func() {
 		n++
 		if n < b.N {
-			eng.Schedule(time.Microsecond, tick)
+			eng.After(time.Microsecond, tick)
 		}
 	}
-	eng.Schedule(time.Microsecond, tick)
+	eng.After(time.Microsecond, tick)
+	b.ReportAllocs()
 	b.ResetTimer()
 	eng.Run()
 }
@@ -271,25 +275,12 @@ func BenchmarkThroughputSLO(b *testing.B) {
 	eng.Run()
 }
 
-// newBenchSample avoids importing internal/stats in this file's doc surface.
-func newBenchSample() *benchSample { return &benchSample{} }
+// newBenchSample wraps internal/stats.Sample, which sorts once per query
+// batch — the hand-rolled insertion sort it replaced was O(n²) and
+// quadratic at full-scale sample sizes.
+func newBenchSample() *benchSample { return &benchSample{s: stats.NewSample(1 << 12)} }
 
-type benchSample struct{ vals []time.Duration }
+type benchSample struct{ s *stats.Sample }
 
-func (s *benchSample) Add(d time.Duration) { s.vals = append(s.vals, d) }
-func (s *benchSample) Percentile(p float64) time.Duration {
-	if len(s.vals) == 0 {
-		return 0
-	}
-	v := append([]time.Duration(nil), s.vals...)
-	for i := 1; i < len(v); i++ { // insertion sort is fine at bench sizes
-		for j := i; j > 0 && v[j] < v[j-1]; j-- {
-			v[j], v[j-1] = v[j-1], v[j]
-		}
-	}
-	idx := int(p/100*float64(len(v))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	return v[idx]
-}
+func (b *benchSample) Add(d time.Duration)                { b.s.Add(d) }
+func (b *benchSample) Percentile(p float64) time.Duration { return b.s.Percentile(p) }

@@ -7,8 +7,13 @@
 //	mittbench -run fig5            # one experiment, quick scale
 //	mittbench -run all -full       # everything at paper scale
 //	mittbench -run fig3 -csv out/  # also dump CDF series as CSV
+//	mittbench -run all -j 8        # 8-way parallel, identical output
+//	mittbench -run all -j 1        # force the serial reference schedule
 //
 // Every run is deterministic: the same flags produce identical output.
+// -j only bounds the worker pool the independent simulation legs run on
+// (and, for -run all, how many experiments are in flight at once); it
+// never changes the bytes printed.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -30,6 +36,7 @@ func main() {
 		csv  = flag.String("csv", "", "directory to write per-series CDF CSVs into")
 		plot = flag.Bool("plot", false, "render each experiment's CDFs as an ASCII chart")
 		seed = flag.Int64("seed", 1, "simulation seed (same seed = identical output)")
+		jobs = flag.Int("j", 0, "worker pool size for parallel simulation legs (0 = one per CPU, 1 = serial); output is identical for any value")
 	)
 	flag.Parse()
 
@@ -48,24 +55,59 @@ func main() {
 	if *run == "all" {
 		ids = mittos.Experiments()
 	}
-	for _, id := range ids {
-		start := time.Now()
-		res, err := mittos.RunExperimentSeed(id, !*full, *seed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Fan out across whole experiments too (they are independent), capped
+	// at the same -j bound. Output is buffered per experiment and printed
+	// in declaration order, so `-run all -j 8` emits the same bytes as a
+	// serial run — only the "(regenerated ...)" timing lines differ.
+	type outcome struct {
+		text string
+		err  error
+	}
+	outs := make([]outcome, len(ids))
+	done := make([]chan struct{}, len(ids))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	sem := make(chan struct{}, workers)
+	for i, id := range ids {
+		i, id := i, id
+		go func() {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			defer close(done[i])
+			start := time.Now()
+			res, err := mittos.RunExperimentWorkers(id, !*full, *seed, workers)
+			if err != nil {
+				outs[i].err = err
+				return
+			}
+			var b strings.Builder
+			fmt.Fprintln(&b, res)
+			if *plot && len(res.Series) > 0 {
+				fmt.Fprintln(&b, res.Plot(72, 18))
+			}
+			fmt.Fprintf(&b, "(regenerated %s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+			outs[i].text = b.String()
+			if *csv != "" {
+				// Experiments write disjoint <id>-prefixed files; safe
+				// to dump concurrently.
+				outs[i].err = dumpCSV(*csv, res)
+			}
+		}()
+	}
+	for i := range ids {
+		<-done[i]
+		if outs[i].err != nil {
+			fmt.Fprintln(os.Stderr, outs[i].err)
 			os.Exit(1)
 		}
-		fmt.Println(res)
-		if *plot && len(res.Series) > 0 {
-			fmt.Println(res.Plot(72, 18))
-		}
-		fmt.Printf("(regenerated %s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
-		if *csv != "" {
-			if err := dumpCSV(*csv, res); err != nil {
-				fmt.Fprintln(os.Stderr, "csv:", err)
-				os.Exit(1)
-			}
-		}
+		fmt.Print(outs[i].text)
 	}
 }
 

@@ -29,9 +29,12 @@ func QuickScale() ExperimentOptions { return experiments.QuickOptions() }
 
 // experimentRunners maps experiment ids to their runners. Each regenerates
 // one table or figure of the paper (see DESIGN.md's per-experiment index).
-var experimentRunners = map[string]func(quick bool, seed int64) *ExperimentResult{
-	"table1": func(q bool, seed int64) *ExperimentResult { return experiments.Table1(scale(q, seed)) },
-	"fig3": func(q bool, seed int64) *ExperimentResult {
+// workers bounds the worker pool an experiment's independent simulation
+// legs run on (0 = one per CPU, 1 = serial); output is byte-identical for
+// any value.
+var experimentRunners = map[string]func(quick bool, seed int64, workers int) *ExperimentResult{
+	"table1": func(q bool, seed int64, w int) *ExperimentResult { return experiments.Table1(scale(q, seed, w)) },
+	"fig3": func(q bool, seed int64, w int) *ExperimentResult {
 		o := experiments.DefaultFig3Options()
 		if q {
 			o = experiments.QuickFig3Options()
@@ -39,26 +42,28 @@ var experimentRunners = map[string]func(quick bool, seed int64) *ExperimentResul
 		o.Seed = seed
 		return &experiments.Fig3(o).Result
 	},
-	"fig4": func(q bool, seed int64) *ExperimentResult {
+	"fig4": func(q bool, seed int64, w int) *ExperimentResult {
 		o := experiments.DefaultFig4Options()
 		if q {
 			o = experiments.QuickFig4Options()
 		}
 		o.Seed = seed
+		o.Workers = w
 		return experiments.Fig4(o)
 	},
-	"fig5": func(q bool, seed int64) *ExperimentResult { return experiments.Fig5(scale(q, seed)) },
-	"fig6": func(q bool, seed int64) *ExperimentResult { return experiments.Fig6(scale(q, seed)) },
-	"fig7": func(q bool, seed int64) *ExperimentResult { return experiments.Fig7(scale(q, seed)) },
-	"fig8": func(q bool, seed int64) *ExperimentResult {
+	"fig5": func(q bool, seed int64, w int) *ExperimentResult { return experiments.Fig5(scale(q, seed, w)) },
+	"fig6": func(q bool, seed int64, w int) *ExperimentResult { return experiments.Fig6(scale(q, seed, w)) },
+	"fig7": func(q bool, seed int64, w int) *ExperimentResult { return experiments.Fig7(scale(q, seed, w)) },
+	"fig8": func(q bool, seed int64, w int) *ExperimentResult {
 		o := experiments.DefaultFig8Options()
 		if q {
 			o = experiments.QuickFig8Options()
 		}
 		o.Seed = seed
+		o.Workers = w
 		return experiments.Fig8(o)
 	},
-	"fig9": func(q bool, seed int64) *ExperimentResult {
+	"fig9": func(q bool, seed int64, w int) *ExperimentResult {
 		o := experiments.DefaultFig9Options()
 		if q {
 			o = experiments.QuickFig9Options()
@@ -67,20 +72,21 @@ var experimentRunners = map[string]func(quick bool, seed int64) *ExperimentResul
 		res, _ := experiments.Fig9(o)
 		return res
 	},
-	"fig10":    func(q bool, seed int64) *ExperimentResult { return experiments.Fig10(scale(q, seed)) },
-	"fig11":    func(q bool, seed int64) *ExperimentResult { return experiments.Fig11(scale(q, seed)) },
-	"fig12":    func(q bool, seed int64) *ExperimentResult { return experiments.Fig12(scale(q, seed)) },
-	"fig13":    func(q bool, seed int64) *ExperimentResult { return &experiments.Fig13(scale(q, seed)).Result },
-	"allinone": func(q bool, seed int64) *ExperimentResult { return experiments.AllInOne(scale(q, seed)) },
-	"writes":   func(q bool, seed int64) *ExperimentResult { return experiments.Writes(scale(q, seed)) },
+	"fig10":    func(q bool, seed int64, w int) *ExperimentResult { return experiments.Fig10(scale(q, seed, w)) },
+	"fig11":    func(q bool, seed int64, w int) *ExperimentResult { return experiments.Fig11(scale(q, seed, w)) },
+	"fig12":    func(q bool, seed int64, w int) *ExperimentResult { return experiments.Fig12(scale(q, seed, w)) },
+	"fig13":    func(q bool, seed int64, w int) *ExperimentResult { return &experiments.Fig13(scale(q, seed, w)).Result },
+	"allinone": func(q bool, seed int64, w int) *ExperimentResult { return experiments.AllInOne(scale(q, seed, w)) },
+	"writes":   func(q bool, seed int64, w int) *ExperimentResult { return experiments.Writes(scale(q, seed, w)) },
 }
 
-func scale(quick bool, seed int64) ExperimentOptions {
+func scale(quick bool, seed int64, workers int) ExperimentOptions {
 	o := FullScale()
 	if quick {
 		o = QuickScale()
 	}
 	o.Seed = seed
+	o.Workers = workers
 	return o
 }
 
@@ -103,11 +109,21 @@ func RunExperiment(id string, quick bool) (*ExperimentResult, error) {
 
 // RunExperimentSeed is RunExperiment with an explicit seed: different seeds
 // draw fresh noise timelines and workloads, the cheap way to check a
-// result's stability.
+// result's stability. Independent simulation legs run on one worker per
+// CPU; use RunExperimentWorkers to pin the pool size.
 func RunExperimentSeed(id string, quick bool, seed int64) (*ExperimentResult, error) {
+	return RunExperimentWorkers(id, quick, seed, 0)
+}
+
+// RunExperimentWorkers is RunExperimentSeed with an explicit worker-pool
+// bound for the experiment's independent simulation legs: 0 means one
+// worker per CPU, 1 forces the serial reference schedule. The rendered
+// result is byte-identical for any value — parallelism only changes
+// wall-clock time (see internal/experiments/runner.go).
+func RunExperimentWorkers(id string, quick bool, seed int64, workers int) (*ExperimentResult, error) {
 	fn, ok := experimentRunners[id]
 	if !ok {
 		return nil, fmt.Errorf("mittos: unknown experiment %q (known: %v)", id, Experiments())
 	}
-	return fn(quick, seed), nil
+	return fn(quick, seed, workers), nil
 }

@@ -92,7 +92,7 @@ func (cl *Client) scheduleNext() {
 		span := time.Duration(float64(gap) * cl.cfg.JitterFrac)
 		gap = gap - span + cl.rng.Duration(2*span)
 	}
-	cl.eng.Schedule(gap, func() {
+	cl.eng.After(gap, func() {
 		cl.issueOne()
 		if !cl.cfg.Closed {
 			cl.scheduleNext()

@@ -360,7 +360,7 @@ func (p *CPUPool) kick() {
 		t := p.queue[0]
 		p.queue = p.queue[1:]
 		p.busy++
-		p.eng.Schedule(t.d, func() {
+		p.eng.After(t.d, func() {
 			p.busy--
 			t.fn()
 			p.kick()

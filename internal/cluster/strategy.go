@@ -359,7 +359,7 @@ func (s *MittOSStrategy) Get(key int64, onDone func(GetResult)) {
 					})
 				}
 				if s.RetryOverhead > 0 {
-					s.C.Eng.Schedule(s.RetryOverhead, next)
+					s.C.Eng.After(s.RetryOverhead, next)
 				} else {
 					next()
 				}

@@ -75,7 +75,7 @@ func (s *TiedStrategy) Get(key int64, onDone func(GetResult)) {
 	if delay <= 0 {
 		delay = 2 * s.C.Net.Config().HopLatency
 	}
-	s.C.Eng.Schedule(delay, func() {
+	s.C.Eng.After(delay, func() {
 		if won {
 			return
 		}

@@ -118,7 +118,7 @@ func (m *MittCache) SubmitSLO(req *blockio.Request, onDone func(error)) {
 		m.rejected++
 		m.cache.Prefetch(req.Offset, req.Size, req.Class, req.Priority, req.Proc)
 		busyErr := &BusyError{PredictedWait: m.minIO}
-		m.eng.Schedule(m.opt.SyscallCost, func() { onDone(busyErr) })
+		m.eng.After(m.opt.SyscallCost, func() { onDone(busyErr) })
 		return
 	}
 

@@ -42,6 +42,11 @@ type MittCFQ struct {
 	// Tolerable-time hash table: key = tolerable milliseconds.
 	buckets map[int64][]*cfqEntry
 	entries map[*blockio.Request]*cfqEntry
+	// order is the insertion-ordered view of entries. Charging bumped
+	// entries must walk them in a deterministic order — ranging over the
+	// entries map would randomize bucket-list and cancellation order and
+	// with it the simulation's event sequence.
+	order []*cfqEntry
 
 	accepted  uint64
 	rejected  uint64 // at admission
@@ -139,7 +144,7 @@ func (m *MittCFQ) SubmitSLO(req *blockio.Request, onDone func(error)) {
 		} else if m.dec.rejects(rawBusy) {
 			m.rejected++
 			busyErr := &BusyError{PredictedWait: wait}
-			m.eng.Schedule(m.opt.SyscallCost, func() { onDone(busyErr) })
+			m.eng.After(m.opt.SyscallCost, func() { onDone(busyErr) })
 			return
 		}
 	}
@@ -158,6 +163,7 @@ func (m *MittCFQ) SubmitSLO(req *blockio.Request, onDone func(error)) {
 		entry.bucket = bucketOf(entry.tolerable)
 		m.buckets[entry.bucket] = append(m.buckets[entry.bucket], entry)
 		m.entries[req] = entry
+		m.order = append(m.order, entry)
 	}
 
 	prev := req.OnComplete
@@ -222,7 +228,7 @@ func (m *MittCFQ) chargeBumpedEntries(newReq *blockio.Request, svc time.Duration
 		return
 	}
 	var victims []*cfqEntry
-	for _, entry := range m.entries {
+	for _, entry := range m.order {
 		if entry.req == newReq || entry.done || entry.req.Proc == newReq.Proc {
 			continue
 		}
@@ -291,6 +297,12 @@ func (m *MittCFQ) removeFromBucket(e *cfqEntry) {
 func (m *MittCFQ) dropEntry(e *cfqEntry) {
 	m.removeFromBucket(e)
 	delete(m.entries, e.req)
+	for i, x := range m.order {
+		if x == e {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
 }
 
 // cancel delivers late EBUSY: the IO is pulled out of the CFQ queues (never
@@ -321,5 +333,5 @@ func (m *MittCFQ) cancel(e *cfqEntry) {
 	}
 	m.cancelled++
 	busyErr := &BusyError{PredictedWait: -e.tolerable + e.req.Deadline}
-	m.eng.Schedule(m.opt.SyscallCost, func() { e.onDone(busyErr) })
+	m.eng.After(m.opt.SyscallCost, func() { e.onDone(busyErr) })
 }

@@ -104,7 +104,7 @@ func (m *MittDeadline) SubmitSLO(req *blockio.Request, onDone func(error)) {
 		} else if m.dec.rejects(rawBusy) {
 			m.rejected++
 			busyErr := &BusyError{PredictedWait: wait}
-			m.eng.Schedule(m.opt.SyscallCost, func() { onDone(busyErr) })
+			m.eng.After(m.opt.SyscallCost, func() { onDone(busyErr) })
 			return
 		}
 	}

@@ -135,7 +135,7 @@ func (m *MittNoop) SubmitSLO(req *blockio.Request, onDone func(error)) {
 			// request is not queued; it is automatically cancelled").
 			m.rejected++
 			busyErr := &BusyError{PredictedWait: wait}
-			m.eng.Schedule(m.opt.SyscallCost, func() { onDone(busyErr) })
+			m.eng.After(m.opt.SyscallCost, func() { onDone(busyErr) })
 			return
 		}
 	}

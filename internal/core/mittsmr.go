@@ -104,7 +104,7 @@ func (m *MittSMR) SubmitSLO(req *blockio.Request, onDone func(error)) {
 			// time: fast rejection without queueing.
 			m.rejectedByClean++
 			busyErr := &BusyError{PredictedWait: c}
-			m.eng.Schedule(m.opt.SyscallCost, func() { onDone(busyErr) })
+			m.eng.After(m.opt.SyscallCost, func() { onDone(busyErr) })
 			return
 		}
 	}

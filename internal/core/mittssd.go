@@ -141,7 +141,7 @@ func (m *MittSSD) SubmitSLO(req *blockio.Request, onDone func(error)) {
 			// the entire request; all sub-pages are not submitted." (§4.3)
 			m.rejected++
 			busyErr := &BusyError{PredictedWait: wait}
-			m.eng.Schedule(m.opt.SyscallCost, func() { onDone(busyErr) })
+			m.eng.After(m.opt.SyscallCost, func() { onDone(busyErr) })
 			return
 		}
 	}
@@ -177,7 +177,7 @@ func (m *MittSSD) SubmitSLO(req *blockio.Request, onDone func(error)) {
 		m.chipNextFree[chipID] = m.chipNextFree[chipID].Add(cost)
 		m.chanOut[chanID]++
 		ch := chanID
-		m.eng.Schedule(xferAt, func() {
+		m.eng.After(xferAt, func() {
 			if m.chanOut[ch] > 0 {
 				m.chanOut[ch]--
 			}

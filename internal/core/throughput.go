@@ -103,7 +103,7 @@ func (t *ThroughputSLO) SubmitSLO(req *blockio.Request, onDone func(error)) {
 			deficit := 1 - b.tokens
 			wait := time.Duration(deficit / b.rate * float64(time.Second))
 			busyErr := &BusyError{PredictedWait: wait}
-			t.eng.Schedule(t.opt.SyscallCost, func() { onDone(busyErr) })
+			t.eng.After(t.opt.SyscallCost, func() { onDone(busyErr) })
 			return
 		}
 	}

@@ -160,7 +160,7 @@ func (d *Disk) Submit(req *blockio.Request) {
 		len(d.destage) < d.cfg.WriteBufferSlots {
 		// NVRAM absorbs the write; destage happens during idle periods.
 		d.destage = append(d.destage, req)
-		d.eng.Schedule(d.cfg.WriteAckLatency, func() {
+		d.eng.After(d.cfg.WriteAckLatency, func() {
 			d.complete(req)
 		})
 		d.kick() // idle disks destage immediately
@@ -181,7 +181,7 @@ func (d *Disk) kick() {
 	}
 	d.busy = true
 	svc := d.ServiceTime(d.headPos, req)
-	d.eng.Schedule(svc, func() {
+	d.eng.After(svc, func() {
 		d.headPos = req.End()
 		d.busy = false
 		d.served++

@@ -36,6 +36,11 @@ type Options struct {
 	Interval time.Duration
 	// Keys is the KV keyspace per node.
 	Keys int64
+	// Workers bounds the worker pool the experiment's independent legs run
+	// on. 0 (the default) means one worker per CPU; 1 forces the serial
+	// reference schedule. Output is byte-identical for any value: legs are
+	// hermetic and results are assembled in declaration order.
+	Workers int
 }
 
 // DefaultOptions is the full-scale configuration.
@@ -277,18 +282,23 @@ func (f *fleet) runClients(opt Options, strat cluster.Strategy, scaleFactor int)
 
 // baselineP95 measures the Base strategy's p95 on a fresh fleet — the value
 // the paper uses for deadlines, hedge triggers, and timeouts ("we will use
-// 13ms, the p95 latency, for deadline and timeout values", §7.2).
+// 13ms, the p95 latency, for deadline and timeout values", §7.2). It is the
+// first stage of every experiment that needs the knob: expressed as a
+// single runLegs stage so the dependency on it is an explicit barrier.
 func baselineP95(opt Options, kind fleetKind, withNoise bool) (time.Duration, *stats.Sample) {
-	f := newFleet(opt, kind, false, "baseline")
-	if withNoise {
-		switch kind {
-		case fleetSSD:
-			f.addEC2SSDNoise(opt)
-		default:
-			f.addEC2DiskNoise(opt)
+	var io *stats.Sample
+	runLegs(opt.Workers, legs{func() {
+		f := newFleet(opt, kind, false, "baseline")
+		if withNoise {
+			switch kind {
+			case fleetSSD:
+				f.addEC2SSDNoise(opt)
+			default:
+				f.addEC2DiskNoise(opt)
+			}
 		}
-	}
-	io, _ := f.runClients(opt, &cluster.BaseStrategy{C: f.c}, 1)
+		io, _ = f.runClients(opt, &cluster.BaseStrategy{C: f.c}, 1)
+	}})
 	return io.Percentile(95), io
 }
 

@@ -20,22 +20,32 @@ import (
 func Fig11(opt Options) *Result {
 	res := &Result{ID: "fig11", Title: "Macrobenchmark + production workload mix (§7.8.1)"}
 
-	// Baseline under the mix sets the knobs.
-	fb := newFleet(opt, fleetDisk, false, "fig11-base")
-	addWorkloadMix(fb, opt)
-	baseIO, _ := fb.runClients(opt, &cluster.BaseStrategy{C: fb.c}, 1)
+	// Stage 1: baseline under the mix sets the knobs.
+	var baseIO *stats.Sample
+	runLegs(opt.Workers, legs{func() {
+		fb := newFleet(opt, fleetDisk, false, "fig11-base")
+		addWorkloadMix(fb, opt)
+		baseIO, _ = fb.runClients(opt, &cluster.BaseStrategy{C: fb.c}, 1)
+	}})
 	p95 := baseIO.Percentile(95)
 	res.Series = append(res.Series, Series{Name: "Base", Sample: baseIO})
 	res.Notes = append(res.Notes, fmt.Sprintf("deadline/hedge trigger = Base p95 = %v", p95))
 
-	fh := newFleet(opt, fleetDisk, false, "fig11-hedged")
-	addWorkloadMix(fh, opt)
-	hedged, _ := fh.runClients(opt, &cluster.HedgedStrategy{C: fh.c, HedgeAfter: p95}, 1)
+	// Stage 2: Hedged and MittCFQ fleets are independent given p95.
+	var hedged, mitt *stats.Sample
+	runLegs(opt.Workers, legs{
+		func() {
+			fh := newFleet(opt, fleetDisk, false, "fig11-hedged")
+			addWorkloadMix(fh, opt)
+			hedged, _ = fh.runClients(opt, &cluster.HedgedStrategy{C: fh.c, HedgeAfter: p95}, 1)
+		},
+		func() {
+			fm := newFleet(opt, fleetDisk, true, "fig11-mitt")
+			addWorkloadMix(fm, opt)
+			mitt, _ = fm.runClients(opt, &cluster.MittOSStrategy{C: fm.c, Deadline: p95}, 1)
+		},
+	})
 	res.Series = append(res.Series, Series{Name: "Hedged", Sample: hedged})
-
-	fm := newFleet(opt, fleetDisk, true, "fig11-mitt")
-	addWorkloadMix(fm, opt)
-	mitt, _ := fm.runClients(opt, &cluster.MittOSStrategy{C: fm.c, Deadline: p95}, 1)
 	res.Series = append(res.Series, Series{Name: "MittCFQ", Sample: mitt})
 
 	// Panel (b): reduction per percentile.

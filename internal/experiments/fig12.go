@@ -8,6 +8,7 @@ import (
 	"mittos/internal/cluster"
 	"mittos/internal/noise"
 	"mittos/internal/sim"
+	"mittos/internal/stats"
 )
 
 // Fig12 reproduces Figure 12: adaptive replica selection (C3) cannot react
@@ -36,17 +37,25 @@ func Fig12(opt Options) *Result {
 		{"1B2F-1sec", func(f *fleet) func() { return addRotating(f, opt, time.Second) }},
 		{"1B2F-5sec", func(f *fleet) func() { return addRotating(f, opt, 5*time.Second) }},
 	}
-	for _, reg := range regimes {
-		f := newFleet(opt, fleetDisk, false, "fig12-"+reg.name)
-		stop := reg.noise(f)
-		strat := &cluster.C3Strategy{C: f.c}
-		io, _ := f.runClients(opt, strat, 1)
-		stop()
-		res.Series = append(res.Series, Series{Name: "C3/" + reg.name, Sample: io})
+	// Stage 1: the four C3 regimes are independent legs.
+	outs := make([]*stats.Sample, len(regimes))
+	var ls legs
+	for i, reg := range regimes {
+		i, reg := i, reg
+		ls.add(func() {
+			f := newFleet(opt, fleetDisk, false, "fig12-"+reg.name)
+			stop := reg.noise(f)
+			strat := &cluster.C3Strategy{C: f.c}
+			io, _ := f.runClients(opt, strat, 1)
+			stop()
+			outs[i] = io
+		})
 	}
-	// Contrast: MittOS under the 1-second rotation.
-	fm := newFleet(opt, fleetDisk, true, "fig12-mitt")
-	stop := addRotating(fm, opt, time.Second)
+	runLegs(opt.Workers, ls)
+	for i, reg := range regimes {
+		res.Series = append(res.Series, Series{Name: "C3/" + reg.name, Sample: outs[i]})
+	}
+	// Stage 2: the MittOS contrast run needs the NoBusy p95 from stage 1.
 	p95 := time.Duration(0)
 	if s := res.FindSeries("C3/NoBusy"); s != nil {
 		p95 = s.Sample.Percentile(95)
@@ -54,8 +63,13 @@ func Fig12(opt Options) *Result {
 	if p95 <= 0 {
 		p95 = 15 * time.Millisecond
 	}
-	mitt, _ := fm.runClients(opt, &cluster.MittOSStrategy{C: fm.c, Deadline: p95}, 1)
-	stop()
+	var mitt *stats.Sample
+	runLegs(opt.Workers, legs{func() {
+		fm := newFleet(opt, fleetDisk, true, "fig12-mitt")
+		stop := addRotating(fm, opt, time.Second)
+		mitt, _ = fm.runClients(opt, &cluster.MittOSStrategy{C: fm.c, Deadline: p95}, 1)
+		stop()
+	}})
 	res.Series = append(res.Series, Series{Name: "MittOS/1B2F-1sec", Sample: mitt})
 	res.Notes = append(res.Notes, fmt.Sprintf("MittOS deadline = NoBusy p95 = %v", p95))
 	return res

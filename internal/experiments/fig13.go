@@ -45,25 +45,33 @@ func Fig13(opt Options) *Fig13Result {
 		ropt.Clients = ropt.Nodes
 	}
 
-	fb := newFleet(ropt, fleetDisk, false, "fig13-base")
-	fb.addEC2DiskNoise(ropt)
-	baseIO := fig13Run(fb, ropt, nil, nil)
+	// Stage 1: the Base run sets the deadline.
+	var baseIO *stats.Sample
+	runLegs(ropt.Workers, legs{func() {
+		fb := newFleet(ropt, fleetDisk, false, "fig13-base")
+		fb.addEC2DiskNoise(ropt)
+		baseIO = fig13Run(fb, ropt, nil, nil)
+	}})
 	p95 := baseIO.Percentile(95)
 	res.Series = append(res.Series, Series{Name: "Base", Sample: baseIO})
 	res.Notes = append(res.Notes, fmt.Sprintf("deadline = Base p95 = %v", p95))
 
-	fm := newFleet(ropt, fleetDisk, true, "fig13-mitt")
-	fm.addEC2DiskNoise(ropt)
-	watch := fm.c.Nodes[0]
+	// Stage 2: the MittCFQ run (with its panel-(b) timeline probe).
+	var mittIO *stats.Sample
 	var timeline []Fig13Timeline
-	fm.eng.NewTicker(250*time.Millisecond, func() {
-		timeline = append(timeline, Fig13Timeline{
-			At:          fm.eng.Now().Duration(),
-			Outstanding: watch.OutstandingIOs(),
-			Rejected:    watch.Rejected(),
+	runLegs(ropt.Workers, legs{func() {
+		fm := newFleet(ropt, fleetDisk, true, "fig13-mitt")
+		fm.addEC2DiskNoise(ropt)
+		watch := fm.c.Nodes[0]
+		fm.eng.NewTicker(250*time.Millisecond, func() {
+			timeline = append(timeline, Fig13Timeline{
+				At:          fm.eng.Now().Duration(),
+				Outstanding: watch.OutstandingIOs(),
+				Rejected:    watch.Rejected(),
+			})
 		})
-	})
-	mittIO := fig13Run(fm, ropt, &p95, nil)
+		mittIO = fig13Run(fm, ropt, &p95, nil)
+	}})
 	res.Series = append(res.Series, Series{Name: "MittCFQ", Sample: mittIO})
 	res.Timeline = timeline
 

@@ -192,7 +192,7 @@ func fig3Resource(opt Fig3Options, resource string) ([]*stats.Sample, *stats.Sam
 				cache.EvictRange(off, int(slab))
 				// The owner touches its set continuously; re-warm slowly in
 				// the background so misses are transient, as on EC2.
-				eng.Schedule(2*time.Second, func() { cache.Warm(off, int(slab)) })
+				eng.After(2*time.Second, func() { cache.Warm(off, int(slab)) })
 			})
 			ns.probe = func() {
 				off := rng.Int63n(workingSet-4096) &^ 4095

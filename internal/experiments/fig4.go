@@ -16,6 +16,8 @@ type Fig4Options struct {
 	Duration time.Duration
 	Interval time.Duration
 	Keys     int64
+	// Workers bounds the leg worker pool (0 = one per CPU); see Options.
+	Workers int
 }
 
 // DefaultFig4Options mirror §7.1: a 3-node cluster, one noisy replica, all
@@ -88,31 +90,46 @@ func Fig4(opt Fig4Options) *Result {
 		},
 	}
 
-	for _, panel := range panels {
-		for _, variant := range []string{"NoNoise", "Base", "MittOS"} {
-			fopt := Options{Seed: opt.Seed, Nodes: 3, Clients: 2,
-				Duration: opt.Duration, Interval: opt.Interval, Keys: opt.Keys}
-			f := newFleet(fopt, panel.kind, variant == "MittOS", panel.name+variant)
-			// Warm caches on every node for the cache panel so the
-			// non-noisy replicas serve from memory.
-			if panel.kind == fleetDiskCache {
-				for _, n := range f.c.Nodes {
-					warmNodeCache(n, opt.Keys)
+	// Each (panel, variant) pair is a hermetic leg: its own engine, fleet,
+	// and noise, nothing shared. All twelve run on the worker pool; Series
+	// are assembled in declaration order afterwards.
+	variants := []string{"NoNoise", "Base", "MittOS"}
+	samples := make([]*stats.Sample, len(panels)*len(variants))
+	var ls legs
+	for pi, panel := range panels {
+		for vi, variant := range variants {
+			pi, vi, panel, variant := pi, vi, panel, variant
+			ls.add(func() {
+				fopt := Options{Seed: opt.Seed, Nodes: 3, Clients: 2,
+					Duration: opt.Duration, Interval: opt.Interval, Keys: opt.Keys}
+				f := newFleet(fopt, panel.kind, variant == "MittOS", panel.name+variant)
+				// Warm caches on every node for the cache panel so the
+				// non-noisy replicas serve from memory.
+				if panel.kind == fleetDiskCache {
+					for _, n := range f.c.Nodes {
+						warmNodeCache(n, opt.Keys)
+					}
 				}
-			}
-			noisyNode := 0
-			if variant != "NoNoise" {
-				panel.noise(f, noisyNode)
-			}
-			var strat cluster.Strategy
-			if variant == "MittOS" {
-				strat = &primaryFirstMitt{c: f.c, deadline: panel.deadline, primary: noisyNode}
-			} else {
-				strat = &primaryFirstBase{c: f.c, primary: noisyNode}
-			}
-			io, _ := f.runClients(fopt, strat, 1)
+				noisyNode := 0
+				if variant != "NoNoise" {
+					panel.noise(f, noisyNode)
+				}
+				var strat cluster.Strategy
+				if variant == "MittOS" {
+					strat = &primaryFirstMitt{c: f.c, deadline: panel.deadline, primary: noisyNode}
+				} else {
+					strat = &primaryFirstBase{c: f.c, primary: noisyNode}
+				}
+				io, _ := f.runClients(fopt, strat, 1)
+				samples[pi*len(variants)+vi] = io
+			})
+		}
+	}
+	runLegs(opt.Workers, ls)
+	for pi, panel := range panels {
+		for vi, variant := range variants {
 			res.Series = append(res.Series, Series{
-				Name: panel.name + "/" + variant, Sample: io})
+				Name: panel.name + "/" + variant, Sample: samples[pi*len(variants)+vi]})
 		}
 	}
 	res.Notes = append(res.Notes,

@@ -41,12 +41,23 @@ func Fig5(opt Options) *Result {
 			return &cluster.MittOSStrategy{C: c, Deadline: p95}
 		}},
 	}
-	for _, r := range runs {
-		f := newFleet(opt, fleetDisk, r.mitt, r.name)
-		f.addEC2DiskNoise(opt)
-		io, _ := f.runClients(opt, r.mk(f.c), 1)
-		samples[r.name] = io
-		res.Series = append(res.Series, Series{Name: r.name, Sample: io})
+	// Stage 2: the four strategy fleets are independent given p95; one leg
+	// each, Series appended in declaration order after the barrier.
+	outs := make([]*stats.Sample, len(runs))
+	var ls legs
+	for i, r := range runs {
+		i, r := i, r
+		ls.add(func() {
+			f := newFleet(opt, fleetDisk, r.mitt, r.name)
+			f.addEC2DiskNoise(opt)
+			io, _ := f.runClients(opt, r.mk(f.c), 1)
+			outs[i] = io
+		})
+	}
+	runLegs(opt.Workers, ls)
+	for i, r := range runs {
+		samples[r.name] = outs[i]
+		res.Series = append(res.Series, Series{Name: r.name, Sample: outs[i]})
 	}
 
 	res.Tables = append(res.Tables, reductionTable(samples["MittCFQ"], samples))
@@ -62,26 +73,38 @@ func Fig6(opt Options) *Result {
 	res.Notes = append(res.Notes, fmt.Sprintf("deadline/hedge trigger = %v", p95))
 
 	tb := &stats.Table{Header: []string{"SF", "Avg", "p75", "p90", "p95", "p99"}}
-	for _, sf := range []int{1, 2, 5, 10} {
+	// Stage 2: one leg per (scale factor, strategy) — eight hermetic runs.
+	sfs := []int{1, 2, 5, 10}
+	hedgedOut := make([]*stats.Sample, len(sfs))
+	mittOut := make([]*stats.Sample, len(sfs))
+	var ls legs
+	for i, sf := range sfs {
 		// A user request fans out to SF gets; spacing user requests SF×
 		// apart keeps the per-node IO load constant across panels (the
 		// paper's closed-loop YCSB clients self-limit the same way).
 		sopt := opt
 		sopt.Interval = opt.Interval * time.Duration(sf)
-
-		fh := newFleet(sopt, fleetDisk, false, fmt.Sprintf("hedged-sf%d", sf))
-		fh.addEC2DiskNoise(sopt)
-		_, hedgedUser := fh.runClients(sopt, &cluster.HedgedStrategy{C: fh.c, HedgeAfter: p95}, sf)
-
-		fm := newFleet(sopt, fleetDisk, true, fmt.Sprintf("mitt-sf%d", sf))
-		fm.addEC2DiskNoise(sopt)
-		_, mittUser := fm.runClients(sopt, &cluster.MittOSStrategy{C: fm.c, Deadline: p95}, sf)
-
+		i, sf, sopt := i, sf, sopt
+		ls.add(func() {
+			fh := newFleet(sopt, fleetDisk, false, fmt.Sprintf("hedged-sf%d", sf))
+			fh.addEC2DiskNoise(sopt)
+			_, hedgedUser := fh.runClients(sopt, &cluster.HedgedStrategy{C: fh.c, HedgeAfter: p95}, sf)
+			hedgedOut[i] = hedgedUser
+		})
+		ls.add(func() {
+			fm := newFleet(sopt, fleetDisk, true, fmt.Sprintf("mitt-sf%d", sf))
+			fm.addEC2DiskNoise(sopt)
+			_, mittUser := fm.runClients(sopt, &cluster.MittOSStrategy{C: fm.c, Deadline: p95}, sf)
+			mittOut[i] = mittUser
+		})
+	}
+	runLegs(opt.Workers, ls)
+	for i, sf := range sfs {
 		res.Series = append(res.Series,
-			Series{Name: fmt.Sprintf("Hedged-SF%d", sf), Sample: hedgedUser},
-			Series{Name: fmt.Sprintf("MittCFQ-SF%d", sf), Sample: mittUser},
+			Series{Name: fmt.Sprintf("Hedged-SF%d", sf), Sample: hedgedOut[i]},
+			Series{Name: fmt.Sprintf("MittCFQ-SF%d", sf), Sample: mittOut[i]},
 		)
-		row := stats.ReductionRow(mittUser, hedgedUser)
+		row := stats.ReductionRow(mittOut[i], hedgedOut[i])
 		cells := []string{fmt.Sprintf("%d", sf)}
 		for _, v := range row {
 			cells = append(cells, stats.FormatPct(v))
@@ -104,21 +127,35 @@ func Fig10(opt Options) *Result {
 	res.Notes = append(res.Notes, fmt.Sprintf("deadline = %v", p95))
 	res.Series = append(res.Series, Series{Name: "Base", Sample: baseIO})
 
-	run := func(name string, fn, fp float64) {
-		f := newFleet(opt, fleetDisk, true, name)
-		f.addEC2DiskNoise(opt)
-		for _, n := range f.c.Nodes {
-			n.MittCFQ.SetErrorInjection(fn, fp, sim.NewRNG(opt.Seed, "inj-"+name))
-		}
-		io, _ := f.runClients(opt, &cluster.MittOSStrategy{C: f.c, Deadline: p95}, 1)
-		res.Series = append(res.Series, Series{Name: name, Sample: io})
+	// Stage 2: seven injection points, one hermetic leg each.
+	type inj struct {
+		name   string
+		fn, fp float64
 	}
-	run("NoError", 0, 0)
+	points := []inj{{"NoError", 0, 0}}
 	for _, e := range []float64{0.2, 0.6, 1.0} {
-		run(fmt.Sprintf("FalseNeg-%d%%", int(e*100)), e, 0)
+		points = append(points, inj{fmt.Sprintf("FalseNeg-%d%%", int(e*100)), e, 0})
 	}
 	for _, e := range []float64{0.2, 0.6, 1.0} {
-		run(fmt.Sprintf("FalsePos-%d%%", int(e*100)), 0, e)
+		points = append(points, inj{fmt.Sprintf("FalsePos-%d%%", int(e*100)), 0, e})
+	}
+	outs := make([]*stats.Sample, len(points))
+	var ls legs
+	for i, pt := range points {
+		i, pt := i, pt
+		ls.add(func() {
+			f := newFleet(opt, fleetDisk, true, pt.name)
+			f.addEC2DiskNoise(opt)
+			for _, n := range f.c.Nodes {
+				n.MittCFQ.SetErrorInjection(pt.fn, pt.fp, sim.NewRNG(opt.Seed, "inj-"+pt.name))
+			}
+			io, _ := f.runClients(opt, &cluster.MittOSStrategy{C: f.c, Deadline: p95}, 1)
+			outs[i] = io
+		})
+	}
+	runLegs(opt.Workers, ls)
+	for i, pt := range points {
+		res.Series = append(res.Series, Series{Name: pt.name, Sample: outs[i]})
 	}
 	return res
 }

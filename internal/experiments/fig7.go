@@ -17,37 +17,52 @@ func Fig7(opt Options) *Result {
 	res := &Result{ID: "fig7", Title: "MittCache vs Hedged under memory contention (§7.4)"}
 	const deadline = 200 * time.Microsecond
 
-	// Baseline with cache-eviction noise sets the hedge trigger.
-	fb := newFleet(opt, fleetDiskCache, false, "fig7-base")
-	warmFleet(fb, opt)
-	addCacheNoise(fb, opt)
-	baseIO, _ := fb.runClients(opt, &cluster.BaseStrategy{C: fb.c}, 1)
+	// Stage 1: baseline with cache-eviction noise sets the hedge trigger.
+	var baseIO *stats.Sample
+	runLegs(opt.Workers, legs{func() {
+		fb := newFleet(opt, fleetDiskCache, false, "fig7-base")
+		warmFleet(fb, opt)
+		addCacheNoise(fb, opt)
+		baseIO, _ = fb.runClients(opt, &cluster.BaseStrategy{C: fb.c}, 1)
+	}})
 	hedgeAfter := baseIO.Percentile(95)
 	res.Series = append(res.Series, Series{Name: "Base", Sample: baseIO})
 	res.Notes = append(res.Notes, fmt.Sprintf("hedge trigger = Base p95 = %v; deadline = %v",
 		hedgeAfter, deadline))
 
 	tb := &stats.Table{Header: []string{"SF", "Avg", "p75", "p90", "p95", "p99"}}
-	for _, sf := range []int{1, 2, 5, 10} {
+	// Stage 2: one leg per (scale factor, strategy), as in Fig6.
+	sfs := []int{1, 2, 5, 10}
+	hedgedOut := make([]*stats.Sample, len(sfs))
+	mittOut := make([]*stats.Sample, len(sfs))
+	var ls legs
+	for i, sf := range sfs {
 		// Constant per-node IO load across scale factors (see Fig6).
 		sopt := opt
 		sopt.Interval = opt.Interval * time.Duration(sf)
-
-		fh := newFleet(sopt, fleetDiskCache, false, fmt.Sprintf("fig7-hedged-sf%d", sf))
-		warmFleet(fh, sopt)
-		addCacheNoise(fh, sopt)
-		_, hedgedUser := fh.runClients(sopt, &cluster.HedgedStrategy{C: fh.c, HedgeAfter: hedgeAfter}, sf)
-
-		fm := newFleet(sopt, fleetDiskCache, true, fmt.Sprintf("fig7-mitt-sf%d", sf))
-		warmFleet(fm, sopt)
-		addCacheNoise(fm, sopt)
-		_, mittUser := fm.runClients(sopt, &cluster.MittOSStrategy{C: fm.c, Deadline: deadline}, sf)
-
+		i, sf, sopt := i, sf, sopt
+		ls.add(func() {
+			fh := newFleet(sopt, fleetDiskCache, false, fmt.Sprintf("fig7-hedged-sf%d", sf))
+			warmFleet(fh, sopt)
+			addCacheNoise(fh, sopt)
+			_, hedgedUser := fh.runClients(sopt, &cluster.HedgedStrategy{C: fh.c, HedgeAfter: hedgeAfter}, sf)
+			hedgedOut[i] = hedgedUser
+		})
+		ls.add(func() {
+			fm := newFleet(sopt, fleetDiskCache, true, fmt.Sprintf("fig7-mitt-sf%d", sf))
+			warmFleet(fm, sopt)
+			addCacheNoise(fm, sopt)
+			_, mittUser := fm.runClients(sopt, &cluster.MittOSStrategy{C: fm.c, Deadline: deadline}, sf)
+			mittOut[i] = mittUser
+		})
+	}
+	runLegs(opt.Workers, ls)
+	for i, sf := range sfs {
 		res.Series = append(res.Series,
-			Series{Name: fmt.Sprintf("Hedged-SF%d", sf), Sample: hedgedUser},
-			Series{Name: fmt.Sprintf("MittCache-SF%d", sf), Sample: mittUser},
+			Series{Name: fmt.Sprintf("Hedged-SF%d", sf), Sample: hedgedOut[i]},
+			Series{Name: fmt.Sprintf("MittCache-SF%d", sf), Sample: mittOut[i]},
 		)
-		row := stats.ReductionRow(mittUser, hedgedUser)
+		row := stats.ReductionRow(mittOut[i], hedgedOut[i])
 		cells := []string{fmt.Sprintf("%d", sf)}
 		for _, v := range row {
 			cells = append(cells, stats.FormatPct(v))
@@ -88,7 +103,7 @@ func addCacheNoise(f *fleet, opt Options) {
 			}
 			// The owner re-touches its working set: the slab returns to
 			// memory a couple of seconds later, as on EC2 (§6).
-			f.eng.Schedule(2*time.Second, func() {
+			f.eng.After(2*time.Second, func() {
 				for k := start; k < start+slabKeys; k++ {
 					if off, ok := n.Store.KeyOffset(k); ok {
 						n.Cache.Warm(off, 4096)

@@ -26,6 +26,8 @@ type Fig8Options struct {
 	// flash, requests are CPU-bound ("processes are not IO bound").
 	CPUPerOp time.Duration
 	Keys     int64
+	// Workers bounds the leg worker pool (0 = one per CPU); see Options.
+	Workers int
 }
 
 // DefaultFig8Options mirror §7.5: 6 partitions, 6 closed-loop clients, one
@@ -51,21 +53,32 @@ func QuickFig8Options() Fig8Options {
 func Fig8(opt Fig8Options) *Result {
 	res := &Result{ID: "fig8", Title: "MittSSD vs Hedged on one 8-core SSD box (§7.5)"}
 
-	base := fig8Run(opt, "Base", func(c *cluster.Cluster, p95 time.Duration) cluster.Strategy {
-		return &cluster.BaseStrategy{C: c}
-	}, 0)
+	// Stage 1: the Base run sets the p95 knob.
+	var base *stats.Sample
+	runLegs(opt.Workers, legs{func() {
+		base = fig8Run(opt, "Base", func(c *cluster.Cluster, p95 time.Duration) cluster.Strategy {
+			return &cluster.BaseStrategy{C: c}
+		}, 0)
+	}})
 	p95 := base.Percentile(95)
 	res.Series = append(res.Series, Series{Name: "Base", Sample: base})
 	res.Notes = append(res.Notes, fmt.Sprintf("deadline/hedge trigger = Base p95 = %v (no network hop: local clients)", p95))
 
-	hedged := fig8Run(opt, "Hedged", func(c *cluster.Cluster, p95 time.Duration) cluster.Strategy {
-		return &cluster.HedgedStrategy{C: c, HedgeAfter: p95}
-	}, p95)
+	// Stage 2: Hedged and MittSSD are independent given p95.
+	var hedged, mitt *stats.Sample
+	runLegs(opt.Workers, legs{
+		func() {
+			hedged = fig8Run(opt, "Hedged", func(c *cluster.Cluster, p95 time.Duration) cluster.Strategy {
+				return &cluster.HedgedStrategy{C: c, HedgeAfter: p95}
+			}, p95)
+		},
+		func() {
+			mitt = fig8Run(opt, "MittSSD", func(c *cluster.Cluster, p95 time.Duration) cluster.Strategy {
+				return &cluster.MittOSStrategy{C: c, Deadline: p95}
+			}, p95)
+		},
+	})
 	res.Series = append(res.Series, Series{Name: "Hedged", Sample: hedged})
-
-	mitt := fig8Run(opt, "MittSSD", func(c *cluster.Cluster, p95 time.Duration) cluster.Strategy {
-		return &cluster.MittOSStrategy{C: c, Deadline: p95}
-	}, p95)
 	res.Series = append(res.Series, Series{Name: "MittSSD", Sample: mitt})
 
 	tb := &stats.Table{Header: []string{"vs", "Avg", "p75", "p90", "p95", "p99"}}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// The parallel experiment runner.
+//
+// Every experiment in this reproduction decomposes into *legs*: independent
+// simulation runs that each build their own sim.Engine, RNG streams, and
+// fleet, and communicate with the rest of the experiment only through
+// variables the leg closure captures. Legs share no mutable state — the only
+// package-level data they touch is sharedDiskProfile, which is computed once
+// at init and read-only afterwards — so they can execute on any number of OS
+// threads without changing a single output bit. Each engine itself stays
+// single-threaded; parallelism exists only *between* engines.
+//
+// Determinism is preserved by construction: a leg's result depends only on
+// its inputs (options, seed, salt), and callers assemble Series/Tables in
+// declaration order after runLegs returns, so the rendered Result is
+// byte-identical whether legs ran serially or on eight workers.
+// TestFig4ParallelDeterminism and TestConvertedExperimentsParallelDeterminism
+// prove this rather than assert it.
+//
+// Stages with data dependencies (e.g. every strategy run needing the
+// baseline's p95) are expressed as consecutive runLegs calls: runLegs is a
+// barrier, so a later stage may read anything an earlier stage wrote.
+
+// legs is an ordered slice of self-contained experiment legs.
+type legs []func()
+
+// add appends a leg; sugar that keeps call sites tidy.
+func (l *legs) add(fn func()) { *l = append(*l, fn) }
+
+// resolveWorkers maps the Options.Workers convention (0 = one worker per
+// CPU) to a concrete pool size.
+func resolveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// runLegs executes every leg on a bounded worker pool and returns once all
+// have finished. Legs are handed to workers in declaration order; with
+// workers ≤ 1 they run inline, which is the reference serial schedule the
+// determinism tests compare against. A panicking leg does not kill the
+// pool's goroutine silently: the first panic is captured and re-raised on
+// the calling goroutine after the pool drains.
+func runLegs(workers int, ls legs) {
+	workers = resolveWorkers(workers)
+	if workers > len(ls) {
+		workers = len(ls)
+	}
+	if workers <= 1 {
+		for _, fn := range ls {
+			fn()
+		}
+		return
+	}
+	var (
+		wg         sync.WaitGroup
+		panicOnce  sync.Once
+		panicValue any
+	)
+	work := make(chan func())
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for fn := range work {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() { panicValue = r })
+						}
+					}()
+					fn()
+				}()
+			}
+		}()
+	}
+	for _, fn := range ls {
+		work <- fn
+	}
+	close(work)
+	wg.Wait()
+	if panicValue != nil {
+		panic(fmt.Sprintf("experiments: leg panicked: %v", panicValue))
+	}
+}

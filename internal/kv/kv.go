@@ -217,7 +217,7 @@ func (s *Store) allocExtent(size int64) int64 {
 func (s *Store) Get(key int64, deadline time.Duration, onDone func(error)) *blockio.Request {
 	s.gets++
 	if s.memtable[key] {
-		s.eng.Schedule(s.cfg.MemLatency, func() { onDone(nil) })
+		s.eng.After(s.cfg.MemLatency, func() { onDone(nil) })
 		return nil
 	}
 	for _, r := range s.runs {
@@ -229,7 +229,7 @@ func (s *Store) Get(key int64, deadline time.Duration, onDone func(error)) *bloc
 			// The §5 MongoDB path: addrcheck(&myDB[i], size, deadline)
 			// before dereferencing the mapped pointer.
 			if err := s.mcache.AddrCheck(off, s.cfg.BlockSize, deadline); err != nil {
-				s.eng.Schedule(s.cfg.MemLatency, func() { onDone(err) })
+				s.eng.After(s.cfg.MemLatency, func() { onDone(err) })
 				return nil
 			}
 			// Resident (or a tolerable fault): touch the mapping. The
@@ -249,7 +249,7 @@ func (s *Store) Get(key int64, deadline time.Duration, onDone func(error)) *bloc
 		s.target.SubmitSLO(req, onDone)
 		return req
 	}
-	s.eng.Schedule(s.cfg.MemLatency, func() { onDone(ErrNotFound) })
+	s.eng.After(s.cfg.MemLatency, func() { onDone(ErrNotFound) })
 	return nil
 }
 
@@ -271,7 +271,7 @@ func (s *Store) Put(key int64, onDone func(error)) {
 	if len(s.memtable) >= s.cfg.MemtableCap {
 		s.flush()
 	}
-	s.eng.Schedule(s.cfg.MemLatency, func() { onDone(nil) })
+	s.eng.After(s.cfg.MemLatency, func() { onDone(nil) })
 }
 
 // walOffset cycles a small log extent at the region tail.

@@ -63,12 +63,12 @@ func (n *Network) HopCost() time.Duration {
 // Send delivers fn after one network hop.
 func (n *Network) Send(fn func()) {
 	n.sent++
-	n.eng.Schedule(n.HopCost(), fn)
+	n.eng.After(n.HopCost(), fn)
 }
 
 // RoundTrip delivers fn after two hops (request + response), the cost of
 // asking a remote node that answers immediately.
 func (n *Network) RoundTrip(fn func()) {
 	n.sent += 2
-	n.eng.Schedule(n.HopCost()+n.HopCost(), fn)
+	n.eng.After(n.HopCost()+n.HopCost(), fn)
 }

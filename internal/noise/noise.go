@@ -140,7 +140,7 @@ func (b *Bursty) scheduleNext() {
 		return
 	}
 	gap := b.rng.Exp(b.cfg.MeanInterarrival)
-	b.eng.Schedule(gap, b.beginEpisode)
+	b.eng.After(gap, b.beginEpisode)
 }
 
 func (b *Bursty) beginEpisode() {
@@ -155,7 +155,7 @@ func (b *Bursty) beginEpisode() {
 	for i := 0; i < streams*b.cfg.IODepth; i++ {
 		b.stream(end)
 	}
-	b.eng.At(end, func() {
+	b.eng.FireAt(end, func() {
 		b.active = false
 		b.scheduleNext()
 	})
@@ -299,7 +299,7 @@ func (r *Rotating) beginEpoch() {
 	for i := 0; i < r.streams; i++ {
 		r.loop(r.current, epoch)
 	}
-	r.eng.Schedule(r.period, func() {
+	r.eng.After(r.period, func() {
 		if !r.running {
 			return
 		}

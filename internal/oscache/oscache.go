@@ -143,12 +143,12 @@ func (c *Cache) Submit(req *blockio.Request) {
 		for p := first; p <= last; p++ {
 			c.insert(p, true)
 		}
-		c.eng.Schedule(c.cfg.HitLatency, func() { c.complete(req) })
+		c.eng.After(c.cfg.HitLatency, func() { c.complete(req) })
 	case blockio.Read:
 		if c.Resident(req.Offset, req.Size) {
 			c.hits++
 			c.touchRange(req.Offset, req.Size)
-			c.eng.Schedule(c.cfg.HitLatency, func() { c.complete(req) })
+			c.eng.After(c.cfg.HitLatency, func() { c.complete(req) })
 			return
 		}
 		c.misses++

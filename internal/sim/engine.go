@@ -10,10 +10,20 @@
 // The engine is intentionally single-threaded. Events execute in
 // (time, sequence) order; ties in time break by scheduling order, so the
 // simulation is a total order and there are no data races by construction.
+// (Different Engines are fully independent and may run on different
+// goroutines; see internal/experiments for the parallel runner that
+// exploits this.)
+//
+// The event loop is the floor under every experiment's wall-clock time, so
+// it is built to allocate nothing in steady state: the priority queue is a
+// hand-specialized min-heap over []*Event (no container/heap interface
+// boxing), and events scheduled through the fire-and-forget After/FireAt
+// path are recycled through an engine-owned freelist. Schedule/At return a
+// cancellation handle and therefore pin their Event for the engine's
+// lifetime; hot paths that never cancel should prefer After.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -57,12 +67,14 @@ func (t Time) String() string { return Duration(t).String() }
 
 // Event is a scheduled callback. Events are returned by the Schedule family
 // so callers can cancel them (e.g. a hedged request cancelling its timeout
-// when the first reply wins).
+// when the first reply wins). Events scheduled via After/FireAt are owned
+// by the engine and recycled once fired; no handle is exposed for them.
 type Event struct {
 	at        Time
 	seq       uint64
 	fn        func()
-	index     int // heap index; -1 once popped or cancelled
+	eng       *Engine
+	owned     bool // engine-owned (After/FireAt): recycled after firing
 	cancelled bool
 }
 
@@ -73,21 +85,34 @@ func (e *Event) Time() Time { return e.at }
 func (e *Event) Cancelled() bool { return e.cancelled }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op. The event stays in the heap and is
-// discarded when popped; this keeps Cancel O(1).
+// already-cancelled event is a no-op. The event stays in the heap as a
+// tombstone and is discarded when popped, which keeps Cancel O(1); the
+// engine compacts the heap when tombstones outnumber live events.
 func (e *Event) Cancel() {
+	if e.cancelled || e.fn == nil {
+		// Already cancelled, or already fired (fn is cleared at fire time).
+		return
+	}
 	e.cancelled = true
 	e.fn = nil
+	eng := e.eng
+	eng.nLive--
+	eng.nCancelled++
+	if eng.nCancelled > len(eng.heap)/2 {
+		eng.compact()
+	}
 }
 
 // Engine is the event loop. The zero value is not usable; use NewEngine.
 type Engine struct {
-	now    Time
-	seq    uint64
-	queue  eventHeap
-	nLive  int // scheduled, not-yet-cancelled events
-	fired  uint64
-	halted bool
+	now        Time
+	seq        uint64
+	heap       []*Event
+	free       []*Event // recycled engine-owned events
+	nLive      int      // scheduled, not-yet-cancelled events
+	nCancelled int      // tombstones still in the heap
+	fired      uint64
+	halted     bool
 }
 
 // NewEngine returns an engine positioned at virtual time zero.
@@ -104,9 +129,10 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of scheduled, not-cancelled events.
 func (e *Engine) Pending() int { return e.nLive }
 
-// Schedule runs fn after delay d. A negative delay is treated as zero: the
-// event fires "now", after any events already scheduled for the current
-// instant (FIFO within a timestamp).
+// Schedule runs fn after delay d and returns a cancellation handle. A
+// negative delay is treated as zero: the event fires "now", after any
+// events already scheduled for the current instant (FIFO within a
+// timestamp).
 func (e *Engine) Schedule(d Duration, fn func()) *Event {
 	if d < 0 {
 		d = 0
@@ -114,27 +140,61 @@ func (e *Engine) Schedule(d Duration, fn func()) *Event {
 	return e.At(e.now.Add(d), fn)
 }
 
-// At runs fn at absolute virtual time t. Scheduling in the past is clamped
-// to the present.
+// At runs fn at absolute virtual time t and returns a cancellation handle.
+// Scheduling in the past is clamped to the present.
 func (e *Engine) At(t Time, fn func()) *Event {
+	return e.post(t, fn, false)
+}
+
+// After runs fn after delay d, fire-and-forget: no cancellation handle is
+// returned, which lets the engine recycle the event through its freelist.
+// Steady-state scheduling through After allocates nothing. It is the right
+// call for device models, network hops, and every other hot path that
+// never cancels.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.post(e.now.Add(d), fn, true)
+}
+
+// FireAt is the absolute-time form of After: fire-and-forget at virtual
+// time t, clamped to the present.
+func (e *Engine) FireAt(t Time, fn func()) {
+	e.post(t, fn, true)
+}
+
+// post enqueues fn at time t. Owned events come from — and return to — the
+// engine's freelist; handle-returning events are allocated fresh and never
+// recycled, so a caller-held *Event can never alias a later event.
+func (e *Engine) post(t Time, fn func(), owned bool) *Event {
 	if fn == nil {
-		panic("sim: At called with nil callback")
+		panic("sim: schedule called with nil callback")
 	}
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); owned && n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{eng: e}
+	}
+	ev.at, ev.seq, ev.fn, ev.owned, ev.cancelled = t, e.seq, fn, owned, false
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.push(ev)
 	e.nLive++
 	return ev
 }
 
 // Step executes the next event, if any, and reports whether one ran.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
+	for len(e.heap) > 0 {
+		ev := e.pop()
 		if ev.cancelled {
+			e.nCancelled--
 			continue
 		}
 		e.nLive--
@@ -143,6 +203,11 @@ func (e *Engine) Step() bool {
 		}
 		fn := ev.fn
 		ev.fn = nil
+		if ev.owned {
+			// Safe to recycle before running fn: the callback was extracted,
+			// and no caller holds a pointer to an owned event.
+			e.free = append(e.free, ev)
+		}
 		e.fired++
 		fn()
 		return true
@@ -181,12 +246,13 @@ func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
 func (e *Engine) Halt() { e.halted = true }
 
 func (e *Engine) peek() *Event {
-	for len(e.queue) > 0 {
-		if e.queue[0].cancelled {
-			heap.Pop(&e.queue)
+	for len(e.heap) > 0 {
+		if ev := e.heap[0]; ev.cancelled {
+			e.pop()
+			e.nCancelled--
 			continue
 		}
-		return e.queue[0]
+		return e.heap[0]
 	}
 	return nil
 }
@@ -200,35 +266,91 @@ func (e *Engine) String() string {
 	return fmt.Sprintf("sim.Engine{now=%v pending=%d fired=%d}", e.now, e.nLive, e.fired)
 }
 
-// eventHeap orders by (time, seq).
-type eventHeap []*Event
+// The priority queue is a hand-specialized binary min-heap ordered by
+// (time, seq). Specializing over []*Event avoids container/heap's
+// per-operation interface dispatch, which dominated the event loop's
+// profile before the rewrite.
 
-// Len, Less, Swap, Push, and Pop implement container/heap.Interface.
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether a fires strictly before b. seq is unique per
+// engine, so the order is total and the simulation deterministic.
+func before(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+func (e *Engine) push(ev *Event) {
+	h := append(e.heap, ev)
+	e.heap = h
+	// Sift up.
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
+
+func (e *Engine) pop() *Event {
+	h := e.heap
+	n := len(h)
+	ev := h[0]
+	last := h[n-1]
+	h[n-1] = nil
+	h = h[:n-1]
+	e.heap = h
+	if len(h) > 0 {
+		h[0] = last
+		e.siftDown(0)
+	}
 	return ev
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && before(h[right], h[left]) {
+			min = right
+		}
+		if !before(h[min], h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// compact removes cancelled tombstones from the heap and re-heapifies.
+// Without it, a workload that schedules and cancels timeouts forever (e.g.
+// hedged requests whose first reply always wins) grows the heap without
+// bound even though Pending stays flat.
+func (e *Engine) compact() {
+	h := e.heap
+	kept := h[:0]
+	for _, ev := range h {
+		if ev.cancelled {
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	for i := len(kept); i < len(h); i++ {
+		h[i] = nil
+	}
+	e.heap = kept
+	e.nCancelled = 0
+	for i := len(kept)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
 }
 
 // Ticker repeatedly invokes fn every period until Stop is called. It is the
@@ -238,6 +360,7 @@ type Ticker struct {
 	e      *Engine
 	period Duration
 	fn     func()
+	tick   func() // the single re-armed closure, built once in NewTicker
 	ev     *Event
 	stop   bool
 }
@@ -250,12 +373,7 @@ func (e *Engine) NewTicker(period Duration, fn func()) *Ticker {
 		panic("sim: NewTicker requires a positive period")
 	}
 	t := &Ticker{e: e, period: period, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.ev = t.e.Schedule(t.period, func() {
+	t.tick = func() {
 		if t.stop {
 			return
 		}
@@ -263,7 +381,13 @@ func (t *Ticker) arm() {
 		if !t.stop {
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.e.Schedule(t.period, t.tick)
 }
 
 // Stop cancels future ticks.

@@ -276,3 +276,167 @@ func TestEngineString(t *testing.T) {
 		t.Fatal("String() empty")
 	}
 }
+
+func TestAfterOrderingMatchesSchedule(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.After(20*time.Millisecond, func() { got = append(got, 2) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.FireAt(Time(10*time.Millisecond), func() { got = append(got, 10+1) }) // same instant: FIFO after
+	e.After(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Run()
+	want := []int{1, 11, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFreelistReusesOwnedEvents(t *testing.T) {
+	e := NewEngine()
+	// Steady state: one owned event in flight, rescheduled from its own
+	// callback. After warmup every firing must reuse the recycled Event.
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 1000 {
+			e.After(time.Microsecond, tick)
+		}
+	}
+	e.After(time.Microsecond, tick)
+	e.Run()
+	if n != 1000 {
+		t.Fatalf("ticks = %d, want 1000", n)
+	}
+	if got := len(e.free); got != 1 {
+		t.Fatalf("freelist holds %d events, want the 1 recycled steady-state event", got)
+	}
+	// The whole run must have allocated exactly one Event (the first).
+	e2 := NewEngine()
+	e2.After(time.Microsecond, func() {})
+	e2.Run() // prime the freelist
+	allocs := testing.AllocsPerRun(100, func() {
+		e2.After(time.Microsecond, func() {})
+		e2.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state After+Step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestScheduleHandlesAreNeverRecycled(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(time.Millisecond, func() {})
+	e.Run()
+	// A fired handle-returning event must not enter the freelist: a caller
+	// could still Cancel it, and recycling would alias a later event.
+	if len(e.free) != 0 {
+		t.Fatalf("freelist holds %d events after a Schedule fire, want 0", len(e.free))
+	}
+	ev.Cancel() // late cancel of a fired event: documented no-op
+	if ev.Cancelled() {
+		t.Fatal("Cancel after fire should be a no-op")
+	}
+}
+
+func TestCancelUpdatesPendingImmediately(t *testing.T) {
+	e := NewEngine()
+	evs := make([]*Event, 10)
+	for i := range evs {
+		evs[i] = e.Schedule(time.Duration(i+1)*time.Millisecond, func() {})
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", e.Pending())
+	}
+	for _, ev := range evs[:7] {
+		ev.Cancel()
+	}
+	if e.Pending() != 3 {
+		t.Fatalf("Pending = %d after 7 cancels, want 3", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", e.Pending())
+	}
+	if e.Fired() != 3 {
+		t.Fatalf("Fired = %d, want 3 (cancelled events must not count)", e.Fired())
+	}
+}
+
+func TestCancelledEventCompaction(t *testing.T) {
+	e := NewEngine()
+	// Schedule a large batch and cancel most of it: tombstones must be
+	// compacted away instead of lingering until popped.
+	const total, keep = 1024, 16
+	evs := make([]*Event, total)
+	for i := range evs {
+		evs[i] = e.Schedule(time.Duration(i+1)*time.Microsecond, func() {})
+	}
+	for i, ev := range evs {
+		if i%64 != 0 { // cancel 1008, keep 16
+			ev.Cancel()
+		}
+	}
+	if e.Pending() != keep {
+		t.Fatalf("Pending = %d, want %d", e.Pending(), keep)
+	}
+	if len(e.heap) > 2*keep {
+		t.Fatalf("heap holds %d entries after mass cancel, want ≤ %d (compaction broken)", len(e.heap), 2*keep)
+	}
+	// The survivors still fire in timestamp order with correct counters.
+	e.Run()
+	if e.Fired() != keep {
+		t.Fatalf("Fired = %d, want %d", e.Fired(), keep)
+	}
+	if e.Pending() != 0 || len(e.heap) != 0 {
+		t.Fatalf("pending=%d heap=%d after drain, want 0/0", e.Pending(), len(e.heap))
+	}
+}
+
+func TestCompactionPreservesOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	evs := make([]*Event, 256)
+	for i := range evs {
+		i := i
+		// Interleaved timestamps with duplicates to stress (time, seq) order.
+		evs[i] = e.Schedule(time.Duration(i%16)*time.Millisecond, func() { got = append(got, i) })
+	}
+	for i, ev := range evs {
+		if i%2 == 1 {
+			ev.Cancel() // triggers at least one compaction
+		}
+	}
+	e.Run()
+	if len(got) != 128 {
+		t.Fatalf("fired %d, want 128", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if a%16 > b%16 || (a%16 == b%16 && a > b) {
+			t.Fatalf("order violated after compaction: %d before %d", a, b)
+		}
+	}
+}
+
+func TestTickerSingleClosure(t *testing.T) {
+	// The ticker must not allocate a fresh closure per tick; 1000 ticks of a
+	// primed ticker allocate only the per-tick handle Events.
+	e := NewEngine()
+	ticks := 0
+	tk := e.NewTicker(time.Millisecond, func() { ticks++ })
+	e.RunFor(time.Second)
+	tk.Stop()
+	if ticks != 1000 {
+		t.Fatalf("ticks = %d, want 1000", ticks)
+	}
+	e.Run()
+	if ticks != 1000 {
+		t.Fatal("ticker fired after Stop")
+	}
+}

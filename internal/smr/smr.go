@@ -190,7 +190,7 @@ func (d *Drive) maybeClean() {
 		return
 	}
 	d.cleaning = true
-	d.eng.Schedule(d.cfg.CleanIdleDelay, d.cleanNext)
+	d.eng.After(d.cfg.CleanIdleDelay, d.cleanNext)
 }
 
 func (d *Drive) cleanNext() {

@@ -330,10 +330,10 @@ func (s *SSD) readPage(lp int64, done func()) {
 	ch := s.channels[chipID%s.cfg.Channels]
 	s.reads++
 	c.srv.run(func(release func()) {
-		s.eng.Schedule(s.cfg.ChipReadTime, func() {
+		s.eng.After(s.cfg.ChipReadTime, func() {
 			release()
 			ch.srv.run(func(rel func()) {
-				s.eng.Schedule(s.cfg.ChannelXferTime, func() {
+				s.eng.After(s.cfg.ChannelXferTime, func() {
 					rel()
 					done()
 				})
@@ -353,7 +353,7 @@ func (s *SSD) writePage(lp int64, done func()) {
 	transferred := false
 	var resume func()
 	ch.srv.run(func(rel func()) {
-		s.eng.Schedule(s.cfg.ChannelXferTime, func() {
+		s.eng.After(s.cfg.ChannelXferTime, func() {
 			rel()
 			transferred = true
 			if resume != nil {
@@ -366,7 +366,7 @@ func (s *SSD) writePage(lp int64, done func()) {
 			s.maybeGC(c)
 			phys := s.allocPage(c, int32(lp/int64(s.cfg.TotalChips())))
 			progTime := s.pattern[phys%s.cfg.PagesPerBlock]
-			s.eng.Schedule(progTime, func() {
+			s.eng.After(progTime, func() {
 				release()
 				done()
 			})
@@ -466,7 +466,7 @@ func (s *SSD) maybeGC(c *chip) {
 	// Occupy the chip for the episode (the moves + erase run after the
 	// program that triggered them; timing-wise the chip is busy either way).
 	c.srv.run(func(release func()) {
-		s.eng.Schedule(busy, release)
+		s.eng.After(busy, release)
 	})
 	if s.gcHook != nil {
 		s.gcHook(GCEvent{Chip: c.id, MovedPages: moved, BusyFor: busy})
@@ -531,7 +531,7 @@ func (s *SSD) maybeWearLevel(c *chip) {
 	}
 	c.freeBlocks = append(c.freeBlocks, victim)
 	c.srv.run(func(release func()) {
-		s.eng.Schedule(busy, release)
+		s.eng.After(busy, release)
 	})
 	if s.gcHook != nil {
 		s.gcHook(GCEvent{Chip: c.id, MovedPages: moved, BusyFor: busy, WearLevel: true})

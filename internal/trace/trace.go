@@ -317,7 +317,7 @@ func NewReplayer(eng *sim.Engine, tr *Trace, submit func(Record)) *Replayer {
 func (r *Replayer) Start() {
 	for _, rec := range r.trace.Records {
 		rec := rec
-		r.eng.Schedule(rec.At, func() {
+		r.eng.After(rec.At, func() {
 			r.issued++
 			r.Submit(rec)
 		})

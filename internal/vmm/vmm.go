@@ -87,10 +87,10 @@ func (h *Host) schedule(i int) {
 	// Deliver everything parked for this VM.
 	for _, m := range vm.parked {
 		m := m
-		h.eng.Schedule(h.cfg.DeliverCost, m.fn)
+		h.eng.After(h.cfg.DeliverCost, m.fn)
 	}
 	vm.parked = nil
-	h.eng.Schedule(dur, func() {
+	h.eng.After(dur, func() {
 		h.schedule((i + 1) % len(h.vms))
 	})
 }
@@ -160,7 +160,7 @@ func (h *Host) Deliver(id int, deadline time.Duration, onDone func(error)) {
 	h.delivered++
 	deliver := func() { onDone(nil) }
 	if wait == 0 {
-		h.eng.Schedule(h.cfg.DeliverCost, deliver)
+		h.eng.After(h.cfg.DeliverCost, deliver)
 		return
 	}
 	h.vms[idx].parked = append(h.vms[idx].parked, parkedMsg{fn: deliver})
