@@ -66,6 +66,24 @@ func BenchmarkFig4(b *testing.B) {
 	reportTailMetrics(b, res, "CFQ-LowPrioNoise/Base", "base")
 }
 
+// BenchmarkFig4Metrics is BenchmarkFig4 with the observability layer fully
+// on (counters, histograms, unlimited span tracing) — the recording
+// overhead budget is <=15% over the metrics-off run.
+func BenchmarkFig4Metrics(b *testing.B) {
+	opt := experiments.QuickFig4Options()
+	opt.Duration = 4 * time.Second
+	opt.Metrics = true
+	opt.TraceIOs = -1
+	var res *ExperimentResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig4(opt)
+	}
+	if len(res.Metrics) == 0 {
+		b.Fatal("metrics enabled but no snapshots attached")
+	}
+	reportTailMetrics(b, res, "CFQ-LowPrioNoise/MittOS", "mitt")
+}
+
 // BenchmarkFig5 regenerates Figure 5 (MittCFQ vs Hedged/Clone/AppTO).
 func BenchmarkFig5(b *testing.B) {
 	res := benchExperiment(b, "fig5")

@@ -9,6 +9,9 @@
 //	mittbench -run fig3 -csv out/  # also dump CDF series as CSV
 //	mittbench -run all -j 8        # 8-way parallel, identical output
 //	mittbench -run all -j 1        # force the serial reference schedule
+//	mittbench -run fig4 -metrics   # per-leg counters/histograms (§7.6 error)
+//	mittbench -run fig4 -metrics -trace-ios 100   # + first 100 IO spans (JSONL)
+//	mittbench -run fig4 -metrics -metrics-json m.json   # snapshots as JSON
 //
 // Every run is deterministic: the same flags produce identical output.
 // -j only bounds the worker pool the independent simulation legs run on
@@ -17,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +30,7 @@ import (
 	"time"
 
 	"mittos"
+	"mittos/internal/metrics"
 )
 
 func main() {
@@ -37,6 +42,10 @@ func main() {
 		plot = flag.Bool("plot", false, "render each experiment's CDFs as an ASCII chart")
 		seed = flag.Int64("seed", 1, "simulation seed (same seed = identical output)")
 		jobs = flag.Int("j", 0, "worker pool size for parallel simulation legs (0 = one per CPU, 1 = serial); output is identical for any value")
+
+		metricsOn   = flag.Bool("metrics", false, "collect per-layer counters/histograms and print an end-of-run dump per leg (fig4, fig7)")
+		traceIOs    = flag.Int("trace-ios", 0, "with -metrics: capture the first N per-IO spans per leg and print them as JSONL (<0 = all)")
+		metricsJSON = flag.String("metrics-json", "", "with -metrics: also write every snapshot as a JSON array to this file")
 	)
 	flag.Parse()
 
@@ -66,8 +75,9 @@ func main() {
 	// in declaration order, so `-run all -j 8` emits the same bytes as a
 	// serial run — only the "(regenerated ...)" timing lines differ.
 	type outcome struct {
-		text string
-		err  error
+		text    string
+		metrics []*metrics.Snapshot
+		err     error
 	}
 	outs := make([]outcome, len(ids))
 	done := make([]chan struct{}, len(ids))
@@ -82,7 +92,10 @@ func main() {
 			defer func() { <-sem }()
 			defer close(done[i])
 			start := time.Now()
-			res, err := mittos.RunExperimentWorkers(id, !*full, *seed, workers)
+			res, err := mittos.RunExperimentConfig(id, mittos.ExperimentConfig{
+				Quick: !*full, Seed: *seed, Workers: workers,
+				Metrics: *metricsOn, TraceIOs: *traceIOs,
+			})
 			if err != nil {
 				outs[i].err = err
 				return
@@ -92,8 +105,12 @@ func main() {
 			if *plot && len(res.Series) > 0 {
 				fmt.Fprintln(&b, res.Plot(72, 18))
 			}
+			if *metricsOn {
+				writeMetrics(&b, res)
+			}
 			fmt.Fprintf(&b, "(regenerated %s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 			outs[i].text = b.String()
+			outs[i].metrics = res.Metrics
 			if *csv != "" {
 				// Experiments write disjoint <id>-prefixed files; safe
 				// to dump concurrently.
@@ -101,6 +118,7 @@ func main() {
 			}
 		}()
 	}
+	var allSnaps []*metrics.Snapshot
 	for i := range ids {
 		<-done[i]
 		if outs[i].err != nil {
@@ -108,7 +126,44 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(outs[i].text)
+		allSnaps = append(allSnaps, outs[i].metrics...)
 	}
+	if *metricsJSON != "" {
+		if err := dumpMetricsJSON(*metricsJSON, allSnaps); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetrics renders each leg's snapshot: the deterministic text dump,
+// then any captured per-IO spans as JSONL.
+func writeMetrics(b *strings.Builder, res *mittos.ExperimentResult) {
+	for _, snap := range res.Metrics {
+		b.WriteString(snap.String())
+		for _, sp := range snap.Spans {
+			j, err := json.Marshal(sp)
+			if err != nil {
+				fmt.Fprintf(b, "span: %v\n", err)
+				continue
+			}
+			b.Write(j)
+			b.WriteByte('\n')
+		}
+	}
+}
+
+// dumpMetricsJSON writes every snapshot (experiments in print order, legs
+// in declaration order) as one JSON array.
+func dumpMetricsJSON(path string, snaps []*metrics.Snapshot) error {
+	if snaps == nil {
+		snaps = []*metrics.Snapshot{}
+	}
+	j, err := json.MarshalIndent(snaps, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(j, '\n'), 0o644)
 }
 
 // dumpCSV writes each series' CDF as <dir>/<id>-<series>.csv with

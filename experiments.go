@@ -1,9 +1,6 @@
 package mittos
 
 import (
-	"fmt"
-	"sort"
-
 	"mittos/internal/disk"
 	"mittos/internal/experiments"
 )
@@ -27,78 +24,12 @@ func FullScale() ExperimentOptions { return experiments.DefaultOptions() }
 // benches (9 nodes, 6 clients, 10s per run).
 func QuickScale() ExperimentOptions { return experiments.QuickOptions() }
 
-// experimentRunners maps experiment ids to their runners. Each regenerates
-// one table or figure of the paper (see DESIGN.md's per-experiment index).
-// workers bounds the worker pool an experiment's independent simulation
-// legs run on (0 = one per CPU, 1 = serial); output is byte-identical for
-// any value.
-var experimentRunners = map[string]func(quick bool, seed int64, workers int) *ExperimentResult{
-	"table1": func(q bool, seed int64, w int) *ExperimentResult { return experiments.Table1(scale(q, seed, w)) },
-	"fig3": func(q bool, seed int64, w int) *ExperimentResult {
-		o := experiments.DefaultFig3Options()
-		if q {
-			o = experiments.QuickFig3Options()
-		}
-		o.Seed = seed
-		return &experiments.Fig3(o).Result
-	},
-	"fig4": func(q bool, seed int64, w int) *ExperimentResult {
-		o := experiments.DefaultFig4Options()
-		if q {
-			o = experiments.QuickFig4Options()
-		}
-		o.Seed = seed
-		o.Workers = w
-		return experiments.Fig4(o)
-	},
-	"fig5": func(q bool, seed int64, w int) *ExperimentResult { return experiments.Fig5(scale(q, seed, w)) },
-	"fig6": func(q bool, seed int64, w int) *ExperimentResult { return experiments.Fig6(scale(q, seed, w)) },
-	"fig7": func(q bool, seed int64, w int) *ExperimentResult { return experiments.Fig7(scale(q, seed, w)) },
-	"fig8": func(q bool, seed int64, w int) *ExperimentResult {
-		o := experiments.DefaultFig8Options()
-		if q {
-			o = experiments.QuickFig8Options()
-		}
-		o.Seed = seed
-		o.Workers = w
-		return experiments.Fig8(o)
-	},
-	"fig9": func(q bool, seed int64, w int) *ExperimentResult {
-		o := experiments.DefaultFig9Options()
-		if q {
-			o = experiments.QuickFig9Options()
-		}
-		o.Seed = seed
-		res, _ := experiments.Fig9(o)
-		return res
-	},
-	"fig10":    func(q bool, seed int64, w int) *ExperimentResult { return experiments.Fig10(scale(q, seed, w)) },
-	"fig11":    func(q bool, seed int64, w int) *ExperimentResult { return experiments.Fig11(scale(q, seed, w)) },
-	"fig12":    func(q bool, seed int64, w int) *ExperimentResult { return experiments.Fig12(scale(q, seed, w)) },
-	"fig13":    func(q bool, seed int64, w int) *ExperimentResult { return &experiments.Fig13(scale(q, seed, w)).Result },
-	"allinone": func(q bool, seed int64, w int) *ExperimentResult { return experiments.AllInOne(scale(q, seed, w)) },
-	"writes":   func(q bool, seed int64, w int) *ExperimentResult { return experiments.Writes(scale(q, seed, w)) },
-}
-
-func scale(quick bool, seed int64, workers int) ExperimentOptions {
-	o := FullScale()
-	if quick {
-		o = QuickScale()
-	}
-	o.Seed = seed
-	o.Workers = workers
-	return o
-}
+// ExperimentConfig selects scale, seed, parallelism, and observability for
+// one experiment run (see internal/experiments.RunConfig).
+type ExperimentConfig = experiments.RunConfig
 
 // Experiments lists the available experiment ids, sorted.
-func Experiments() []string {
-	ids := make([]string, 0, len(experimentRunners))
-	for id := range experimentRunners {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	return ids
-}
+func Experiments() []string { return experiments.IDs() }
 
 // RunExperiment regenerates one of the paper's tables or figures by id
 // ("table1", "fig3" … "fig13", "allinone", "writes") at seed 1. quick
@@ -121,9 +52,13 @@ func RunExperimentSeed(id string, quick bool, seed int64) (*ExperimentResult, er
 // result is byte-identical for any value — parallelism only changes
 // wall-clock time (see internal/experiments/runner.go).
 func RunExperimentWorkers(id string, quick bool, seed int64, workers int) (*ExperimentResult, error) {
-	fn, ok := experimentRunners[id]
-	if !ok {
-		return nil, fmt.Errorf("mittos: unknown experiment %q (known: %v)", id, Experiments())
-	}
-	return fn(quick, seed, workers), nil
+	return RunExperimentConfig(id, ExperimentConfig{Quick: quick, Seed: seed, Workers: workers})
+}
+
+// RunExperimentConfig runs one experiment under a full config, including
+// the observability knobs (Metrics enables per-layer counters/histograms;
+// TraceIOs bounds per-IO span capture). Metrics never change the rendered
+// output — they ride along on Result.Metrics.
+func RunExperimentConfig(id string, cfg ExperimentConfig) (*ExperimentResult, error) {
+	return experiments.Run(id, cfg)
 }

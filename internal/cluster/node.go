@@ -16,6 +16,7 @@ import (
 	"mittos/internal/disk"
 	"mittos/internal/iosched"
 	"mittos/internal/kv"
+	"mittos/internal/metrics"
 	"mittos/internal/netsim"
 	"mittos/internal/oscache"
 	"mittos/internal/sim"
@@ -61,6 +62,10 @@ type NodeConfig struct {
 	// DiskProfile is the offline profile MittNoop/MittCFQ consume. One
 	// profile is shared fleet-wide (same device model).
 	DiskProfile *disk.Profile
+	// Metrics, when non-nil, threads a per-node metrics recorder through
+	// every layer of the node's storage stack and wraps its entry points
+	// with the per-IO span boundary. Nil (the default) costs nothing.
+	Metrics *metrics.Set
 }
 
 // TargetDevice adapts a core.Target to blockio.Device, so components that
@@ -70,13 +75,40 @@ type NodeConfig struct {
 // accounting relies on.
 type TargetDevice struct {
 	T        core.Target
+	Rec      *metrics.Recorder // span boundary for IOs entering here (nil ok)
 	inflight int
 }
 
 // Submit implements blockio.Device.
 func (d *TargetDevice) Submit(req *blockio.Request) {
 	d.inflight++
+	if d.Rec != nil {
+		d.Rec.IOBegin(req)
+		d.T.SubmitSLO(req, func(err error) {
+			d.Rec.IOEnd(req, err, core.IsBusy(err))
+			d.inflight--
+		})
+		return
+	}
 	d.T.SubmitSLO(req, func(error) { d.inflight-- })
+}
+
+// tracedTarget wraps a node's SLO-aware entry point with the metrics span
+// boundary: IOBegin as the request enters the stack, IOEnd with the final
+// verdict. Installed only when metrics are enabled, so the default path
+// keeps the bare Target.
+type tracedTarget struct {
+	rec *metrics.Recorder
+	t   core.Target
+}
+
+// SubmitSLO implements core.Target.
+func (t *tracedTarget) SubmitSLO(req *blockio.Request, onDone func(error)) {
+	t.rec.IOBegin(req)
+	t.t.SubmitSLO(req, func(err error) {
+		t.rec.IOEnd(req, err, core.IsBusy(err))
+		onDone(err)
+	})
 }
 
 // InFlight implements blockio.Device.
@@ -116,27 +148,33 @@ type Node struct {
 // NewNode builds a node on the engine. rng seeds the device model.
 func NewNode(eng *sim.Engine, cfg NodeConfig, rng *sim.RNG) *Node {
 	n := &Node{Index: cfg.Index, eng: eng, cfg: cfg}
+	rec := cfg.Metrics.Node(cfg.Index) // nil when metrics are off
 
 	var ioTarget core.Target
 	var capacity int64
 	switch cfg.Device {
 	case DeviceDisk:
 		n.Disk = disk.New(eng, cfg.DiskConfig, rng.Fork(fmt.Sprintf("disk-%d", cfg.Index)))
+		n.Disk.SetRecorder(rec)
 		capacity = cfg.DiskConfig.CapacityBytes
 		if cfg.UseCFQ {
 			cfq := iosched.NewCFQ(eng, iosched.DefaultCFQConfig(), n.Disk)
+			cfq.SetRecorder(rec)
 			n.Sched = cfq
 			if cfg.Mitt {
 				n.MittCFQ = core.NewMittCFQ(eng, cfq, cfg.DiskProfile, cfg.MittOptions)
+				n.MittCFQ.SetRecorder(rec)
 				ioTarget = n.MittCFQ
 			} else {
 				ioTarget = &core.Vanilla{Dev: cfq}
 			}
 		} else {
 			nop := iosched.NewNoop(eng, n.Disk)
+			nop.SetRecorder(rec)
 			n.Sched = nop
 			if cfg.Mitt {
 				n.MittNoop = core.NewMittNoop(eng, nop, cfg.DiskProfile, cfg.MittOptions)
+				n.MittNoop.SetRecorder(rec)
 				ioTarget = n.MittNoop
 			} else {
 				ioTarget = &core.Vanilla{Dev: nop}
@@ -144,9 +182,11 @@ func NewNode(eng *sim.Engine, cfg NodeConfig, rng *sim.RNG) *Node {
 		}
 	case DeviceSSD:
 		n.SSD = ssd.New(eng, cfg.SSDConfig)
+		n.SSD.SetRecorder(rec)
 		capacity = cfg.SSDConfig.LogicalBytes()
 		if cfg.Mitt {
 			n.MittSSD = core.NewMittSSD(eng, n.SSD, cfg.MittOptions)
+			n.MittSSD.SetRecorder(rec)
 			ioTarget = n.MittSSD
 		} else {
 			ioTarget = &core.Vanilla{Dev: n.SSD}
@@ -155,7 +195,7 @@ func NewNode(eng *sim.Engine, cfg NodeConfig, rng *sim.RNG) *Node {
 		panic("cluster: unknown device kind")
 	}
 
-	n.BlockLayer = &TargetDevice{T: ioTarget}
+	n.BlockLayer = &TargetDevice{T: ioTarget, Rec: rec}
 	target := ioTarget
 	if cfg.CachePages > 0 {
 		ccfg := oscache.DefaultConfig()
@@ -163,12 +203,20 @@ func NewNode(eng *sim.Engine, cfg NodeConfig, rng *sim.RNG) *Node {
 		// The cache's background traffic (read-through, write-back,
 		// prefetch) enters through the block layer so MittOS accounts it.
 		n.Cache = oscache.New(eng, ccfg, n.BlockLayer)
+		n.Cache.SetRecorder(rec)
 		if cfg.Mitt {
 			n.MittCache = core.NewMittCache(eng, n.Cache, ioTarget, minIOLatency(cfg), cfg.MittOptions)
+			n.MittCache.SetRecorder(rec)
 			target = n.MittCache
 		} else {
 			target = &core.Vanilla{Dev: n.Cache}
 		}
+	}
+	if rec != nil {
+		// Every client IO enters the stack through exactly one span
+		// boundary: here (the KV path) or the block layer (noise and cache
+		// background traffic).
+		target = &tracedTarget{rec: rec, t: target}
 	}
 	n.Target = target
 

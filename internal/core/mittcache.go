@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mittos/internal/blockio"
+	"mittos/internal/metrics"
 	"mittos/internal/oscache"
 	"mittos/internal/sim"
 )
@@ -34,7 +35,12 @@ type MittCache struct {
 
 	accepted uint64
 	rejected uint64
+
+	rec *metrics.Recorder
 }
+
+// SetRecorder attaches a metrics recorder (nil disables, the default).
+func (m *MittCache) SetRecorder(rec *metrics.Recorder) { m.rec = rec }
 
 // NewMittCache builds the layer over a page cache and the (Mitt-wrapped)
 // IO path below it. minIO is the smallest possible IO latency of the
@@ -70,6 +76,8 @@ func (m *MittCache) AddrCheck(off int64, size int, deadline time.Duration) error
 	}
 	if deadline > blockio.NoDeadline && deadline < m.minIO && m.cache.WasEverResident(off, size) {
 		m.rejected++
+		// addrcheck has no request descriptor; only the counter moves.
+		m.rec.Incr(metrics.RMittCache, metrics.CRejected)
 		// Keep swapping the data in behind the EBUSY (§4.4).
 		m.cache.Prefetch(off, size, blockio.ClassBestEffort, 4, -1)
 		return &BusyError{PredictedWait: m.minIO}
@@ -98,6 +106,7 @@ func (m *MittCache) SubmitSLO(req *blockio.Request, onDone func(error)) {
 
 	if m.cache.Resident(req.Offset, req.Size) {
 		m.accepted++
+		m.rec.Incr(metrics.RMittCache, metrics.CAccepted)
 		prev := req.OnComplete
 		req.OnComplete = func(r *blockio.Request) {
 			if prev != nil {
@@ -116,6 +125,7 @@ func (m *MittCache) SubmitSLO(req *blockio.Request, onDone func(error)) {
 	if hasSLO && req.Deadline < m.minIO && !m.dec.shadow &&
 		m.cache.WasEverResident(req.Offset, req.Size) {
 		m.rejected++
+		m.rec.Rejected(metrics.RMittCache, req, m.minIO, false)
 		m.cache.Prefetch(req.Offset, req.Size, req.Class, req.Priority, req.Proc)
 		busyErr := &BusyError{PredictedWait: m.minIO}
 		m.eng.After(m.opt.SyscallCost, func() { onDone(busyErr) })
@@ -125,6 +135,7 @@ func (m *MittCache) SubmitSLO(req *blockio.Request, onDone func(error)) {
 	// Propagate the deadline to the IO layer below (§4.4), reading whole
 	// pages and populating the cache on success.
 	m.accepted++
+	m.rec.Incr(metrics.RMittCache, metrics.CAccepted)
 	prev := req.OnComplete
 	req.OnComplete = func(r *blockio.Request) {
 		if prev != nil {

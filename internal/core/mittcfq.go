@@ -6,6 +6,7 @@ import (
 	"mittos/internal/blockio"
 	"mittos/internal/disk"
 	"mittos/internal/iosched"
+	"mittos/internal/metrics"
 	"mittos/internal/sim"
 )
 
@@ -51,7 +52,12 @@ type MittCFQ struct {
 	accepted  uint64
 	rejected  uint64 // at admission
 	cancelled uint64 // late EBUSY via the tolerable-time table
+
+	rec *metrics.Recorder
 }
+
+// SetRecorder attaches a metrics recorder (nil disables, the default).
+func (m *MittCFQ) SetRecorder(rec *metrics.Recorder) { m.rec = rec }
 
 // cfqEntry is one accepted, still-cancellable, deadline-carrying IO.
 type cfqEntry struct {
@@ -141,8 +147,12 @@ func (m *MittCFQ) SubmitSLO(req *blockio.Request, onDone func(error)) {
 	if hasSLO {
 		if m.dec.shadow {
 			req.ShadowBusy = rawBusy
+			if rawBusy {
+				m.rec.ShadowBusy(metrics.RMittCFQ)
+			}
 		} else if m.dec.rejects(rawBusy) {
 			m.rejected++
+			m.rec.Rejected(metrics.RMittCFQ, req, wait, false)
 			busyErr := &BusyError{PredictedWait: wait}
 			m.eng.After(m.opt.SyscallCost, func() { onDone(busyErr) })
 			return
@@ -150,6 +160,7 @@ func (m *MittCFQ) SubmitSLO(req *blockio.Request, onDone func(error)) {
 	}
 
 	m.accepted++
+	m.rec.Admitted(metrics.RMittCFQ, req)
 	m.nodeTotal[req.Proc] += svc
 
 	var entry *cfqEntry
@@ -179,6 +190,13 @@ func (m *MittCFQ) SubmitSLO(req *blockio.Request, onDone func(error)) {
 				actualWait = 0
 			}
 			m.dec.observe(rawBusy, wait, actualWait, r.Deadline)
+		}
+		if m.rec != nil {
+			actualWait := r.Latency() - svc
+			if actualWait < 0 {
+				actualWait = 0
+			}
+			m.rec.Prediction(metrics.RMittCFQ, r, wait, actualWait)
 		}
 		if prev != nil {
 			prev(r)
@@ -333,5 +351,6 @@ func (m *MittCFQ) cancel(e *cfqEntry) {
 	}
 	m.cancelled++
 	busyErr := &BusyError{PredictedWait: -e.tolerable + e.req.Deadline}
+	m.rec.Rejected(metrics.RMittCFQ, e.req, busyErr.PredictedWait, true)
 	m.eng.After(m.opt.SyscallCost, func() { e.onDone(busyErr) })
 }

@@ -6,6 +6,7 @@ import (
 	"mittos/internal/blockio"
 	"mittos/internal/disk"
 	"mittos/internal/iosched"
+	"mittos/internal/metrics"
 	"mittos/internal/sim"
 )
 
@@ -37,7 +38,12 @@ type MittNoop struct {
 
 	accepted uint64
 	rejected uint64
+
+	rec *metrics.Recorder
 }
+
+// SetRecorder attaches a metrics recorder (nil disables, the default).
+func (m *MittNoop) SetRecorder(rec *metrics.Recorder) { m.rec = rec }
 
 // NewMittNoop builds the layer over a noop scheduler and its disk profile.
 func NewMittNoop(eng *sim.Engine, sched *iosched.Noop, prof *disk.Profile, opt Options) *MittNoop {
@@ -130,10 +136,14 @@ func (m *MittNoop) SubmitSLO(req *blockio.Request, onDone func(error)) {
 	if hasSLO {
 		if m.dec.shadow {
 			req.ShadowBusy = rawBusy
+			if rawBusy {
+				m.rec.ShadowBusy(metrics.RMittNoop)
+			}
 		} else if m.dec.rejects(rawBusy) {
 			// Fast rejection: the IO is never queued (§3.3 "the rejected
 			// request is not queued; it is automatically cancelled").
 			m.rejected++
+			m.rec.Rejected(metrics.RMittNoop, req, wait, false)
 			busyErr := &BusyError{PredictedWait: wait}
 			m.eng.After(m.opt.SyscallCost, func() { onDone(busyErr) })
 			return
@@ -141,6 +151,7 @@ func (m *MittNoop) SubmitSLO(req *blockio.Request, onDone func(error)) {
 	}
 
 	m.accepted++
+	m.rec.Admitted(metrics.RMittNoop, req)
 	var predCompletion sim.Time
 	if m.opt.Naive {
 		if m.nextFree < now {
@@ -173,6 +184,13 @@ func (m *MittNoop) SubmitSLO(req *blockio.Request, onDone func(error)) {
 				actualWait = 0
 			}
 			m.dec.observe(rawBusy, wait, actualWait, r.Deadline)
+		}
+		if m.rec != nil {
+			actualWait := r.Latency() - svc
+			if actualWait < 0 {
+				actualWait = 0
+			}
+			m.rec.Prediction(metrics.RMittNoop, r, wait, actualWait)
 		}
 		if prev != nil {
 			prev(r)

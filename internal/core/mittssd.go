@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mittos/internal/blockio"
+	"mittos/internal/metrics"
 	"mittos/internal/sim"
 	"mittos/internal/ssd"
 )
@@ -47,7 +48,12 @@ type MittSSD struct {
 
 	accepted uint64
 	rejected uint64
+
+	rec *metrics.Recorder
 }
+
+// SetRecorder attaches a metrics recorder (nil disables, the default).
+func (m *MittSSD) SetRecorder(rec *metrics.Recorder) { m.rec = rec }
 
 // NewMittSSD builds the layer over a host-managed SSD. The read/channel
 // costs come from the vendor NAND spec or profiling (§4.3); we take them
@@ -136,10 +142,14 @@ func (m *MittSSD) SubmitSLO(req *blockio.Request, onDone func(error)) {
 	if hasSLO {
 		if m.dec.shadow {
 			req.ShadowBusy = rawBusy
+			if rawBusy {
+				m.rec.ShadowBusy(metrics.RMittSSD)
+			}
 		} else if m.dec.rejects(rawBusy) {
 			// "If any sub-IO violates the deadline, EBUSY is returned for
 			// the entire request; all sub-pages are not submitted." (§4.3)
 			m.rejected++
+			m.rec.Rejected(metrics.RMittSSD, req, wait, false)
 			busyErr := &BusyError{PredictedWait: wait}
 			m.eng.After(m.opt.SyscallCost, func() { onDone(busyErr) })
 			return
@@ -147,6 +157,7 @@ func (m *MittSSD) SubmitSLO(req *blockio.Request, onDone func(error)) {
 	}
 
 	m.accepted++
+	m.rec.Admitted(metrics.RMittSSD, req)
 	// Advance per-chip next-free times and channel occupancy. Channel
 	// occupancy reflects pending *transfers*: each page holds its channel
 	// for ~one transfer slot, so the decrement is scheduled at the page's
@@ -192,6 +203,13 @@ func (m *MittSSD) SubmitSLO(req *blockio.Request, onDone func(error)) {
 				actualWait = 0
 			}
 			m.dec.observe(rawBusy, wait, actualWait, r.Deadline)
+		}
+		if m.rec != nil {
+			actualWait := r.Latency() - svc
+			if actualWait < 0 {
+				actualWait = 0
+			}
+			m.rec.Prediction(metrics.RMittSSD, r, wait, actualWait)
 		}
 		if prev != nil {
 			prev(r)

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"mittos/internal/blockio"
+	"mittos/internal/metrics"
 	"mittos/internal/sim"
 )
 
@@ -98,7 +99,12 @@ type Disk struct {
 
 	// onSlotFree lets the scheduler above refill the device queue.
 	onSlotFree func()
+
+	rec *metrics.Recorder
 }
+
+// SetRecorder attaches a metrics recorder (nil disables, the default).
+func (d *Disk) SetRecorder(rec *metrics.Recorder) { d.rec = rec }
 
 // New builds a disk on the engine. rng must be a dedicated stream.
 func New(eng *sim.Engine, cfg Config, rng *sim.RNG) *Disk {
@@ -156,6 +162,7 @@ func (d *Disk) Submit(req *blockio.Request) {
 	}
 	req.DispatchTime = d.eng.Now()
 	d.inflight++
+	d.rec.DevEnter(metrics.RDisk, req)
 	if req.Op == blockio.Write && d.cfg.WriteBufferSlots > 0 &&
 		len(d.destage) < d.cfg.WriteBufferSlots {
 		// NVRAM absorbs the write; destage happens during idle periods.
@@ -180,6 +187,9 @@ func (d *Disk) kick() {
 		return
 	}
 	d.busy = true
+	if !destaged {
+		d.rec.DevStart(metrics.RDisk, req)
+	}
 	svc := d.ServiceTime(d.headPos, req)
 	d.eng.After(svc, func() {
 		d.headPos = req.End()
@@ -205,6 +215,7 @@ func (d *Disk) next() (*blockio.Request, bool) {
 	for _, r := range d.queue {
 		if r.Canceled() {
 			d.inflight--
+			d.rec.DevDrop(metrics.RDisk, r)
 			continue
 		}
 		live = append(live, r)
@@ -247,6 +258,7 @@ func (d *Disk) next() (*blockio.Request, bool) {
 func (d *Disk) complete(req *blockio.Request) {
 	req.CompleteTime = d.eng.Now()
 	d.inflight--
+	d.rec.DevDone(metrics.RDisk, req)
 	if req.OnComplete != nil {
 		req.OnComplete(req)
 	}

@@ -13,6 +13,7 @@ import (
 	"mittos/internal/cluster"
 	"mittos/internal/core"
 	"mittos/internal/disk"
+	"mittos/internal/metrics"
 	"mittos/internal/netsim"
 	"mittos/internal/noise"
 	"mittos/internal/sim"
@@ -41,6 +42,14 @@ type Options struct {
 	// reference schedule. Output is byte-identical for any value: legs are
 	// hermetic and results are assembled in declaration order.
 	Workers int
+	// Metrics enables the per-layer metrics registry (and, for fig4/fig7,
+	// per-leg snapshots attached to the Result). Off by default: the
+	// simulation carries only a nil recorder pointer.
+	Metrics bool
+	// TraceIOs bounds per-IO span capture per fleet when Metrics is on:
+	// 0 captures counters/histograms only, N > 0 the first N spans, and a
+	// negative value every span.
+	TraceIOs int
 }
 
 // DefaultOptions is the full-scale configuration.
@@ -82,6 +91,11 @@ type Result struct {
 	Series []Series
 	Tables []*stats.Table
 	Notes  []string
+	// Metrics holds per-leg observability snapshots when the experiment ran
+	// with Options.Metrics set (fig4 and fig7 attach them), in leg
+	// declaration order. They are NOT part of String(): golden outputs stay
+	// identical with metrics on or off.
+	Metrics []*metrics.Snapshot
 }
 
 // String renders the result in paper-style ASCII.
@@ -150,10 +164,20 @@ func DiskProfile() *disk.Profile { return sharedDiskProfile }
 
 // fleet bundles one engine + cluster + noise for a strategy run.
 type fleet struct {
-	eng   *sim.Engine
-	net   *netsim.Network
-	c     *cluster.Cluster
-	noise []*noise.Bursty
+	eng     *sim.Engine
+	net     *netsim.Network
+	c       *cluster.Cluster
+	noise   []*noise.Bursty
+	metrics *metrics.Set // non-nil only when Options.Metrics is set
+}
+
+// snapshot captures the fleet's metrics under the leg label, or nil when
+// metrics are off.
+func (f *fleet) snapshot(leg string) *metrics.Snapshot {
+	if f.metrics == nil {
+		return nil
+	}
+	return f.metrics.Snapshot(leg)
 }
 
 // fleetKind selects the storage flavour of a fleet.
@@ -177,11 +201,16 @@ func newFleet(opt Options, kind fleetKind, mitt bool, seedSalt string) *fleet {
 func newFleetOn(eng *sim.Engine, opt Options, kind fleetKind, mitt bool, seedSalt string) *fleet {
 	root := sim.NewRNG(opt.Seed, "fleet-"+seedSalt)
 	net := netsim.New(eng, netsim.DefaultConfig(), root.Fork("net"))
+	var ms *metrics.Set
+	if opt.Metrics {
+		ms = metrics.New(eng, opt.Nodes, opt.TraceIOs)
+	}
 	tmpl := cluster.NodeConfig{
 		MittOptions: core.DefaultOptions(),
 		Mitt:        mitt,
 		Keys:        opt.Keys,
 		DiskProfile: sharedDiskProfile,
+		Metrics:     ms,
 	}
 	switch kind {
 	case fleetDisk:
@@ -209,7 +238,7 @@ func newFleetOn(eng *sim.Engine, opt Options, kind fleetKind, mitt bool, seedSal
 	// NOTE: the node RNG stream is derived from opt.Seed only (not the
 	// salt) so Mitt and non-Mitt fleets share device randomness.
 	c := cluster.NewCluster(eng, net, opt.Nodes, 3, tmpl, sim.NewRNG(opt.Seed, "nodes"))
-	return &fleet{eng: eng, net: net, c: c}
+	return &fleet{eng: eng, net: net, c: c, metrics: ms}
 }
 
 // addEC2DiskNoise attaches a per-node bursty neighbor calibrated per §6.

@@ -5,6 +5,7 @@ import (
 
 	"mittos/internal/blockio"
 	"mittos/internal/cluster"
+	"mittos/internal/metrics"
 	"mittos/internal/noise"
 	"mittos/internal/sim"
 	"mittos/internal/stats"
@@ -18,6 +19,10 @@ type Fig4Options struct {
 	Keys     int64
 	// Workers bounds the leg worker pool (0 = one per CPU); see Options.
 	Workers int
+	// Metrics/TraceIOs mirror Options: per-leg observability snapshots
+	// attached to the Result, without changing its rendered output.
+	Metrics  bool
+	TraceIOs int
 }
 
 // DefaultFig4Options mirror §7.1: a 3-node cluster, one noisy replica, all
@@ -95,13 +100,15 @@ func Fig4(opt Fig4Options) *Result {
 	// are assembled in declaration order afterwards.
 	variants := []string{"NoNoise", "Base", "MittOS"}
 	samples := make([]*stats.Sample, len(panels)*len(variants))
+	snaps := make([]*metrics.Snapshot, len(panels)*len(variants))
 	var ls legs
 	for pi, panel := range panels {
 		for vi, variant := range variants {
 			pi, vi, panel, variant := pi, vi, panel, variant
 			ls.add(func() {
 				fopt := Options{Seed: opt.Seed, Nodes: 3, Clients: 2,
-					Duration: opt.Duration, Interval: opt.Interval, Keys: opt.Keys}
+					Duration: opt.Duration, Interval: opt.Interval, Keys: opt.Keys,
+					Metrics: opt.Metrics, TraceIOs: opt.TraceIOs}
 				f := newFleet(fopt, panel.kind, variant == "MittOS", panel.name+variant)
 				// Warm caches on every node for the cache panel so the
 				// non-noisy replicas serve from memory.
@@ -122,6 +129,7 @@ func Fig4(opt Fig4Options) *Result {
 				}
 				io, _ := f.runClients(fopt, strat, 1)
 				samples[pi*len(variants)+vi] = io
+				snaps[pi*len(variants)+vi] = f.snapshot("fig4/" + panel.name + "/" + variant)
 			})
 		}
 	}
@@ -130,6 +138,9 @@ func Fig4(opt Fig4Options) *Result {
 		for vi, variant := range variants {
 			res.Series = append(res.Series, Series{
 				Name: panel.name + "/" + variant, Sample: samples[pi*len(variants)+vi]})
+			if s := snaps[pi*len(variants)+vi]; s != nil {
+				res.Metrics = append(res.Metrics, s)
+			}
 		}
 	}
 	res.Notes = append(res.Notes,

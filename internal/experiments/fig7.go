@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mittos/internal/cluster"
+	"mittos/internal/metrics"
 	"mittos/internal/sim"
 	"mittos/internal/stats"
 )
@@ -19,12 +20,17 @@ func Fig7(opt Options) *Result {
 
 	// Stage 1: baseline with cache-eviction noise sets the hedge trigger.
 	var baseIO *stats.Sample
+	var baseSnap *metrics.Snapshot
 	runLegs(opt.Workers, legs{func() {
 		fb := newFleet(opt, fleetDiskCache, false, "fig7-base")
 		warmFleet(fb, opt)
 		addCacheNoise(fb, opt)
 		baseIO, _ = fb.runClients(opt, &cluster.BaseStrategy{C: fb.c}, 1)
+		baseSnap = fb.snapshot("fig7/Base")
 	}})
+	if baseSnap != nil {
+		res.Metrics = append(res.Metrics, baseSnap)
+	}
 	hedgeAfter := baseIO.Percentile(95)
 	res.Series = append(res.Series, Series{Name: "Base", Sample: baseIO})
 	res.Notes = append(res.Notes, fmt.Sprintf("hedge trigger = Base p95 = %v; deadline = %v",
@@ -35,6 +41,8 @@ func Fig7(opt Options) *Result {
 	sfs := []int{1, 2, 5, 10}
 	hedgedOut := make([]*stats.Sample, len(sfs))
 	mittOut := make([]*stats.Sample, len(sfs))
+	hedgedSnap := make([]*metrics.Snapshot, len(sfs))
+	mittSnap := make([]*metrics.Snapshot, len(sfs))
 	var ls legs
 	for i, sf := range sfs {
 		// Constant per-node IO load across scale factors (see Fig6).
@@ -47,6 +55,7 @@ func Fig7(opt Options) *Result {
 			addCacheNoise(fh, sopt)
 			_, hedgedUser := fh.runClients(sopt, &cluster.HedgedStrategy{C: fh.c, HedgeAfter: hedgeAfter}, sf)
 			hedgedOut[i] = hedgedUser
+			hedgedSnap[i] = fh.snapshot(fmt.Sprintf("fig7/Hedged-SF%d", sf))
 		})
 		ls.add(func() {
 			fm := newFleet(sopt, fleetDiskCache, true, fmt.Sprintf("fig7-mitt-sf%d", sf))
@@ -54,6 +63,7 @@ func Fig7(opt Options) *Result {
 			addCacheNoise(fm, sopt)
 			_, mittUser := fm.runClients(sopt, &cluster.MittOSStrategy{C: fm.c, Deadline: deadline}, sf)
 			mittOut[i] = mittUser
+			mittSnap[i] = fm.snapshot(fmt.Sprintf("fig7/MittCache-SF%d", sf))
 		})
 	}
 	runLegs(opt.Workers, ls)
@@ -62,6 +72,9 @@ func Fig7(opt Options) *Result {
 			Series{Name: fmt.Sprintf("Hedged-SF%d", sf), Sample: hedgedOut[i]},
 			Series{Name: fmt.Sprintf("MittCache-SF%d", sf), Sample: mittOut[i]},
 		)
+		if hedgedSnap[i] != nil {
+			res.Metrics = append(res.Metrics, hedgedSnap[i], mittSnap[i])
+		}
 		row := stats.ReductionRow(mittOut[i], hedgedOut[i])
 		cells := []string{fmt.Sprintf("%d", sf)}
 		for _, v := range row {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"mittos/internal/blockio"
+	"mittos/internal/metrics"
 	"mittos/internal/sim"
 )
 
@@ -36,7 +37,11 @@ type Noop struct {
 	eng  *sim.Engine
 	down Downstream
 	fifo []*blockio.Request
+	rec  *metrics.Recorder
 }
+
+// SetRecorder attaches a metrics recorder (nil disables, the default).
+func (n *Noop) SetRecorder(rec *metrics.Recorder) { n.rec = rec }
 
 // NewNoop builds a noop scheduler over the device.
 func NewNoop(eng *sim.Engine, down Downstream) *Noop {
@@ -50,6 +55,7 @@ func (n *Noop) Submit(req *blockio.Request) {
 	if req.SubmitTime == 0 {
 		req.SubmitTime = n.eng.Now()
 	}
+	n.rec.SchedEnter(metrics.RSchedNoop, req)
 	n.fifo = append(n.fifo, req)
 	n.pump()
 }
@@ -65,8 +71,10 @@ func (n *Noop) pump() {
 		req := n.fifo[0]
 		n.fifo = n.fifo[1:]
 		if req.Canceled() {
+			n.rec.SchedDrop(metrics.RSchedNoop, req)
 			continue
 		}
+		n.rec.SchedExit(metrics.RSchedNoop, req)
 		n.down.Submit(req)
 	}
 }
@@ -131,7 +139,11 @@ type CFQ struct {
 	dispatched   uint64
 	dispatchHook func(*blockio.Request)
 	dropHook     func(*blockio.Request)
+	rec          *metrics.Recorder
 }
+
+// SetRecorder attaches a metrics recorder (nil disables, the default).
+func (c *CFQ) SetRecorder(rec *metrics.Recorder) { c.rec = rec }
 
 // SetDropHook registers a tap invoked when a cancelled request is discarded
 // from the CFQ queues (so accounting layers can release its charge).
@@ -160,6 +172,7 @@ func (c *CFQ) Submit(req *blockio.Request) {
 	if req.SubmitTime == 0 {
 		req.SubmitTime = c.eng.Now()
 	}
+	c.rec.SchedEnter(metrics.RSchedCFQ, req)
 	node := c.node(req.Proc)
 	// ionice changes apply to subsequent IOs.
 	node.class = req.Class
@@ -211,6 +224,7 @@ func (c *CFQ) Remove(req *blockio.Request) bool {
 	}
 	if n.tree.Remove(req) {
 		c.queued--
+		c.rec.SchedRemove(metrics.RSchedCFQ, req)
 		return true
 	}
 	return false
@@ -301,8 +315,10 @@ func (c *CFQ) pump() {
 			if c.dropHook != nil {
 				c.dropHook(req)
 			}
+			c.rec.SchedDrop(metrics.RSchedCFQ, req)
 			continue
 		}
+		c.rec.SchedExit(metrics.RSchedCFQ, req)
 		c.dispatched++
 		c.onDevice++
 		prev := req.OnComplete

@@ -1,0 +1,137 @@
+package iosched
+
+import (
+	"sort"
+	"testing"
+
+	"mittos/internal/blockio"
+)
+
+// FuzzRBTree drives the CFQ red-black tree with a byte-program of
+// insert/pop/remove/ceiling ops and checks every answer against a reference
+// model (a sorted slice ordered by the same (offset, insertion-seq) key).
+// After every mutation the tree must also satisfy the red-black structural
+// invariants via checkInvariants.
+func FuzzRBTree(f *testing.F) {
+	f.Add([]byte{0, 3, 0, 3, 2, 4, 8, 3, 1})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 2, 2, 2, 2})
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 3, 0, 3, 1, 3, 0, 4, 2})
+	f.Add([]byte{0, 7, 0, 7, 0, 7, 0, 7, 3, 1, 3, 1, 2, 2})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		type entry struct {
+			off int64
+			seq uint64
+			req *blockio.Request
+		}
+		var (
+			tr    rbTree
+			model []entry
+			seq   uint64
+		)
+		// insertAt keeps the model in (offset, seq) order — the tree's key.
+		insertAt := func(e entry) {
+			i := sort.Search(len(model), func(i int) bool {
+				if model[i].off != e.off {
+					return model[i].off > e.off
+				}
+				return model[i].seq > e.seq
+			})
+			model = append(model, entry{})
+			copy(model[i+1:], model[i:])
+			model[i] = e
+		}
+		check := func(op string) {
+			t.Helper()
+			if tr.checkInvariants() < 0 {
+				t.Fatalf("%s: red-black invariants violated (size %d)", op, len(model))
+			}
+			if tr.Len() != len(model) {
+				t.Fatalf("%s: Len=%d model=%d", op, tr.Len(), len(model))
+			}
+			min := tr.Min()
+			switch {
+			case len(model) == 0 && min != nil:
+				t.Fatalf("%s: Min=%v on empty tree", op, min)
+			case len(model) > 0 && min != model[0].req:
+				t.Fatalf("%s: Min offset=%d, model min offset=%d", op, min.Offset, model[0].off)
+			}
+		}
+
+		for i := 0; i+1 < len(data) && i < 4096; i += 2 {
+			op, arg := data[i]%5, data[i+1]
+			switch op {
+			case 0, 1: // insert; small offset domain to force duplicates
+				off := int64(arg%32) * 4096
+				req := &blockio.Request{Offset: off}
+				seq++
+				tr.Insert(req)
+				insertAt(entry{off: off, seq: seq, req: req})
+				check("insert")
+			case 2: // pop min
+				got := tr.PopMin()
+				if len(model) == 0 {
+					if got != nil {
+						t.Fatalf("PopMin=%v on empty tree", got)
+					}
+					continue
+				}
+				if got != model[0].req {
+					t.Fatalf("PopMin offset=%d, model min offset=%d", got.Offset, model[0].off)
+				}
+				model = model[1:]
+				check("popmin")
+			case 3: // remove by identity
+				if len(model) == 0 {
+					if tr.Remove(&blockio.Request{}) {
+						t.Fatal("Remove of a never-inserted request returned true")
+					}
+					continue
+				}
+				i := int(arg) % len(model)
+				if !tr.Remove(model[i].req) {
+					t.Fatalf("Remove lost request at offset %d", model[i].off)
+				}
+				model = append(model[:i], model[i+1:]...)
+				check("remove")
+			case 4: // ceiling query
+				off := int64(arg%40) * 4096
+				got := tr.CeilingFrom(off)
+				var want *blockio.Request
+				for _, e := range model {
+					if e.off >= off {
+						want = e.req
+						break
+					}
+				}
+				if got != want {
+					t.Fatalf("CeilingFrom(%d): got %v want %v (size %d)", off, got, want, len(model))
+				}
+			}
+		}
+
+		// Drain: full in-order agreement, then the tree must be empty.
+		var walked []*blockio.Request
+		tr.Each(func(r *blockio.Request) bool { walked = append(walked, r); return true })
+		if len(walked) != len(model) {
+			t.Fatalf("Each visited %d of %d", len(walked), len(model))
+		}
+		for i, r := range walked {
+			if r != model[i].req {
+				t.Fatalf("Each order diverges at %d: offset %d vs %d", i, r.Offset, model[i].off)
+			}
+		}
+		for len(model) > 0 {
+			if got := tr.PopMin(); got != model[0].req {
+				t.Fatalf("drain PopMin offset=%d, want %d", got.Offset, model[0].off)
+			}
+			model = model[1:]
+			if tr.checkInvariants() < 0 {
+				t.Fatal("drain: red-black invariants violated")
+			}
+		}
+		if tr.Len() != 0 || tr.Min() != nil {
+			t.Fatal("tree not empty after drain")
+		}
+	})
+}

@@ -11,6 +11,7 @@ package kv
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"mittos/internal/blockio"
@@ -238,7 +239,9 @@ func (s *Store) Get(key int64, deadline time.Duration, onDone func(error)) *bloc
 				ID: s.ids.Next(), Op: blockio.Read, Offset: off, Size: s.cfg.BlockSize,
 				Proc: s.cfg.Proc, Class: s.cfg.Class, Priority: s.cfg.Priority,
 			}
-			s.mcache.SubmitSLO(req, onDone)
+			// Via s.target (== the MittCache, possibly metrics-traced) so
+			// the touch crosses the node's span boundary exactly once.
+			s.target.SubmitSLO(req, onDone)
 			return req
 		}
 		req := &blockio.Request{
@@ -293,10 +296,17 @@ func (s *Store) flush() {
 		stride: int64(s.cfg.BlockSize),
 		index:  make(map[int64]int32, n),
 	}
-	slot := int32(0)
-	for k := range s.memtable {
-		r.index[k] = slot
-		slot++
+	// Slot assignment decides each key's device offset, which decides the
+	// seek distance of every future read of that key — it must not depend
+	// on Go's randomized map order. Flush in sorted key order (real LSM
+	// flushes write sorted tables anyway).
+	keys := make([]int64, 0, n)
+	for k := range s.memtable { //mapiter:sorted
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for slot, k := range keys {
+		r.index[k] = int32(slot)
 	}
 	s.memtable = make(map[int64]bool)
 	s.runs = append([]*run{r}, s.runs...)
@@ -325,21 +335,23 @@ func (s *Store) flush() {
 func (s *Store) compact() {
 	s.compactions++
 	merged := make(map[int64]int32)
-	total := int64(0)
 	for i := len(s.runs) - 1; i >= 0; i-- { // oldest first; newer overwrite
-		for k := range s.runs[i].index {
-			if _, seen := merged[k]; !seen {
-				total++
-			}
+		for k := range s.runs[i].index { //mapiter:sorted
 			merged[k] = 0
 		}
 	}
+	total := int64(len(merged))
+	// As in flush: the merged run's slot layout feeds future seek
+	// distances, so assign slots in sorted key order, never map order.
+	keys := make([]int64, 0, total)
+	for k := range merged { //mapiter:sorted
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	r := &run{base: s.allocExtent(total * int64(s.cfg.BlockSize)),
 		stride: int64(s.cfg.BlockSize), index: merged}
-	slot := int32(0)
-	for k := range merged {
-		merged[k] = slot
-		slot++
+	for slot, k := range keys {
+		merged[k] = int32(slot)
 	}
 	old := s.runs
 	s.runs = []*run{r}

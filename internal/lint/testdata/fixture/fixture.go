@@ -1,0 +1,21 @@
+// Package fixture exercises the mapiter checker: exactly one of the two
+// ranges below must be flagged.
+package fixture
+
+// Flagged ranges over a map with no marker.
+func Flagged(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Suppressed carries the marker and must not be flagged.
+func Suppressed(m map[int]int) []int {
+	var keys []int
+	for k := range m { //mapiter:sorted
+		keys = append(keys, k)
+	}
+	return keys
+}

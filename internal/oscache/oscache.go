@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mittos/internal/blockio"
+	"mittos/internal/metrics"
 	"mittos/internal/sim"
 )
 
@@ -64,7 +65,12 @@ type Cache struct {
 	inflight int
 
 	hits, misses, evictions uint64
+
+	rec *metrics.Recorder
 }
+
+// SetRecorder attaches a metrics recorder (nil disables, the default).
+func (c *Cache) SetRecorder(rec *metrics.Recorder) { c.rec = rec }
 
 // New builds a cache over the backing device.
 func New(eng *sim.Engine, cfg Config, backing blockio.Device) *Cache {
@@ -137,6 +143,7 @@ func (c *Cache) Submit(req *blockio.Request) {
 	}
 	c.inflight++
 	req.DispatchTime = c.eng.Now()
+	c.rec.DevEnter(metrics.RCache, req)
 	switch req.Op {
 	case blockio.Write:
 		first, last := c.span(req.Offset, req.Size)
@@ -147,11 +154,13 @@ func (c *Cache) Submit(req *blockio.Request) {
 	case blockio.Read:
 		if c.Resident(req.Offset, req.Size) {
 			c.hits++
+			c.rec.Incr(metrics.RCache, metrics.CCacheHit)
 			c.touchRange(req.Offset, req.Size)
 			c.eng.After(c.cfg.HitLatency, func() { c.complete(req) })
 			return
 		}
 		c.misses++
+		c.rec.Incr(metrics.RCache, metrics.CCacheMiss)
 		c.readThrough(req, func() { c.complete(req) })
 	default:
 		panic(fmt.Sprintf("oscache: unsupported op %v", req.Op))
@@ -165,6 +174,7 @@ func (c *Cache) Prefetch(off int64, size int, class blockio.Class, prio int, pro
 	if c.Resident(off, size) {
 		return
 	}
+	c.rec.Incr(metrics.RCache, metrics.CPrefetch)
 	sub := &blockio.Request{
 		ID: c.ids.Next(), Op: blockio.Read, Offset: off, Size: size,
 		Proc: proc, Class: class, Priority: prio,
@@ -204,6 +214,7 @@ func (c *Cache) readThrough(req *blockio.Request, done func()) {
 func (c *Cache) complete(req *blockio.Request) {
 	req.CompleteTime = c.eng.Now()
 	c.inflight--
+	c.rec.DevDone(metrics.RCache, req)
 	if req.OnComplete != nil {
 		req.OnComplete(req)
 	}
@@ -248,6 +259,7 @@ func (c *Cache) evict(pg *page) {
 	c.lru.Remove(pg.elem)
 	delete(c.pages, pg.id)
 	c.evictions++
+	c.rec.Incr(metrics.RCache, metrics.CEviction)
 	if pg.dirty {
 		// Write-back on eviction, fire-and-forget at idle priority.
 		wb := &blockio.Request{

@@ -98,6 +98,7 @@ func (e *Event) Cancel() {
 	eng := e.eng
 	eng.nLive--
 	eng.nCancelled++
+	eng.cancelledTotal++
 	if eng.nCancelled > len(eng.heap)/2 {
 		eng.compact()
 	}
@@ -113,6 +114,39 @@ type Engine struct {
 	nCancelled int      // tombstones still in the heap
 	fired      uint64
 	halted     bool
+
+	// Cumulative diagnostics surfaced by Stats.
+	cancelledTotal uint64
+	compactions    uint64
+	maxHeap        int
+}
+
+// EngineStats is a point-in-time summary of engine activity, exposed so the
+// metrics layer can report event-loop health (heap growth, tombstone churn)
+// alongside IO-level numbers. All counters are cumulative since NewEngine.
+type EngineStats struct {
+	Now         Time   `json:"now_ns"`       // current virtual time
+	Fired       uint64 `json:"fired"`        // events executed
+	Scheduled   uint64 `json:"scheduled"`    // events ever posted
+	Cancelled   uint64 `json:"cancelled"`    // events cancelled before firing
+	Compactions uint64 `json:"compactions"`  // tombstone sweeps of the heap
+	Pending     int    `json:"pending"`      // live events still queued
+	MaxHeap     int    `json:"max_heap"`     // high-water heap length (incl. tombstones)
+	FreeList    int    `json:"freelist_len"` // recycled events currently parked
+}
+
+// Stats snapshots the engine's diagnostic counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Now:         e.now,
+		Fired:       e.fired,
+		Scheduled:   e.seq,
+		Cancelled:   e.cancelledTotal,
+		Compactions: e.compactions,
+		Pending:     e.nLive,
+		MaxHeap:     e.maxHeap,
+		FreeList:    len(e.free),
+	}
 }
 
 // NewEngine returns an engine positioned at virtual time zero.
@@ -283,6 +317,9 @@ func before(a, b *Event) bool {
 func (e *Engine) push(ev *Event) {
 	h := append(e.heap, ev)
 	e.heap = h
+	if len(h) > e.maxHeap {
+		e.maxHeap = len(h)
+	}
 	// Sift up.
 	i := len(h) - 1
 	for i > 0 {
@@ -348,6 +385,7 @@ func (e *Engine) compact() {
 	}
 	e.heap = kept
 	e.nCancelled = 0
+	e.compactions++
 	for i := len(kept)/2 - 1; i >= 0; i-- {
 		e.siftDown(i)
 	}

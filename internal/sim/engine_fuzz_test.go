@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzEngineHeap drives the engine's hand-specialized min-heap (freelist,
+// tombstone cancellation, compaction included) with a byte-program of
+// schedule/after/cancel/step ops, checking every firing against a reference
+// model: events fire in nondecreasing (time, scheduling-seq) order,
+// cancelled events never fire, and Pending always matches the model's live
+// count.
+func FuzzEngineHeap(f *testing.F) {
+	f.Add([]byte{0, 5, 1, 3, 3, 0, 0, 0, 2, 0, 3, 0, 3, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 2, 0, 2, 1, 3, 0})
+	f.Add([]byte{1, 7, 1, 7, 3, 0, 1, 7, 3, 0, 3, 0, 3, 0})
+	f.Add([]byte{0, 1, 2, 0, 0, 1, 2, 0, 0, 1, 2, 0, 0, 1, 2, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eng := NewEngine()
+		type item struct {
+			id        int
+			at        Time
+			cancelled bool
+			fired     bool
+			ev        *Event // nil for owned (After) events
+		}
+		var (
+			model    []*item // in scheduling order = engine seq order
+			fired    []int   // ids in actual firing order
+			modelNow Time
+		)
+		// nextLive returns the model's next expected firing: minimum (at,
+		// scheduling order) over live items — exactly the heap's contract.
+		nextLive := func() *item {
+			var best *item
+			for _, it := range model {
+				if it.cancelled || it.fired {
+					continue
+				}
+				if best == nil || it.at < best.at {
+					best = it
+				}
+			}
+			return best
+		}
+		liveCount := func() int {
+			n := 0
+			for _, it := range model {
+				if !it.cancelled && !it.fired {
+					n++
+				}
+			}
+			return n
+		}
+		stepOnce := func(op string) {
+			t.Helper()
+			want := nextLive()
+			ran := eng.Step()
+			if want == nil {
+				if ran {
+					t.Fatalf("%s: Step ran with no live events", op)
+				}
+				return
+			}
+			if !ran {
+				t.Fatalf("%s: Step idle with %d live events", op, liveCount())
+			}
+			want.fired = true
+			if got := fired[len(fired)-1]; got != want.id {
+				t.Fatalf("%s: fired #%d, want #%d (at=%v)", op, got, want.id, want.at)
+			}
+			if want.at > modelNow {
+				modelNow = want.at
+			}
+			if eng.Now() != modelNow {
+				t.Fatalf("%s: clock %v, model %v", op, eng.Now(), modelNow)
+			}
+		}
+
+		for i := 0; i+1 < len(data) && i < 4096; i += 2 {
+			op, arg := data[i]%4, data[i+1]
+			switch op {
+			case 0: // Schedule (handle-returning, cancellable)
+				d := Duration(arg%8) * Duration(time.Microsecond)
+				it := &item{id: len(model), at: modelNow.Add(d)}
+				it.ev = eng.Schedule(d, func() { fired = append(fired, it.id) })
+				model = append(model, it)
+			case 1: // After (owned, freelist-recycled)
+				d := Duration(arg%8) * Duration(time.Microsecond)
+				it := &item{id: len(model), at: modelNow.Add(d)}
+				eng.After(d, func() { fired = append(fired, it.id) })
+				model = append(model, it)
+			case 2: // Cancel a live handle event
+				var handles []*item
+				for _, it := range model {
+					if it.ev != nil && !it.cancelled && !it.fired {
+						handles = append(handles, it)
+					}
+				}
+				if len(handles) == 0 {
+					continue
+				}
+				it := handles[int(arg)%len(handles)]
+				it.ev.Cancel()
+				it.cancelled = true
+				if !it.ev.Cancelled() {
+					t.Fatalf("event #%d not marked cancelled", it.id)
+				}
+			case 3: // Step
+				stepOnce("step")
+			}
+			if eng.Pending() != liveCount() {
+				t.Fatalf("Pending=%d, model live=%d", eng.Pending(), liveCount())
+			}
+		}
+
+		// Drain and verify the complete firing order.
+		for nextLive() != nil {
+			stepOnce("drain")
+		}
+		if eng.Step() {
+			t.Fatal("engine fired after the model drained")
+		}
+		if eng.Pending() != 0 {
+			t.Fatalf("Pending=%d after drain", eng.Pending())
+		}
+		for i := 1; i < len(fired); i++ {
+			a, b := model[fired[i-1]], model[fired[i]]
+			if b.at < a.at || (b.at == a.at && b.id < a.id) {
+				t.Fatalf("firing order violates (time, seq): #%d(at=%v) before #%d(at=%v)",
+					a.id, a.at, b.id, b.at)
+			}
+		}
+		for _, it := range model {
+			if it.cancelled && it.fired {
+				t.Fatalf("cancelled event #%d fired", it.id)
+			}
+			if !it.cancelled && !it.fired {
+				t.Fatalf("event #%d neither fired nor cancelled after drain", it.id)
+			}
+		}
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"mittos/internal/blockio"
+	"mittos/internal/metrics"
 	"mittos/internal/sim"
 )
 
@@ -143,7 +144,11 @@ type SSD struct {
 
 	gcHook     func(GCEvent)
 	submitHook func(*blockio.Request)
+	rec        *metrics.Recorder
 }
+
+// SetRecorder attaches a metrics recorder (nil disables, the default).
+func (s *SSD) SetRecorder(rec *metrics.Recorder) { s.rec = rec }
 
 // server is a serial FIFO executor (a chip die or a channel bus). Each task
 // receives a release function and must call it when the server may proceed
@@ -298,6 +303,7 @@ func (s *SSD) Submit(req *blockio.Request) {
 	}
 	req.DispatchTime = s.eng.Now()
 	s.inflight++
+	s.rec.DevEnter(metrics.RSSD, req)
 	if s.submitHook != nil {
 		s.submitHook(req)
 	}
@@ -308,6 +314,7 @@ func (s *SSD) Submit(req *blockio.Request) {
 		if remaining == 0 {
 			req.CompleteTime = s.eng.Now()
 			s.inflight--
+			s.rec.DevDone(metrics.RSSD, req)
 			if req.OnComplete != nil {
 				req.OnComplete(req)
 			}
@@ -316,20 +323,21 @@ func (s *SSD) Submit(req *blockio.Request) {
 	for p := first; p < first+count; p++ {
 		lp := p
 		if req.Op == blockio.Read {
-			s.readPage(lp, done)
+			s.readPage(req, lp, done)
 		} else {
-			s.writePage(lp, done)
+			s.writePage(req, lp, done)
 		}
 	}
 }
 
 // readPage: chip cell read (die occupied), then channel transfer out.
-func (s *SSD) readPage(lp int64, done func()) {
+func (s *SSD) readPage(req *blockio.Request, lp int64, done func()) {
 	chipID := int(lp % int64(s.cfg.TotalChips()))
 	c := s.chips[chipID]
 	ch := s.channels[chipID%s.cfg.Channels]
 	s.reads++
 	c.srv.run(func(release func()) {
+		s.rec.DevStart(metrics.RSSD, req)
 		s.eng.After(s.cfg.ChipReadTime, func() {
 			release()
 			ch.srv.run(func(rel func()) {
@@ -345,7 +353,7 @@ func (s *SSD) readPage(lp int64, done func()) {
 // writePage: the die slot is reserved at submit time (so later reads queue
 // behind it, as on real NAND), but programming can only start once the
 // channel has transferred the data in.
-func (s *SSD) writePage(lp int64, done func()) {
+func (s *SSD) writePage(req *blockio.Request, lp int64, done func()) {
 	chipID := int(lp % int64(s.cfg.TotalChips()))
 	c := s.chips[chipID]
 	ch := s.channels[chipID%s.cfg.Channels]
@@ -363,6 +371,7 @@ func (s *SSD) writePage(lp int64, done func()) {
 	})
 	c.srv.run(func(release func()) {
 		start := func() {
+			s.rec.DevStart(metrics.RSSD, req)
 			s.maybeGC(c)
 			phys := s.allocPage(c, int32(lp/int64(s.cfg.TotalChips())))
 			progTime := s.pattern[phys%s.cfg.PagesPerBlock]
