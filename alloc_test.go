@@ -1,0 +1,41 @@
+package mittos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAllocBudgets pins the steady-state allocation budgets of the two
+// hottest paths. These are hard budgets, not aspirations: a regression
+// here silently multiplies across every experiment's millions of IOs.
+func TestAllocBudgets(t *testing.T) {
+	t.Run("AdmissionDecision", func(t *testing.T) {
+		eng := NewEngine()
+		s := NewStack(eng, StackConfig{Device: DeviceDisk, Scheduler: SchedulerNoop, Mitt: true, Seed: 1})
+		for i := 0; i < 16; i++ {
+			s.Read(int64(i+1)*(40<<30), 1<<20, 0, func(error) {})
+		}
+		_ = s.PredictWait(100<<30, 4096) // warm the SSTF-replay scratch
+		avg := testing.AllocsPerRun(200, func() {
+			_ = s.PredictWait(450<<30, 4096)
+		})
+		if avg != 0 {
+			t.Fatalf("PredictWait allocates %.1f objects per call; budget is 0", avg)
+		}
+	})
+	t.Run("EngineSchedule", func(t *testing.T) {
+		eng := NewEngine()
+		// Warm the event freelist.
+		for i := 0; i < 64; i++ {
+			eng.After(time.Duration(i+1)*time.Microsecond, func() {})
+		}
+		eng.Run()
+		avg := testing.AllocsPerRun(200, func() {
+			eng.After(time.Microsecond, func() {})
+			eng.Run()
+		})
+		if avg != 0 {
+			t.Fatalf("After+Run allocates %.1f objects per event; budget is 0", avg)
+		}
+	})
+}

@@ -27,9 +27,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"testing"
 	"time"
 
 	"mittos"
+	"mittos/internal/experiments"
 	"mittos/internal/metrics"
 )
 
@@ -46,8 +48,17 @@ func main() {
 		metricsOn   = flag.Bool("metrics", false, "collect per-layer counters/histograms and print an end-of-run dump per leg (fig4, fig7)")
 		traceIOs    = flag.Int("trace-ios", 0, "with -metrics: capture the first N per-IO spans per leg and print them as JSONL (<0 = all)")
 		metricsJSON = flag.String("metrics-json", "", "with -metrics: also write every snapshot as a JSON array to this file")
+		benchJSON   = flag.String("bench-json", "", "run the headline benchmarks in-process and write ns/op, B/op, allocs/op as JSON to this file, then exit")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *run == "" {
 		fmt.Println("experiments (pass one to -run, or 'all'):")
@@ -134,6 +145,78 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// benchResult is one headline benchmark's record in the -bench-json dump.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// runBenchJSON executes the headline benchmarks in-process (the same bodies
+// as the go-test benchmarks) and writes their ns/op and allocation profile
+// as a JSON array — the machine-readable artifact CI archives per commit.
+func runBenchJSON(path string) error {
+	var results []benchResult
+	add := func(name string, r testing.BenchmarkResult) {
+		results = append(results, benchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Printf("%-24s %12.1f ns/op %12d B/op %8d allocs/op\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	add("Fig4", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		opt := experiments.QuickFig4Options()
+		opt.Duration = 4 * time.Second
+		for i := 0; i < b.N; i++ {
+			experiments.Fig4(opt)
+		}
+	}))
+
+	add("AdmissionDecision", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		eng := mittos.NewEngine()
+		s := mittos.NewStack(eng, mittos.StackConfig{
+			Device: mittos.DeviceDisk, Scheduler: mittos.SchedulerNoop, Mitt: true, Seed: 1})
+		for i := 0; i < 16; i++ {
+			s.Read(int64(i+1)*(40<<30), 1<<20, 0, func(error) {})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = s.PredictWait(int64(i%900)<<30, 4096)
+		}
+	}))
+
+	add("EngineThroughput", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		eng := mittos.NewEngine()
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < b.N {
+				eng.After(time.Microsecond, tick)
+			}
+		}
+		eng.After(time.Microsecond, tick)
+		b.ResetTimer()
+		eng.Run()
+	}))
+
+	j, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(j, '\n'), 0o644)
 }
 
 // writeMetrics renders each leg's snapshot: the deterministic text dump,

@@ -125,9 +125,30 @@ type Request struct {
 	// time on the simulation engine.
 	OnComplete func(*Request)
 
+	// OnDrop fires when a scheduler or device discards a cancelled request
+	// (the revoked terminal). Exactly one of the completion path and OnDrop
+	// runs for a submitted request; owners that must reclaim per-IO state on
+	// revocation hook it here.
+	OnDrop func(*Request)
+
+	// AutoFree marks a pooled request whose lifecycle ends at the completion
+	// boundary that delivered it (the block-layer Submit callback or the
+	// drop path): that boundary calls Release after its last touch. Owners
+	// that keep the pointer past completion must leave it false and Release
+	// themselves.
+	AutoFree bool
+
 	// canceled requests are dropped by the scheduler before dispatch
 	// (MittCFQ's late cancellation, §4.2).
 	canceled bool
+
+	// Pool bookkeeping: the freelist this request recycles into (nil for
+	// plain &Request{} allocations), a generation counter bumped on every
+	// recycle so stale holders can detect reuse, and the in-pool flag that
+	// turns a double Release into a panic instead of silent corruption.
+	pool   *Pool
+	gen    uint32
+	inPool bool
 }
 
 // Cancel marks the request so schedulers drop it before dispatch. A request
@@ -166,6 +187,70 @@ type Device interface {
 	// InFlight reports the number of submitted-but-incomplete requests,
 	// used by monitors and the EBUSY-timeline experiment (Fig. 13b).
 	InFlight() int
+}
+
+// Gen returns the request's recycle generation. A holder that may outlive
+// the request (e.g. a cancellation handle) records Gen at issue time and
+// compares before touching the pointer again.
+func (r *Request) Gen() uint32 { return r.gen }
+
+// Dropped is the revoked terminal: schedulers and devices call it after
+// recording SchedDrop/DevDrop for a cancelled request they are discarding.
+// It fires OnDrop (handing per-IO state back to the owner) or, for
+// boundary-owned requests, recycles the request directly.
+func (r *Request) Dropped() {
+	if fn := r.OnDrop; fn != nil {
+		r.OnDrop = nil
+		fn(r)
+		return
+	}
+	if r.AutoFree {
+		r.Release()
+	}
+}
+
+// Pool is a Request freelist. Requests are pooled per simulation engine
+// (every leg is single-threaded, so no locking), handed out by Get and
+// recycled by Release exactly once per IO, at its single terminal:
+// completion delivery, EBUSY delivery, or the scheduler/device drop of a
+// revoked request — the same exactly-once points the span tracer enforces.
+// The zero value is ready to use.
+type Pool struct {
+	free []*Request
+	news int // Gets served by a fresh allocation (pool-size telemetry)
+}
+
+// Get returns a zeroed request. Reuses a recycled one when available.
+func (p *Pool) Get() *Request {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		r.inPool = false
+		return r
+	}
+	p.news++
+	return &Request{pool: p}
+}
+
+// Allocated returns how many distinct requests the pool has created — the
+// steady-state working set once the freelist is warm.
+func (p *Pool) Allocated() int { return p.news }
+
+// Release recycles a pooled request. All fields reset; the generation
+// counter advances so stale holders (Gen mismatch) can tell the pointer now
+// belongs to a different IO. Releasing a request twice panics. No-op for
+// requests not obtained from a Pool, so callers may Release unconditionally.
+func (r *Request) Release() {
+	p := r.pool
+	if p == nil {
+		return
+	}
+	if r.inPool {
+		panic(fmt.Sprintf("blockio: double release of io#%d (gen %d)", r.ID, r.gen))
+	}
+	*r = Request{pool: p, gen: r.gen + 1, inPool: true}
+	p.free = append(p.free, r)
 }
 
 // IDGen hands out unique request IDs. The zero value is ready to use.

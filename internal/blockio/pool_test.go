@@ -1,0 +1,90 @@
+package blockio
+
+import "testing"
+
+func TestPoolRecycleAdvancesGeneration(t *testing.T) {
+	var p Pool
+	r := p.Get()
+	r.ID, r.Op, r.Offset, r.Size = 7, Read, 4096, 512
+	g := r.Gen()
+	r.Release()
+	r2 := p.Get()
+	if r2 != r {
+		t.Fatal("pool did not recycle the released request")
+	}
+	if r2.Gen() != g+1 {
+		t.Fatalf("gen = %d after recycle, want %d", r2.Gen(), g+1)
+	}
+	if r2.ID != 0 || r2.Offset != 0 || r2.Size != 0 || r2.OnComplete != nil {
+		t.Fatalf("recycled request not zeroed: %v", r2)
+	}
+	if p.Allocated() != 1 {
+		t.Fatalf("Allocated() = %d, want 1", p.Allocated())
+	}
+}
+
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	var p Pool
+	r := p.Get()
+	r.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestBareRequestReleaseIsNoop(t *testing.T) {
+	r := &Request{ID: 3}
+	r.Release() // must not panic: bare requests have no pool
+	r.Release()
+	if r.ID != 3 {
+		t.Fatal("Release mutated a bare request")
+	}
+}
+
+func TestDroppedPrefersOnDropOverAutoFree(t *testing.T) {
+	var p Pool
+	r := p.Get()
+	r.AutoFree = true
+	dropped := 0
+	r.OnDrop = func(rr *Request) {
+		dropped++
+		rr.Release()
+	}
+	r.Dropped()
+	if dropped != 1 {
+		t.Fatalf("OnDrop ran %d times, want 1", dropped)
+	}
+	if r2 := p.Get(); r2 != r {
+		t.Fatal("OnDrop's Release did not recycle the request")
+	}
+}
+
+func TestDroppedAutoFreeRecycles(t *testing.T) {
+	var p Pool
+	r := p.Get()
+	r.AutoFree = true
+	g := r.Gen()
+	r.Dropped()
+	r2 := p.Get()
+	if r2 != r || r2.Gen() != g+1 {
+		t.Fatal("AutoFree drop did not recycle the request")
+	}
+}
+
+// TestStaleHolderDetectsRecycle is the generation-counter contract: a
+// holder that kept the pointer past the terminal compares Gen before
+// touching it again.
+func TestStaleHolderDetectsRecycle(t *testing.T) {
+	var p Pool
+	r := p.Get()
+	held, heldGen := r, r.Gen()
+	r.Release()
+	reused := p.Get() // same memory, new IO
+	reused.ID = 99
+	if held.Gen() == heldGen {
+		t.Fatal("stale holder cannot detect recycle: gen unchanged")
+	}
+}

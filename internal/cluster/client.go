@@ -25,6 +25,10 @@ type ClientConfig struct {
 	// Interval after the previous one COMPLETES (the §7.5 client model,
 	// where "only 6 threads are busy all the time").
 	Closed bool
+	// ExpectedOps pre-sizes the latency samples to the leg's expected user
+	// request count so steady-state recording never reallocates (0 keeps a
+	// small default).
+	ExpectedOps int
 }
 
 // DefaultClientConfig matches the §7.2 runs: one get per user request.
@@ -50,6 +54,41 @@ type Client struct {
 	finished int
 	errors   int
 	stopped  bool
+
+	tickFn   func()     // pre-bound issue timer
+	userFree []*userReq // pooled per-user-request contexts
+}
+
+// userReq is one in-flight user request: the scale-factor fan-out shares a
+// single pooled context (all sub-gets are issued at the same virtual
+// instant, so one start time covers both metrics).
+type userReq struct {
+	cl        *Client
+	start     sim.Time
+	remaining int
+	failed    bool
+	fn        func(GetResult) // pre-bound u.done
+}
+
+func (u *userReq) done(res GetResult) {
+	cl := u.cl
+	cl.IOLatencies.Add(cl.eng.Now().Sub(u.start))
+	if res.Err != nil {
+		u.failed = true
+	}
+	u.remaining--
+	if u.remaining > 0 {
+		return
+	}
+	cl.finished++
+	if u.failed {
+		cl.errors++
+	}
+	cl.UserLatencies.Add(cl.eng.Now().Sub(u.start))
+	cl.userFree = append(cl.userFree, u)
+	if cl.cfg.Closed {
+		cl.scheduleNext()
+	}
 }
 
 // NewClient builds a client.
@@ -61,11 +100,17 @@ func NewClient(eng *sim.Engine, cfg ClientConfig, strat Strategy,
 	if cfg.Interval <= 0 {
 		panic("cluster: client Interval must be positive")
 	}
-	return &Client{
-		eng: eng, cfg: cfg, strat: strat, wl: wl, rng: rng,
-		UserLatencies: stats.NewSample(4096),
-		IOLatencies:   stats.NewSample(4096),
+	ops := cfg.ExpectedOps
+	if ops <= 0 {
+		ops = 4096
 	}
+	cl := &Client{
+		eng: eng, cfg: cfg, strat: strat, wl: wl, rng: rng,
+		UserLatencies: stats.NewSample(ops),
+		IOLatencies:   stats.NewSample(ops * cfg.ScaleFactor),
+	}
+	cl.tickFn = cl.tick
+	return cl
 }
 
 // Start begins issuing requests.
@@ -92,38 +137,30 @@ func (cl *Client) scheduleNext() {
 		span := time.Duration(float64(gap) * cl.cfg.JitterFrac)
 		gap = gap - span + cl.rng.Duration(2*span)
 	}
-	cl.eng.After(gap, func() {
-		cl.issueOne()
-		if !cl.cfg.Closed {
-			cl.scheduleNext()
-		}
-	})
+	cl.eng.After(gap, cl.tickFn)
+}
+
+func (cl *Client) tick() {
+	cl.issueOne()
+	if !cl.cfg.Closed {
+		cl.scheduleNext()
+	}
 }
 
 func (cl *Client) issueOne() {
 	cl.issued++
-	start := cl.eng.Now()
-	remaining := cl.cfg.ScaleFactor
-	failed := false
+	var u *userReq
+	if n := len(cl.userFree); n > 0 {
+		u = cl.userFree[n-1]
+		cl.userFree = cl.userFree[:n-1]
+	} else {
+		u = &userReq{cl: cl}
+		u.fn = u.done
+	}
+	u.start = cl.eng.Now()
+	u.remaining = cl.cfg.ScaleFactor
+	u.failed = false
 	for i := 0; i < cl.cfg.ScaleFactor; i++ {
-		key := cl.wl.NextKey()
-		subStart := cl.eng.Now()
-		cl.strat.Get(key, func(res GetResult) {
-			cl.IOLatencies.Add(cl.eng.Now().Sub(subStart))
-			if res.Err != nil {
-				failed = true
-			}
-			remaining--
-			if remaining == 0 {
-				cl.finished++
-				if failed {
-					cl.errors++
-				}
-				cl.UserLatencies.Add(cl.eng.Now().Sub(start))
-				if cl.cfg.Closed {
-					cl.scheduleNext()
-				}
-			}
-		})
+		cl.strat.Get(cl.wl.NextKey(), u.fn)
 	}
 }

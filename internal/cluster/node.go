@@ -77,6 +77,29 @@ type TargetDevice struct {
 	T        core.Target
 	Rec      *metrics.Recorder // span boundary for IOs entering here (nil ok)
 	inflight int
+	opFree   []*tdOp
+}
+
+// tdOp is the pooled per-IO completion context for the block-layer
+// boundary; it replaces the per-submit callback closure and is where
+// boundary-owned (AutoFree) pooled requests recycle.
+type tdOp struct {
+	d   *TargetDevice
+	req *blockio.Request
+	fn  func(error) // pre-bound op.done
+}
+
+func (op *tdOp) done(err error) {
+	d, req := op.d, op.req
+	op.req = nil
+	d.opFree = append(d.opFree, op)
+	if d.Rec != nil {
+		d.Rec.IOEnd(req, err, core.IsBusy(err))
+	}
+	d.inflight--
+	if req.AutoFree {
+		req.Release()
+	}
 }
 
 // Submit implements blockio.Device.
@@ -84,13 +107,17 @@ func (d *TargetDevice) Submit(req *blockio.Request) {
 	d.inflight++
 	if d.Rec != nil {
 		d.Rec.IOBegin(req)
-		d.T.SubmitSLO(req, func(err error) {
-			d.Rec.IOEnd(req, err, core.IsBusy(err))
-			d.inflight--
-		})
-		return
 	}
-	d.T.SubmitSLO(req, func(error) { d.inflight-- })
+	var op *tdOp
+	if n := len(d.opFree); n > 0 {
+		op = d.opFree[n-1]
+		d.opFree = d.opFree[:n-1]
+	} else {
+		op = &tdOp{d: d}
+		op.fn = op.done
+	}
+	op.req = req
+	d.T.SubmitSLO(req, op.fn)
 }
 
 // tracedTarget wraps a node's SLO-aware entry point with the metrics span
@@ -98,17 +125,40 @@ func (d *TargetDevice) Submit(req *blockio.Request) {
 // verdict. Installed only when metrics are enabled, so the default path
 // keeps the bare Target.
 type tracedTarget struct {
-	rec *metrics.Recorder
-	t   core.Target
+	rec    *metrics.Recorder
+	t      core.Target
+	opFree []*ttOp
+}
+
+// ttOp is the traced boundary's pooled per-IO context.
+type ttOp struct {
+	t      *tracedTarget
+	req    *blockio.Request
+	onDone func(error)
+	fn     func(error) // pre-bound op.done
+}
+
+func (op *ttOp) done(err error) {
+	t, req, onDone := op.t, op.req, op.onDone
+	op.req, op.onDone = nil, nil
+	t.opFree = append(t.opFree, op)
+	t.rec.IOEnd(req, err, core.IsBusy(err))
+	onDone(err)
 }
 
 // SubmitSLO implements core.Target.
 func (t *tracedTarget) SubmitSLO(req *blockio.Request, onDone func(error)) {
 	t.rec.IOBegin(req)
-	t.t.SubmitSLO(req, func(err error) {
-		t.rec.IOEnd(req, err, core.IsBusy(err))
-		onDone(err)
-	})
+	var op *ttOp
+	if n := len(t.opFree); n > 0 {
+		op = t.opFree[n-1]
+		t.opFree = t.opFree[:n-1]
+	} else {
+		op = &ttOp{t: t}
+		op.fn = op.done
+	}
+	op.req, op.onDone = req, onDone
+	t.t.SubmitSLO(req, op.fn)
 }
 
 // InFlight implements blockio.Device.
@@ -140,6 +190,10 @@ type Node struct {
 	IDs   blockio.IDGen
 
 	cfg NodeConfig
+
+	// Per-get freelists: serve contexts and revocation handles.
+	ctxFree    []*getCtx
+	handleFree []*ServeHandle
 
 	served   uint64
 	rejected uint64
@@ -266,62 +320,184 @@ func (n *Node) OutstandingIOs() int {
 // requests cancellation path, §7.8.2). Cancelling only helps while the IO
 // is still in scheduler queues; device-resident IOs are beyond revocation,
 // exactly as on a real kernel.
+//
+// Handles are pooled per node. Two parties hold one: the serve path (until
+// the get's terminal — completion, EBUSY, or revocation drop) and the
+// caller, who must call Done when finished with it. The request-generation
+// guard makes Cancel a no-op if the underlying request already terminated
+// and was recycled for an unrelated IO.
 type ServeHandle struct {
+	n        *Node
 	canceled bool
 	req      *blockio.Request
+	gen      uint32
+	refs     int8
 }
 
 // Cancel revokes the request's IO if it is still cancellable.
 func (h *ServeHandle) Cancel() {
 	h.canceled = true
-	if h.req != nil {
+	if h.req != nil && h.req.Gen() == h.gen {
 		h.req.Cancel()
 	}
+}
+
+// Done releases the caller's reference; the handle must not be used after.
+func (h *ServeHandle) Done() { h.deref() }
+
+func (h *ServeHandle) deref() {
+	h.refs--
+	if h.refs > 0 {
+		return
+	}
+	n := h.n
+	h.req, h.canceled, h.gen = nil, false, 0
+	n.handleFree = append(n.handleFree, h)
+}
+
+func (n *Node) getHandle() *ServeHandle {
+	var h *ServeHandle
+	if ln := len(n.handleFree); ln > 0 {
+		h = n.handleFree[ln-1]
+		n.handleFree = n.handleFree[:ln-1]
+	} else {
+		h = &ServeHandle{n: n}
+	}
+	h.refs = 2
+	return h
 }
 
 // KeyVersion exposes the node's current version of a key (the replication
 // timestamp consistency-aware clients compare, §8.3).
 func (n *Node) KeyVersion(key int64) uint64 { return n.Store.Version(key) }
 
-// ServeGet executes a get locally (network hops are the caller's job):
-// optional CPU stage, then the KV read with the deadline SLO. onDone gets
-// nil, EBUSY, or kv.ErrNotFound. The returned handle supports revocation.
-func (n *Node) ServeGet(key int64, deadline time.Duration, onDone func(error)) *ServeHandle {
-	n.served++
-	h := &ServeHandle{}
-	work := func() {
-		h.req = n.Store.Get(key, deadline, func(err error) {
-			if core.IsBusy(err) {
-				// EBUSY is the exceptionless fast path (§5): no response
-				// marshalling, just the errno.
-				n.rejected++
-				onDone(err)
-				return
-			}
-			if n.cfg.CPU != nil && n.cfg.CPUPerOp > 0 {
-				// Response-path CPU (marshalling the reply).
-				n.cfg.CPU.Run(n.cfg.CPUPerOp, func() { onDone(err) })
-				return
-			}
-			onDone(err)
-		})
+// getCtx is the pooled per-get context: the callback fields are bound once
+// at allocation, so a get costs no closure allocations as it moves through
+// the CPU stage, the KV read, and the response stage.
+type getCtx struct {
+	n        *Node
+	key      int64
+	deadline time.Duration
+	onDone   func(error)
+	h        *ServeHandle // nil on the non-cancelable fast path
+	req      *blockio.Request
+	err      error
+
+	workFn func()                 // pre-bound ctx.work: CPU admission stage
+	kvFn   func(error)            // pre-bound ctx.kv: Store.Get callback
+	respFn func()                 // pre-bound ctx.resp: CPU response stage
+	dropFn func(*blockio.Request) // pre-bound ctx.drop: revocation terminal
+}
+
+func (n *Node) getGetCtx() *getCtx {
+	var ctx *getCtx
+	if ln := len(n.ctxFree); ln > 0 {
+		ctx = n.ctxFree[ln-1]
+		n.ctxFree = n.ctxFree[:ln-1]
+	} else {
+		ctx = &getCtx{n: n}
+		ctx.workFn = ctx.work
+		ctx.kvFn = ctx.kv
+		ctx.respFn = ctx.resp
+		ctx.dropFn = ctx.drop
+	}
+	return ctx
+}
+
+func (n *Node) freeGetCtx(ctx *getCtx) {
+	ctx.onDone, ctx.h, ctx.req, ctx.err = nil, nil, nil, nil
+	n.ctxFree = append(n.ctxFree, ctx)
+}
+
+func (ctx *getCtx) work() {
+	n := ctx.n
+	if ctx.h != nil && ctx.h.canceled {
+		// Revoked before the handler ran: nothing is submitted.
+		ctx.deliver(blockio.ErrBusy)
+		return
+	}
+	ctx.req = n.Store.Get(ctx.key, ctx.deadline, ctx.kvFn)
+	if ctx.req != nil {
+		ctx.req.OnDrop = ctx.dropFn
+		if ctx.h != nil {
+			ctx.h.req = ctx.req
+			ctx.h.gen = ctx.req.Gen()
+		}
+	}
+}
+
+func (ctx *getCtx) kv(err error) {
+	n := ctx.n
+	if core.IsBusy(err) {
+		// EBUSY is the exceptionless fast path (§5): no response
+		// marshalling, just the errno.
+		n.rejected++
+		ctx.deliver(err)
+		return
 	}
 	if n.cfg.CPU != nil && n.cfg.CPUPerOp > 0 {
-		n.cfg.CPU.Run(n.cfg.CPUPerOp, func() {
-			if h.canceled {
-				// Revoked before the handler ran: nothing is submitted.
-				onDone(blockio.ErrBusy)
-				return
-			}
-			work()
-		})
-		return h
+		// Response-path CPU (marshalling the reply).
+		ctx.err = err
+		n.cfg.CPU.Run(n.cfg.CPUPerOp, ctx.respFn)
+		return
 	}
-	work()
-	if h.canceled && h.req != nil {
-		h.req.Cancel()
+	ctx.deliver(err)
+}
+
+func (ctx *getCtx) resp() { ctx.deliver(ctx.err) }
+
+// deliver is the get's completion terminal: hand the verdict to the caller,
+// then recycle the request, the context, and the serve path's handle ref.
+func (ctx *getCtx) deliver(err error) {
+	n, onDone, req, h := ctx.n, ctx.onDone, ctx.req, ctx.h
+	n.freeGetCtx(ctx)
+	onDone(err)
+	if req != nil {
+		req.Release()
 	}
+	if h != nil {
+		h.deref()
+	}
+}
+
+// drop is the get's revocation terminal: the scheduler or device discarded
+// the cancelled IO, so no verdict will ever be delivered (span verdict
+// "revoked"); reclaim the per-get state.
+func (ctx *getCtx) drop(req *blockio.Request) {
+	n, h := ctx.n, ctx.h
+	n.freeGetCtx(ctx)
+	req.Release()
+	if h != nil {
+		h.deref()
+	}
+}
+
+// ServeGet executes a get locally (network hops are the caller's job):
+// optional CPU stage, then the KV read with the deadline SLO. onDone gets
+// nil, EBUSY, or kv.ErrNotFound. Use ServeGetCancelable when the caller
+// needs a revocation handle.
+func (n *Node) ServeGet(key int64, deadline time.Duration, onDone func(error)) {
+	n.serveGet(key, deadline, onDone, nil)
+}
+
+// ServeGetCancelable is ServeGet returning a revocation handle (tied
+// requests, §7.8.2). The caller must call Done on the handle when it no
+// longer needs it.
+func (n *Node) ServeGetCancelable(key int64, deadline time.Duration, onDone func(error)) *ServeHandle {
+	h := n.getHandle()
+	n.serveGet(key, deadline, onDone, h)
 	return h
+}
+
+func (n *Node) serveGet(key int64, deadline time.Duration, onDone func(error), h *ServeHandle) {
+	n.served++
+	ctx := n.getGetCtx()
+	ctx.key, ctx.deadline, ctx.onDone, ctx.h = key, deadline, onDone, h
+	if n.cfg.CPU != nil && n.cfg.CPUPerOp > 0 {
+		n.cfg.CPU.Run(n.cfg.CPUPerOp, ctx.workFn)
+		return
+	}
+	ctx.work()
 }
 
 // ServePut executes a put locally.
@@ -336,6 +512,58 @@ type Cluster struct {
 	Net   *netsim.Network
 	Nodes []*Node
 	R     int
+
+	callFree []*callCtx
+}
+
+// callCtx is a pooled replica call: request hop → serve → response hop.
+// Its three callbacks are bound once, so a call allocates nothing in
+// steady state.
+type callCtx struct {
+	c        *Cluster
+	node     int
+	key      int64
+	deadline time.Duration
+	onDone   func(error)
+	err      error
+
+	sendFn  func()      // pre-bound (*callCtx).send
+	serveFn func(error) // pre-bound (*callCtx).serve
+	replyFn func()      // pre-bound (*callCtx).reply
+}
+
+func (ctx *callCtx) send() {
+	ctx.c.Nodes[ctx.node].ServeGet(ctx.key, ctx.deadline, ctx.serveFn)
+}
+
+func (ctx *callCtx) serve(err error) {
+	ctx.err = err
+	ctx.c.Net.Send(ctx.replyFn)
+}
+
+func (ctx *callCtx) reply() {
+	c, onDone, err := ctx.c, ctx.onDone, ctx.err
+	ctx.onDone = nil
+	ctx.err = nil
+	c.callFree = append(c.callFree, ctx)
+	onDone(err)
+}
+
+// ReplicaCall sends a get to one node over the network and hands back the
+// result after the response hop; the shared plumbing under every strategy.
+func (c *Cluster) ReplicaCall(node int, key int64, deadline time.Duration, onDone func(error)) {
+	var ctx *callCtx
+	if n := len(c.callFree); n > 0 {
+		ctx = c.callFree[n-1]
+		c.callFree = c.callFree[:n-1]
+	} else {
+		ctx = &callCtx{c: c}
+		ctx.sendFn = ctx.send
+		ctx.serveFn = ctx.serve
+		ctx.replyFn = ctx.reply
+	}
+	ctx.node, ctx.key, ctx.deadline, ctx.onDone = node, key, deadline, onDone
+	c.Net.Send(ctx.sendFn)
 }
 
 // NewCluster builds nodes 0..n-1 from a template config (Index overridden
@@ -372,15 +600,34 @@ func (c *Cluster) ReplicasFor(key int64) []int {
 // they queue — the §7.5 mechanism that makes hedging backfire on fast SSDs
 // ("12 threads on a 8-thread machine cause the long tail").
 type CPUPool struct {
-	eng   *sim.Engine
-	cores int
-	busy  int
-	queue []cpuTask
+	eng     *sim.Engine
+	cores   int
+	busy    int
+	queue   []cpuTask
+	head    int
+	runFree []*cpuRun
 }
 
 type cpuTask struct {
 	d  time.Duration
 	fn func()
+}
+
+// cpuRun is a pooled in-flight task: its timer callback is bound once, so
+// dispatching a task allocates nothing.
+type cpuRun struct {
+	p      *CPUPool
+	fn     func()
+	stepFn func() // pre-bound r.step
+}
+
+func (r *cpuRun) step() {
+	p, fn := r.p, r.fn
+	r.fn = nil
+	p.runFree = append(p.runFree, r)
+	p.busy--
+	fn()
+	p.kick()
 }
 
 // NewCPUPool builds a pool of the given core count.
@@ -395,23 +642,41 @@ func NewCPUPool(eng *sim.Engine, cores int) *CPUPool {
 func (p *CPUPool) Busy() int { return p.busy }
 
 // Queued reports the number of runnable-but-waiting tasks.
-func (p *CPUPool) Queued() int { return len(p.queue) }
+func (p *CPUPool) Queued() int { return len(p.queue) - p.head }
 
 // Run executes fn after the task has held a core for d.
 func (p *CPUPool) Run(d time.Duration, fn func()) {
+	if p.head > 32 && p.head*2 >= len(p.queue) {
+		n := copy(p.queue, p.queue[p.head:])
+		for i := n; i < len(p.queue); i++ {
+			p.queue[i] = cpuTask{}
+		}
+		p.queue = p.queue[:n]
+		p.head = 0
+	}
 	p.queue = append(p.queue, cpuTask{d: d, fn: fn})
 	p.kick()
 }
 
 func (p *CPUPool) kick() {
-	for p.busy < p.cores && len(p.queue) > 0 {
-		t := p.queue[0]
-		p.queue = p.queue[1:]
+	for p.busy < p.cores && p.head < len(p.queue) {
+		t := p.queue[p.head]
+		p.queue[p.head] = cpuTask{}
+		p.head++
+		if p.head == len(p.queue) {
+			p.queue = p.queue[:0]
+			p.head = 0
+		}
 		p.busy++
-		p.eng.After(t.d, func() {
-			p.busy--
-			t.fn()
-			p.kick()
-		})
+		var r *cpuRun
+		if n := len(p.runFree); n > 0 {
+			r = p.runFree[n-1]
+			p.runFree = p.runFree[:n-1]
+		} else {
+			r = &cpuRun{p: p}
+			r.stepFn = r.step
+		}
+		r.fn = t.fn
+		p.eng.After(t.d, r.stepFn)
 	}
 }

@@ -29,11 +29,7 @@ type Strategy interface {
 // replicaCall sends a get to one node over the network and hands back the
 // result; the shared plumbing under every strategy.
 func replicaCall(c *Cluster, node int, key int64, deadline time.Duration, onDone func(error)) {
-	c.Net.Send(func() {
-		c.Nodes[node].ServeGet(key, deadline, func(err error) {
-			c.Net.Send(func() { onDone(err) })
-		})
-	})
+	c.ReplicaCall(node, key, deadline, onDone)
 }
 
 // BaseStrategy is vanilla MongoDB on vanilla Linux: ask the primary

@@ -51,12 +51,20 @@ func (s *TiedStrategy) Get(key int64, onDone func(GetResult)) {
 			}
 			won = true
 			// Cancellation message to the sibling: one network hop, then
-			// revoke whatever is still in the scheduler queues.
+			// revoke whatever is still in the scheduler queues. Both handles
+			// are released afterwards; the pooled handle must not be touched
+			// once Done, so they are dropped in the same hop.
 			other := 1 - idx
 			s.C.Net.Send(func() {
-				if handles[other] != nil {
-					handles[other].Cancel()
+				if h := handles[other]; h != nil {
+					h.Cancel()
 					s.Cancelled++
+				}
+				for k, h := range handles {
+					if h != nil {
+						h.Done()
+						handles[k] = nil
+					}
 				}
 			})
 			onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: tries, Err: err})
@@ -64,7 +72,10 @@ func (s *TiedStrategy) Get(key int64, onDone func(GetResult)) {
 	}
 	send := func(idx, node, tries int) {
 		s.C.Net.Send(func() {
-			handles[idx] = s.C.Nodes[node].ServeGet(key, 0, func(err error) {
+			if won {
+				return // lost the race with the winner's cancel hop
+			}
+			handles[idx] = s.C.Nodes[node].ServeGetCancelable(key, 0, func(err error) {
 				s.C.Net.Send(func() { finish(idx, tries)(err) })
 			})
 		})

@@ -211,20 +211,78 @@ func clampDur(d, lo, hi time.Duration) time.Duration {
 	return d
 }
 
+// busyReplies pools the deferred EBUSY deliveries (the syscall-cost timer
+// callback) so a rejection allocates only its BusyError, which escapes to
+// the caller and cannot be pooled.
+type busyReplies struct {
+	free []*busyReply
+}
+
+type busyReply struct {
+	c      *busyReplies
+	onDone func(error)
+	err    error
+	fn     func() // pre-bound r.fire
+}
+
+func (r *busyReply) fire() {
+	c, onDone, err := r.c, r.onDone, r.err
+	r.onDone, r.err = nil, nil
+	c.free = append(c.free, r)
+	onDone(err)
+}
+
+// deliver schedules onDone(err) after the syscall round trip.
+func (c *busyReplies) deliver(eng *sim.Engine, d time.Duration, onDone func(error), err error) {
+	var r *busyReply
+	if n := len(c.free); n > 0 {
+		r = c.free[n-1]
+		c.free = c.free[:n-1]
+	} else {
+		r = &busyReply{c: c}
+		r.fn = r.fire
+	}
+	r.onDone, r.err = onDone, err
+	eng.After(d, r.fn)
+}
+
 // Vanilla is the no-MittOS passthrough Target used by Base runs: deadlines
 // are ignored, every IO queues and waits, onDone always receives nil.
 type Vanilla struct {
 	Dev blockio.Device
+
+	opFree []*vanillaOp
+}
+
+// vanillaOp is the pooled completion wrapper: bound once, reused per IO.
+type vanillaOp struct {
+	v      *Vanilla
+	prev   func(*blockio.Request)
+	onDone func(error)
+	fn     func(*blockio.Request) // pre-bound op.done
+}
+
+func (op *vanillaOp) done(r *blockio.Request) {
+	v, prev, onDone := op.v, op.prev, op.onDone
+	op.prev, op.onDone = nil, nil
+	v.opFree = append(v.opFree, op)
+	if prev != nil {
+		prev(r)
+	}
+	onDone(nil)
 }
 
 // SubmitSLO implements Target.
 func (v *Vanilla) SubmitSLO(req *blockio.Request, onDone func(error)) {
-	prev := req.OnComplete
-	req.OnComplete = func(r *blockio.Request) {
-		if prev != nil {
-			prev(r)
-		}
-		onDone(nil)
+	var op *vanillaOp
+	if n := len(v.opFree); n > 0 {
+		op = v.opFree[n-1]
+		v.opFree = v.opFree[:n-1]
+	} else {
+		op = &vanillaOp{v: v}
+		op.fn = op.done
 	}
+	op.prev, op.onDone = req.OnComplete, onDone
+	req.OnComplete = op.fn
 	v.Dev.Submit(req)
 }

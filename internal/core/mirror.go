@@ -26,6 +26,9 @@ type sstfMirror struct {
 	svcEnd    sim.Time
 	headPos   int64
 	driftBias time.Duration
+
+	entryFree []*mirrorEntry // recycled entries
+	scratch   []*mirrorEntry // replay working set, reused across calls
 }
 
 // DriftBias exposes the calibration residual. A persistently large value
@@ -61,8 +64,15 @@ func (m *sstfMirror) svcTime(from, off int64, sz int) time.Duration {
 
 // add registers a newly submitted IO.
 func (m *sstfMirror) add(req *blockio.Request) {
-	m.pending = append(m.pending, &mirrorEntry{
-		req: req, off: req.Offset, end: req.End(), sz: req.Size, at: m.eng.Now()})
+	var e *mirrorEntry
+	if n := len(m.entryFree); n > 0 {
+		e = m.entryFree[n-1]
+		m.entryFree = m.entryFree[:n-1]
+	} else {
+		e = &mirrorEntry{}
+	}
+	e.req, e.off, e.end, e.sz, e.at = req, req.Offset, req.End(), req.Size, m.eng.Now()
+	m.pending = append(m.pending, e)
 	if m.inService == nil {
 		m.start()
 	}
@@ -70,16 +80,18 @@ func (m *sstfMirror) add(req *blockio.Request) {
 
 // complete removes a finished IO, calibrates, and advances the mirror.
 func (m *sstfMirror) complete(req *blockio.Request) {
-	for i, p := range m.pending {
-		if p.req == req {
-			m.pending = append(m.pending[:i], m.pending[i+1:]...)
-			break
-		}
-	}
 	if m.calibrate && m.inService != nil && m.inService.req == req {
 		err := m.eng.Now().Sub(m.svcEnd)
 		err = clampDur(err, -2*time.Millisecond, 2*time.Millisecond)
 		m.driftBias += (err - m.driftBias) / 8
+	}
+	for i, p := range m.pending {
+		if p.req == req {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			p.req = nil
+			m.entryFree = append(m.entryFree, p)
+			break
+		}
 	}
 	m.headPos = req.End()
 	m.start()
@@ -151,12 +163,13 @@ func (m *sstfMirror) replay(off int64, sz int, drain bool) time.Duration {
 		}
 		pos = m.inService.end
 	}
-	rest := make([]*mirrorEntry, 0, len(m.pending))
+	rest := m.scratch[:0]
 	for _, p := range m.pending {
 		if p != m.inService && !p.req.Canceled() {
 			rest = append(rest, p)
 		}
 	}
+	m.scratch = rest[:0] // keep the grown backing array for the next replay
 	for {
 		if len(rest) == 0 {
 			return t.Sub(now)

@@ -36,7 +36,63 @@ type MittCache struct {
 	accepted uint64
 	rejected uint64
 
+	replies  busyReplies
+	hitFree  []*cacheHitOp
+	missFree []*cacheMissOp
+
 	rec *metrics.Recorder
+}
+
+// cacheHitOp is the pooled completion wrapper for write-absorb and hit
+// paths (prev + onDone(nil)).
+type cacheHitOp struct {
+	m      *MittCache
+	prev   func(*blockio.Request)
+	onDone func(error)
+	fn     func(*blockio.Request) // pre-bound op.done
+}
+
+func (op *cacheHitOp) done(r *blockio.Request) {
+	m, prev, onDone := op.m, op.prev, op.onDone
+	op.prev, op.onDone = nil, nil
+	m.hitFree = append(m.hitFree, op)
+	if prev != nil {
+		prev(r)
+	}
+	onDone(nil)
+}
+
+func (m *MittCache) submitHit(req *blockio.Request, onDone func(error)) {
+	var op *cacheHitOp
+	if n := len(m.hitFree); n > 0 {
+		op = m.hitFree[n-1]
+		m.hitFree = m.hitFree[:n-1]
+	} else {
+		op = &cacheHitOp{m: m}
+		op.fn = op.done
+	}
+	op.prev, op.onDone = req.OnComplete, onDone
+	req.OnComplete = op.fn
+	m.cache.Submit(req)
+}
+
+// cacheMissOp is the pooled lower-layer callback for the miss path: warm
+// the cache on success, then hand the verdict up.
+type cacheMissOp struct {
+	m      *MittCache
+	req    *blockio.Request
+	onDone func(error)
+	fn     func(error) // pre-bound op.done
+}
+
+func (op *cacheMissOp) done(err error) {
+	m, req, onDone := op.m, op.req, op.onDone
+	op.req, op.onDone = nil, nil
+	m.missFree = append(m.missFree, op)
+	if err == nil {
+		m.cache.Warm(req.Offset, req.Size)
+	}
+	onDone(err)
 }
 
 // SetRecorder attaches a metrics recorder (nil disables, the default).
@@ -93,28 +149,14 @@ func (m *MittCache) SubmitSLO(req *blockio.Request, onDone func(error)) {
 	}
 	if req.Op == blockio.Write {
 		// Writes are absorbed by the cache; no deadline semantics (§7.8.6).
-		prev := req.OnComplete
-		req.OnComplete = func(r *blockio.Request) {
-			if prev != nil {
-				prev(r)
-			}
-			onDone(nil)
-		}
-		m.cache.Submit(req)
+		m.submitHit(req, onDone)
 		return
 	}
 
 	if m.cache.Resident(req.Offset, req.Size) {
 		m.accepted++
 		m.rec.Incr(metrics.RMittCache, metrics.CAccepted)
-		prev := req.OnComplete
-		req.OnComplete = func(r *blockio.Request) {
-			if prev != nil {
-				prev(r)
-			}
-			onDone(nil)
-		}
-		m.cache.Submit(req) // hit path
+		m.submitHit(req, onDone) // hit path
 		return
 	}
 
@@ -127,8 +169,7 @@ func (m *MittCache) SubmitSLO(req *blockio.Request, onDone func(error)) {
 		m.rejected++
 		m.rec.Rejected(metrics.RMittCache, req, m.minIO, false)
 		m.cache.Prefetch(req.Offset, req.Size, req.Class, req.Priority, req.Proc)
-		busyErr := &BusyError{PredictedWait: m.minIO}
-		m.eng.After(m.opt.SyscallCost, func() { onDone(busyErr) })
+		m.replies.deliver(m.eng, m.opt.SyscallCost, onDone, &BusyError{PredictedWait: m.minIO})
 		return
 	}
 
@@ -136,16 +177,14 @@ func (m *MittCache) SubmitSLO(req *blockio.Request, onDone func(error)) {
 	// pages and populating the cache on success.
 	m.accepted++
 	m.rec.Incr(metrics.RMittCache, metrics.CAccepted)
-	prev := req.OnComplete
-	req.OnComplete = func(r *blockio.Request) {
-		if prev != nil {
-			prev(r)
-		}
+	var op *cacheMissOp
+	if n := len(m.missFree); n > 0 {
+		op = m.missFree[n-1]
+		m.missFree = m.missFree[:n-1]
+	} else {
+		op = &cacheMissOp{m: m}
+		op.fn = op.done
 	}
-	m.lower.SubmitSLO(req, func(err error) {
-		if err == nil {
-			m.cache.Warm(req.Offset, req.Size)
-		}
-		onDone(err)
-	})
+	op.req, op.onDone = req, onDone
+	m.lower.SubmitSLO(req, op.fn)
 }

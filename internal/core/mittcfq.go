@@ -53,7 +53,74 @@ type MittCFQ struct {
 	rejected  uint64 // at admission
 	cancelled uint64 // late EBUSY via the tolerable-time table
 
+	replies  busyReplies
+	opFree   []*cfqOp
+	dispFree []*cfqDispatch
+
 	rec *metrics.Recorder
+}
+
+// cfqOp is the pooled admission-side completion context. Its entry pointer
+// stays valid for the op's whole life: cfqEntry is deliberately not pooled
+// (a cancelled entry's late-completion guard may be consulted after the
+// entry left the table).
+type cfqOp struct {
+	m       *MittCFQ
+	entry   *cfqEntry
+	hasSLO  bool
+	rawBusy bool
+	wait    time.Duration
+	svc     time.Duration
+	prev    func(*blockio.Request)
+	onDone  func(error)
+	fn      func(*blockio.Request) // pre-bound op.done
+}
+
+func (op *cfqOp) done(r *blockio.Request) {
+	m, entry, prev, onDone := op.m, op.entry, op.prev, op.onDone
+	hasSLO, rawBusy, wait, svc := op.hasSLO, op.rawBusy, op.wait, op.svc
+	op.entry, op.prev, op.onDone = nil, nil, nil
+	m.opFree = append(m.opFree, op)
+	if entry != nil && entry.done {
+		// Cancelled late; EBUSY already delivered. (The scheduler drops
+		// cancelled IOs before dispatch, so this should not fire.)
+		return
+	}
+	if hasSLO && m.dec.shadow {
+		actualWait := r.Latency() - svc
+		if actualWait < 0 {
+			actualWait = 0
+		}
+		m.dec.observe(rawBusy, wait, actualWait, r.Deadline)
+	}
+	if m.rec != nil {
+		actualWait := r.Latency() - svc
+		if actualWait < 0 {
+			actualWait = 0
+		}
+		m.rec.Prediction(metrics.RMittCFQ, r, wait, actualWait)
+	}
+	if prev != nil {
+		prev(r)
+	}
+	onDone(nil)
+}
+
+// cfqDispatch is the pooled dispatch-side wrapper feeding the device mirror.
+type cfqDispatch struct {
+	m    *MittCFQ
+	prev func(*blockio.Request)
+	fn   func(*blockio.Request) // pre-bound d.done
+}
+
+func (d *cfqDispatch) done(r *blockio.Request) {
+	m, prev := d.m, d.prev
+	d.prev = nil
+	m.dispFree = append(m.dispFree, d)
+	m.mirror.complete(r)
+	if prev != nil {
+		prev(r)
+	}
 }
 
 // SetRecorder attaches a metrics recorder (nil disables, the default).
@@ -153,8 +220,7 @@ func (m *MittCFQ) SubmitSLO(req *blockio.Request, onDone func(error)) {
 		} else if m.dec.rejects(rawBusy) {
 			m.rejected++
 			m.rec.Rejected(metrics.RMittCFQ, req, wait, false)
-			busyErr := &BusyError{PredictedWait: wait}
-			m.eng.After(m.opt.SyscallCost, func() { onDone(busyErr) })
+			m.replies.deliver(m.eng, m.opt.SyscallCost, onDone, &BusyError{PredictedWait: wait})
 			return
 		}
 	}
@@ -177,32 +243,17 @@ func (m *MittCFQ) SubmitSLO(req *blockio.Request, onDone func(error)) {
 		m.order = append(m.order, entry)
 	}
 
-	prev := req.OnComplete
-	req.OnComplete = func(r *blockio.Request) {
-		if entry != nil && entry.done {
-			// Cancelled late; EBUSY already delivered. (The scheduler drops
-			// cancelled IOs before dispatch, so this should not fire.)
-			return
-		}
-		if hasSLO && m.dec.shadow {
-			actualWait := r.Latency() - svc
-			if actualWait < 0 {
-				actualWait = 0
-			}
-			m.dec.observe(rawBusy, wait, actualWait, r.Deadline)
-		}
-		if m.rec != nil {
-			actualWait := r.Latency() - svc
-			if actualWait < 0 {
-				actualWait = 0
-			}
-			m.rec.Prediction(metrics.RMittCFQ, r, wait, actualWait)
-		}
-		if prev != nil {
-			prev(r)
-		}
-		onDone(nil)
+	var op *cfqOp
+	if n := len(m.opFree); n > 0 {
+		op = m.opFree[n-1]
+		m.opFree = m.opFree[:n-1]
+	} else {
+		op = &cfqOp{m: m}
+		op.fn = op.done
 	}
+	op.entry, op.hasSLO, op.rawBusy, op.wait, op.svc = entry, hasSLO, rawBusy, wait, svc
+	op.prev, op.onDone = req.OnComplete, onDone
+	req.OnComplete = op.fn
 	m.sched.Submit(req)
 
 	// A newly accepted IO consumes the slack of queued IOs it will be
@@ -224,13 +275,16 @@ func (m *MittCFQ) onDispatch(req *blockio.Request) {
 		m.dropEntry(entry)
 	}
 	m.mirror.add(req)
-	prev := req.OnComplete
-	req.OnComplete = func(r *blockio.Request) {
-		m.mirror.complete(r)
-		if prev != nil {
-			prev(r)
-		}
+	var d *cfqDispatch
+	if n := len(m.dispFree); n > 0 {
+		d = m.dispFree[n-1]
+		m.dispFree = m.dispFree[:n-1]
+	} else {
+		d = &cfqDispatch{m: m}
+		d.fn = d.done
 	}
+	d.prev = req.OnComplete
+	req.OnComplete = d.fn
 }
 
 // chargeBumpedEntries implements the re-bucketing rule (§4.2): every queued
@@ -352,5 +406,5 @@ func (m *MittCFQ) cancel(e *cfqEntry) {
 	m.cancelled++
 	busyErr := &BusyError{PredictedWait: -e.tolerable + e.req.Deadline}
 	m.rec.Rejected(metrics.RMittCFQ, e.req, busyErr.PredictedWait, true)
-	m.eng.After(m.opt.SyscallCost, func() { e.onDone(busyErr) })
+	m.replies.deliver(m.eng, m.opt.SyscallCost, e.onDone, busyErr)
 }

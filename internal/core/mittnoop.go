@@ -39,7 +39,61 @@ type MittNoop struct {
 	accepted uint64
 	rejected uint64
 
+	replies busyReplies
+	opFree  []*noopOp
+
 	rec *metrics.Recorder
+}
+
+// noopOp is the pooled per-IO completion context: calibration inputs and
+// the caller's callbacks, with the OnComplete wrapper bound once.
+type noopOp struct {
+	m              *MittNoop
+	predCompletion sim.Time
+	hasSLO         bool
+	rawBusy        bool
+	wait           time.Duration
+	svc            time.Duration
+	prev           func(*blockio.Request)
+	onDone         func(error)
+	fn             func(*blockio.Request) // pre-bound op.done
+}
+
+func (op *noopOp) done(r *blockio.Request) {
+	m, prev, onDone := op.m, op.prev, op.onDone
+	predCompletion, hasSLO, rawBusy := op.predCompletion, op.hasSLO, op.rawBusy
+	wait, svc := op.wait, op.svc
+	op.prev, op.onDone = nil, nil
+	m.opFree = append(m.opFree, op)
+	if m.opt.Naive {
+		if m.opt.Calibrate {
+			// Tdiff calibration (§4.1): shift TnextFree by the
+			// prediction residual, bounded so one bad sample cannot
+			// destabilize the model.
+			diff := r.CompleteTime.Sub(predCompletion)
+			m.nextFree = m.nextFree.Add(clampDur(diff, -5*time.Millisecond, 5*time.Millisecond))
+		}
+	} else {
+		m.mirror.complete(r)
+	}
+	if hasSLO && m.dec.shadow {
+		actualWait := r.Latency() - svc
+		if actualWait < 0 {
+			actualWait = 0
+		}
+		m.dec.observe(rawBusy, wait, actualWait, r.Deadline)
+	}
+	if m.rec != nil {
+		actualWait := r.Latency() - svc
+		if actualWait < 0 {
+			actualWait = 0
+		}
+		m.rec.Prediction(metrics.RMittNoop, r, wait, actualWait)
+	}
+	if prev != nil {
+		prev(r)
+	}
+	onDone(nil)
 }
 
 // SetRecorder attaches a metrics recorder (nil disables, the default).
@@ -144,8 +198,7 @@ func (m *MittNoop) SubmitSLO(req *blockio.Request, onDone func(error)) {
 			// request is not queued; it is automatically cancelled").
 			m.rejected++
 			m.rec.Rejected(metrics.RMittNoop, req, wait, false)
-			busyErr := &BusyError{PredictedWait: wait}
-			m.eng.After(m.opt.SyscallCost, func() { onDone(busyErr) })
+			m.replies.deliver(m.eng, m.opt.SyscallCost, onDone, &BusyError{PredictedWait: wait})
 			return
 		}
 	}
@@ -165,37 +218,17 @@ func (m *MittNoop) SubmitSLO(req *blockio.Request, onDone func(error)) {
 		m.mirror.add(req)
 	}
 
-	prev := req.OnComplete
-	req.OnComplete = func(r *blockio.Request) {
-		if m.opt.Naive {
-			if m.opt.Calibrate {
-				// Tdiff calibration (§4.1): shift TnextFree by the
-				// prediction residual, bounded so one bad sample cannot
-				// destabilize the model.
-				diff := r.CompleteTime.Sub(predCompletion)
-				m.nextFree = m.nextFree.Add(clampDur(diff, -5*time.Millisecond, 5*time.Millisecond))
-			}
-		} else {
-			m.mirror.complete(r)
-		}
-		if hasSLO && m.dec.shadow {
-			actualWait := r.Latency() - svc
-			if actualWait < 0 {
-				actualWait = 0
-			}
-			m.dec.observe(rawBusy, wait, actualWait, r.Deadline)
-		}
-		if m.rec != nil {
-			actualWait := r.Latency() - svc
-			if actualWait < 0 {
-				actualWait = 0
-			}
-			m.rec.Prediction(metrics.RMittNoop, r, wait, actualWait)
-		}
-		if prev != nil {
-			prev(r)
-		}
-		onDone(nil)
+	var op *noopOp
+	if n := len(m.opFree); n > 0 {
+		op = m.opFree[n-1]
+		m.opFree = m.opFree[:n-1]
+	} else {
+		op = &noopOp{m: m}
+		op.fn = op.done
 	}
+	op.predCompletion, op.hasSLO, op.rawBusy = predCompletion, hasSLO, rawBusy
+	op.wait, op.svc = wait, svc
+	op.prev, op.onDone = req.OnComplete, onDone
+	req.OnComplete = op.fn
 	m.sched.Submit(req)
 }

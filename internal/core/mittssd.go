@@ -49,7 +49,67 @@ type MittSSD struct {
 	accepted uint64
 	rejected uint64
 
+	replies busyReplies
+	opFree  []*ssdOp
+	decFree []*chanDec
+	// chanPages is admission scratch: pages of the current request per
+	// channel. Zeroed at the start of every accepted submission.
+	chanPages []int
+
 	rec *metrics.Recorder
+}
+
+// ssdOp is the pooled per-IO completion context.
+type ssdOp struct {
+	m       *MittSSD
+	hasSLO  bool
+	rawBusy bool
+	wait    time.Duration
+	svc     time.Duration
+	prev    func(*blockio.Request)
+	onDone  func(error)
+	fn      func(*blockio.Request) // pre-bound op.done
+}
+
+func (op *ssdOp) done(r *blockio.Request) {
+	m, prev, onDone := op.m, op.prev, op.onDone
+	hasSLO, rawBusy, wait, svc := op.hasSLO, op.rawBusy, op.wait, op.svc
+	op.prev, op.onDone = nil, nil
+	m.opFree = append(m.opFree, op)
+	if hasSLO && m.dec.shadow {
+		actualWait := r.Latency() - svc
+		if actualWait < 0 {
+			actualWait = 0
+		}
+		m.dec.observe(rawBusy, wait, actualWait, r.Deadline)
+	}
+	if m.rec != nil {
+		actualWait := r.Latency() - svc
+		if actualWait < 0 {
+			actualWait = 0
+		}
+		m.rec.Prediction(metrics.RMittSSD, r, wait, actualWait)
+	}
+	if prev != nil {
+		prev(r)
+	}
+	onDone(nil)
+}
+
+// chanDec is one pooled channel-occupancy decrement, scheduled at a page's
+// predicted transfer completion.
+type chanDec struct {
+	m  *MittSSD
+	ch int
+	fn func() // pre-bound d.fire
+}
+
+func (d *chanDec) fire() {
+	m, ch := d.m, d.ch
+	m.decFree = append(m.decFree, d)
+	if m.chanOut[ch] > 0 {
+		m.chanOut[ch]--
+	}
 }
 
 // SetRecorder attaches a metrics recorder (nil disables, the default).
@@ -71,6 +131,7 @@ func NewMittSSD(eng *sim.Engine, dev *ssd.SSD, opt Options) *MittSSD {
 		chanDelay:    cfg.ChannelXferTime,
 		pattern:      cfg.ProgramPattern(),
 		writeIdx:     make([]int, cfg.TotalChips()),
+		chanPages:    make([]int, cfg.Channels),
 	}
 	m.dec.thop = opt.Thop
 	m.dec.shadow = opt.Shadow
@@ -150,8 +211,7 @@ func (m *MittSSD) SubmitSLO(req *blockio.Request, onDone func(error)) {
 			// the entire request; all sub-pages are not submitted." (§4.3)
 			m.rejected++
 			m.rec.Rejected(metrics.RMittSSD, req, wait, false)
-			busyErr := &BusyError{PredictedWait: wait}
-			m.eng.After(m.opt.SyscallCost, func() { onDone(busyErr) })
+			m.replies.deliver(m.eng, m.opt.SyscallCost, onDone, &BusyError{PredictedWait: wait})
 			return
 		}
 	}
@@ -166,7 +226,9 @@ func (m *MittSSD) SubmitSLO(req *blockio.Request, onDone func(error)) {
 	// everyone else — false positives).
 	first, count := m.dev.PageSpan(req.Offset, req.Size)
 	ps := int64(m.dev.Config().PageSize)
-	chanPages := make(map[int]int, m.dev.Config().Channels)
+	for i := range m.chanPages {
+		m.chanPages[i] = 0
+	}
 	for p := first; p < first+count; p++ {
 		chipID, chanID := m.dev.ChipForOffset(p * ps)
 		if m.chipNextFree[chipID] < now {
@@ -176,45 +238,39 @@ func (m *MittSSD) SubmitSLO(req *blockio.Request, onDone func(error)) {
 		if req.Op == blockio.Read {
 			// TchipNextFree += 100µs per new page read (§4.3).
 			cost = m.pageRead
-			xferAt = m.pageRead + time.Duration(chanPages[chanID])*m.chanDelay
+			xferAt = m.pageRead + time.Duration(m.chanPages[chanID])*m.chanDelay
 		} else {
 			cost = m.pattern[m.writeIdx[chipID]%len(m.pattern)]
 			m.writeIdx[chipID]++
 			// A write's transfer happens up front; the chip then programs
 			// for 1–2ms with the channel already free.
-			xferAt = time.Duration(chanPages[chanID]+1) * m.chanDelay
+			xferAt = time.Duration(m.chanPages[chanID]+1) * m.chanDelay
 		}
-		chanPages[chanID]++
+		m.chanPages[chanID]++
 		m.chipNextFree[chipID] = m.chipNextFree[chipID].Add(cost)
 		m.chanOut[chanID]++
-		ch := chanID
-		m.eng.After(xferAt, func() {
-			if m.chanOut[ch] > 0 {
-				m.chanOut[ch]--
-			}
-		})
+		var d *chanDec
+		if n := len(m.decFree); n > 0 {
+			d = m.decFree[n-1]
+			m.decFree = m.decFree[:n-1]
+		} else {
+			d = &chanDec{m: m}
+			d.fn = d.fire
+		}
+		d.ch = chanID
+		m.eng.After(xferAt, d.fn)
 	}
 
-	prev := req.OnComplete
-	req.OnComplete = func(r *blockio.Request) {
-		if hasSLO && m.dec.shadow {
-			actualWait := r.Latency() - svc
-			if actualWait < 0 {
-				actualWait = 0
-			}
-			m.dec.observe(rawBusy, wait, actualWait, r.Deadline)
-		}
-		if m.rec != nil {
-			actualWait := r.Latency() - svc
-			if actualWait < 0 {
-				actualWait = 0
-			}
-			m.rec.Prediction(metrics.RMittSSD, r, wait, actualWait)
-		}
-		if prev != nil {
-			prev(r)
-		}
-		onDone(nil)
+	var op *ssdOp
+	if n := len(m.opFree); n > 0 {
+		op = m.opFree[n-1]
+		m.opFree = m.opFree[:n-1]
+	} else {
+		op = &ssdOp{m: m}
+		op.fn = op.done
 	}
+	op.hasSLO, op.rawBusy, op.wait, op.svc = hasSLO, rawBusy, wait, svc
+	op.prev, op.onDone = req.OnComplete, onDone
+	req.OnComplete = op.fn
 	m.dev.Submit(req)
 }

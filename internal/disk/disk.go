@@ -78,6 +78,14 @@ func DefaultConfig() Config {
 	}
 }
 
+// destageRec is the disk's private copy of one NVRAM-buffered write: the
+// originating request is acked (terminal) at buffer time, so the spindle
+// must not rely on the pointer staying valid.
+type destageRec struct {
+	offset int64
+	size   int
+}
+
 // Disk is the device model. It implements blockio.Device.
 type Disk struct {
 	eng *sim.Engine
@@ -86,7 +94,8 @@ type Disk struct {
 
 	headPos int64
 	queue   []*blockio.Request // device queue, reordered by SSTF
-	destage []*blockio.Request // NVRAM writes awaiting idle destaging
+	destage []destageRec       // NVRAM writes awaiting idle destaging
+	scratch blockio.Request    // reused to present destage records to the spindle
 	busy    bool
 
 	inflight int
@@ -100,7 +109,49 @@ type Disk struct {
 	// onSlotFree lets the scheduler above refill the device queue.
 	onSlotFree func()
 
+	svcFree []*diskSvcOp
+	ackFree []*diskAckOp
+
 	rec *metrics.Recorder
+}
+
+// diskSvcOp is the pooled spindle-service completion (the timer callback at
+// the end of one seek+transfer).
+type diskSvcOp struct {
+	d        *Disk
+	req      *blockio.Request
+	destaged bool
+	fn       func() // pre-bound op.fire
+}
+
+func (op *diskSvcOp) fire() {
+	d, req, destaged := op.d, op.req, op.destaged
+	op.req = nil
+	d.svcFree = append(d.svcFree, op)
+	d.headPos = req.End()
+	d.busy = false
+	d.served++
+	if !destaged {
+		d.complete(req)
+	}
+	if d.onSlotFree != nil {
+		d.onSlotFree()
+	}
+	d.kick()
+}
+
+// diskAckOp is the pooled NVRAM write-acknowledgement timer callback.
+type diskAckOp struct {
+	d   *Disk
+	req *blockio.Request
+	fn  func() // pre-bound op.fire
+}
+
+func (op *diskAckOp) fire() {
+	d, req := op.d, op.req
+	op.req = nil
+	d.ackFree = append(d.ackFree, op)
+	d.complete(req)
 }
 
 // SetRecorder attaches a metrics recorder (nil disables, the default).
@@ -166,10 +217,20 @@ func (d *Disk) Submit(req *blockio.Request) {
 	if req.Op == blockio.Write && d.cfg.WriteBufferSlots > 0 &&
 		len(d.destage) < d.cfg.WriteBufferSlots {
 		// NVRAM absorbs the write; destage happens during idle periods.
-		d.destage = append(d.destage, req)
-		d.eng.After(d.cfg.WriteAckLatency, func() {
-			d.complete(req)
-		})
+		// The buffer keeps its own copy of the geometry: the request is
+		// acked (and possibly recycled by its owner) before the spindle
+		// writes the data back.
+		d.destage = append(d.destage, destageRec{offset: req.Offset, size: req.Size})
+		var op *diskAckOp
+		if n := len(d.ackFree); n > 0 {
+			op = d.ackFree[n-1]
+			d.ackFree = d.ackFree[:n-1]
+		} else {
+			op = &diskAckOp{d: d}
+			op.fn = op.fire
+		}
+		op.req = req
+		d.eng.After(d.cfg.WriteAckLatency, op.fn)
 		d.kick() // idle disks destage immediately
 		return
 	}
@@ -191,18 +252,16 @@ func (d *Disk) kick() {
 		d.rec.DevStart(metrics.RDisk, req)
 	}
 	svc := d.ServiceTime(d.headPos, req)
-	d.eng.After(svc, func() {
-		d.headPos = req.End()
-		d.busy = false
-		d.served++
-		if !destaged {
-			d.complete(req)
-		}
-		if d.onSlotFree != nil {
-			d.onSlotFree()
-		}
-		d.kick()
-	})
+	var op *diskSvcOp
+	if n := len(d.svcFree); n > 0 {
+		op = d.svcFree[n-1]
+		d.svcFree = d.svcFree[:n-1]
+	} else {
+		op = &diskSvcOp{d: d}
+		op.fn = op.fire
+	}
+	op.req, op.destaged = req, destaged
+	d.eng.After(svc, op.fn)
 }
 
 // next pops the SSTF-closest request from the device queue; if the queue is
@@ -216,6 +275,7 @@ func (d *Disk) next() (*blockio.Request, bool) {
 		if r.Canceled() {
 			d.inflight--
 			d.rec.DevDrop(metrics.RDisk, r)
+			r.Dropped()
 			continue
 		}
 		live = append(live, r)
@@ -225,7 +285,8 @@ func (d *Disk) next() (*blockio.Request, bool) {
 		if len(d.destage) > 0 {
 			w := d.destage[0]
 			d.destage = d.destage[1:]
-			return w, true
+			d.scratch = blockio.Request{Op: blockio.Write, Offset: w.offset, Size: w.size}
+			return &d.scratch, true
 		}
 		return nil, false
 	}

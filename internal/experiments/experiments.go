@@ -274,6 +274,11 @@ func (f *fleet) startClients(opt Options, strat cluster.Strategy, scaleFactor in
 	ccfg := cluster.DefaultClientConfig()
 	ccfg.Interval = opt.Interval
 	ccfg.ScaleFactor = scaleFactor
+	// Pre-size each client's samples to the leg's expected op count so
+	// steady-state recording never grows a slice.
+	if opt.Interval > 0 {
+		ccfg.ExpectedOps = int(opt.Duration/opt.Interval) + 1
+	}
 	var clients []*cluster.Client
 	for i := 0; i < opt.Clients; i++ {
 		wl := ycsb.New(ycsb.DefaultConfig(opt.Keys), sim.NewRNG(opt.Seed, fmt.Sprintf("wl-%d", i)))
@@ -284,10 +289,15 @@ func (f *fleet) startClients(opt Options, strat cluster.Strategy, scaleFactor in
 	return clients
 }
 
-// collectClients merges the clients' samples.
+// collectClients merges the clients' samples, pre-sized to the exact total.
 func collectClients(clients []*cluster.Client) (io, user *stats.Sample) {
-	io = stats.NewSample(1 << 14)
-	user = stats.NewSample(1 << 14)
+	nIO, nUser := 0, 0
+	for _, cl := range clients {
+		nIO += cl.IOLatencies.N()
+		nUser += cl.UserLatencies.N()
+	}
+	io = stats.NewSample(nIO)
+	user = stats.NewSample(nUser)
 	for _, cl := range clients {
 		io.Merge(cl.IOLatencies)
 		user.Merge(cl.UserLatencies)

@@ -82,10 +82,12 @@ func addWorkloadMix(f *fleet, opt Options) {
 		tr = derateForDisk(tr, f.c.Nodes[i].Disk.Config())
 		sink := n.NoiseSink()
 		var ids blockio.IDGen
+		reqs := &blockio.Pool{}
 		rep := trace.NewReplayer(f.eng, tr, func(rec trace.Record) {
-			req := &blockio.Request{ID: ids.Next(), Op: rec.Op, Offset: rec.Offset,
-				Size: rec.Size, Proc: 800 + i, Class: blockio.ClassBestEffort, Priority: 5}
-			req.OnComplete = func(*blockio.Request) {}
+			req := reqs.Get()
+			req.ID, req.Op, req.Offset, req.Size = ids.Next(), rec.Op, rec.Offset, rec.Size
+			req.Proc, req.Class, req.Priority = 800+i, blockio.ClassBestEffort, 5
+			req.AutoFree = true // recycled by the block-layer boundary
 			sink.Submit(req)
 		})
 		rep.Start()

@@ -143,6 +143,14 @@ func fig3Resource(opt Fig3Options, resource string) ([]*stats.Sample, *stats.Sam
 				ns.lastNoisy = eng.Now()
 			}
 		}
+		// One pool and one completion closure per node: probes recycle
+		// their descriptors as soon as the latency is recorded (the layers
+		// below never touch a request after its completion fires).
+		var reqs blockio.Pool
+		onProbe := func(r *blockio.Request) {
+			record(r.Latency())
+			r.Release()
+		}
 		switch resource {
 		case "disk":
 			dcfg := disk.DefaultConfig()
@@ -151,10 +159,11 @@ func fig3Resource(opt Fig3Options, resource string) ([]*stats.Sample, *stats.Sam
 			b := noise.NewBursty(eng, noise.DefaultDiskBursty(500<<30, 900+i), sched, rng.Fork("noise"))
 			b.Start()
 			ns.probe = func() {
-				req := &blockio.Request{ID: ids.Next(), Op: blockio.Read,
-					Offset: rng.Int63n(900 << 30), Size: 4096, Proc: 1,
-					SubmitTime: eng.Now()}
-				req.OnComplete = func(r *blockio.Request) { record(r.Latency()) }
+				req := reqs.Get()
+				req.ID, req.Op = ids.Next(), blockio.Read
+				req.Offset, req.Size, req.Proc = rng.Int63n(900<<30), 4096, 1
+				req.SubmitTime = eng.Now()
+				req.OnComplete = onProbe
 				sched.Submit(req)
 			}
 		case "ssd":
@@ -164,10 +173,11 @@ func fig3Resource(opt Fig3Options, resource string) ([]*stats.Sample, *stats.Sam
 			b := noise.NewBursty(eng, noise.DefaultSSDBursty(space, 900+i), dev, rng.Fork("noise"))
 			b.Start()
 			ns.probe = func() {
-				req := &blockio.Request{ID: ids.Next(), Op: blockio.Read,
-					Offset: rng.Int63n(space), Size: 4096, Proc: 1,
-					SubmitTime: eng.Now()}
-				req.OnComplete = func(r *blockio.Request) { record(r.Latency()) }
+				req := reqs.Get()
+				req.ID, req.Op = ids.Next(), blockio.Read
+				req.Offset, req.Size, req.Proc = rng.Int63n(space), 4096, 1
+				req.SubmitTime = eng.Now()
+				req.OnComplete = onProbe
 				dev.Submit(req)
 			}
 		case "cache":
@@ -196,9 +206,11 @@ func fig3Resource(opt Fig3Options, resource string) ([]*stats.Sample, *stats.Sam
 			})
 			ns.probe = func() {
 				off := rng.Int63n(workingSet-4096) &^ 4095
-				req := &blockio.Request{ID: ids.Next(), Op: blockio.Read,
-					Offset: off, Size: 4096, Proc: 1, SubmitTime: eng.Now()}
-				req.OnComplete = func(r *blockio.Request) { record(r.Latency()) }
+				req := reqs.Get()
+				req.ID, req.Op = ids.Next(), blockio.Read
+				req.Offset, req.Size, req.Proc = off, 4096, 1
+				req.SubmitTime = eng.Now()
+				req.OnComplete = onProbe
 				cache.Submit(req)
 			}
 		}

@@ -221,13 +221,9 @@ func (s *primaryFirstMitt) Get(key int64, onDone func(cluster.GetResult)) {
 }
 
 // replicaCallOn mirrors the cluster strategies' network plumbing for a
-// fixed node.
+// fixed node, via the cluster's pooled call context.
 func replicaCallOn(c *cluster.Cluster, node int, key int64, deadline time.Duration, onDone func(error)) {
-	c.Net.Send(func() {
-		c.Nodes[node].ServeGet(key, deadline, func(err error) {
-			c.Net.Send(func() { onDone(err) })
-		})
-	})
+	c.ReplicaCall(node, key, deadline, onDone)
 }
 
 // fig4Summary renders the per-panel p95/p99 deltas for EXPERIMENTS.md.

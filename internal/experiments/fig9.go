@@ -127,6 +127,42 @@ func derateForDisk(tr *trace.Trace, cfg disk.Config) *trace.Trace {
 	return tr.Rerate(target / maxUtil)
 }
 
+// fig9Op is the pooled replay completion: it records the measured wait and
+// recycles the request descriptor. Rejected IOs never queue (and late
+// cancels are Remove()d from the scheduler before the EBUSY delivery), so
+// the release at the terminal is always the last reference.
+type fig9Op struct {
+	waits *stats.Sample
+	free  *[]*fig9Op
+	req   *blockio.Request
+	fn    func(error) // pre-bound op.done
+}
+
+func (op *fig9Op) done(err error) {
+	req, waits := op.req, op.waits
+	op.req = nil
+	*op.free = append(*op.free, op)
+	if err == nil {
+		w := req.Latency() - req.PredictedService
+		if w < 0 {
+			w = 0
+		}
+		waits.Add(w)
+	}
+	req.Release()
+}
+
+func getFig9Op(free *[]*fig9Op, waits *stats.Sample) *fig9Op {
+	if n := len(*free); n > 0 {
+		op := (*free)[n-1]
+		*free = (*free)[:n-1]
+		return op
+	}
+	op := &fig9Op{waits: waits, free: free}
+	op.fn = op.done
+	return op
+}
+
 // diskVariant selects the fig9 disk-side discipline.
 type diskVariant int
 
@@ -179,21 +215,18 @@ func fig9DiskPass(opt Fig9Options, tr *trace.Trace, deadline time.Duration,
 	waits := stats.NewSample(len(tr.Records))
 	var ids blockio.IDGen
 	clamped := tr.Clamp(dcfg.CapacityBytes)
+	var reqs blockio.Pool
+	var opFree []*fig9Op
 	rep := trace.NewReplayer(eng, clamped, func(rec trace.Record) {
-		req := &blockio.Request{ID: ids.Next(), Op: rec.Op, Offset: rec.Offset,
-			Size: rec.Size, Proc: 1, Deadline: 0}
+		req := reqs.Get()
+		req.ID, req.Op, req.Offset = ids.Next(), rec.Op, rec.Offset
+		req.Size, req.Proc = rec.Size, 1
 		if rec.Op == blockio.Read {
 			req.Deadline = deadline
 		}
-		target.SubmitSLO(req, func(err error) {
-			if err == nil {
-				w := req.Latency() - req.PredictedService
-				if w < 0 {
-					w = 0
-				}
-				waits.Add(w)
-			}
-		})
+		op := getFig9Op(&opFree, waits)
+		op.req = req
+		target.SubmitSLO(req, op.fn)
 	})
 	rep.Start()
 	eng.Run()
@@ -229,21 +262,18 @@ func fig9SSDPass(opt Fig9Options, tr *trace.Trace, deadline time.Duration,
 	waits := stats.NewSample(len(tr.Records))
 	var ids blockio.IDGen
 	clamped := tr.Clamp(scfg.LogicalBytes())
+	var reqs blockio.Pool
+	var opFree []*fig9Op
 	rep := trace.NewReplayer(eng, clamped, func(rec trace.Record) {
-		req := &blockio.Request{ID: ids.Next(), Op: rec.Op, Offset: rec.Offset,
-			Size: rec.Size, Proc: 1}
+		req := reqs.Get()
+		req.ID, req.Op, req.Offset = ids.Next(), rec.Op, rec.Offset
+		req.Size, req.Proc = rec.Size, 1
 		if rec.Op == blockio.Read {
 			req.Deadline = deadline
 		}
-		m.SubmitSLO(req, func(err error) {
-			if err == nil {
-				w := req.Latency() - req.PredictedService
-				if w < 0 {
-					w = 0
-				}
-				waits.Add(w)
-			}
-		})
+		op := getFig9Op(&opFree, waits)
+		op.req = req
+		m.SubmitSLO(req, op.fn)
 	})
 	rep.Start()
 	eng.Run()

@@ -72,6 +72,7 @@ func (n *Noop) pump() {
 		n.fifo = n.fifo[1:]
 		if req.Canceled() {
 			n.rec.SchedDrop(metrics.RSchedNoop, req)
+			req.Dropped()
 			continue
 		}
 		n.rec.SchedExit(metrics.RSchedNoop, req)
@@ -139,7 +140,27 @@ type CFQ struct {
 	dispatched   uint64
 	dispatchHook func(*blockio.Request)
 	dropHook     func(*blockio.Request)
+	dispFree     []*cfqDisp
 	rec          *metrics.Recorder
+}
+
+// cfqDisp is the pooled on-device completion wrapper installed at dispatch:
+// it returns the device slot to the quantum and refills the device queue.
+type cfqDisp struct {
+	c    *CFQ
+	prev func(*blockio.Request)
+	fn   func(*blockio.Request) // pre-bound d.done
+}
+
+func (d *cfqDisp) done(r *blockio.Request) {
+	c, prev := d.c, d.prev
+	d.prev = nil
+	c.dispFree = append(c.dispFree, d)
+	c.onDevice--
+	if prev != nil {
+		prev(r)
+	}
+	c.pump()
 }
 
 // SetRecorder attaches a metrics recorder (nil disables, the default).
@@ -316,19 +337,22 @@ func (c *CFQ) pump() {
 				c.dropHook(req)
 			}
 			c.rec.SchedDrop(metrics.RSchedCFQ, req)
+			req.Dropped()
 			continue
 		}
 		c.rec.SchedExit(metrics.RSchedCFQ, req)
 		c.dispatched++
 		c.onDevice++
-		prev := req.OnComplete
-		req.OnComplete = func(r *blockio.Request) {
-			c.onDevice--
-			if prev != nil {
-				prev(r)
-			}
-			c.pump()
+		var d *cfqDisp
+		if n := len(c.dispFree); n > 0 {
+			d = c.dispFree[n-1]
+			c.dispFree = c.dispFree[:n-1]
+		} else {
+			d = &cfqDisp{c: c}
+			d.fn = d.done
 		}
+		d.prev = req.OnComplete
+		req.OnComplete = d.fn
 		if c.dispatchHook != nil {
 			c.dispatchHook(req)
 		}

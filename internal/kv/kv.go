@@ -97,6 +97,13 @@ type Store struct {
 	runs     []*run // newest first
 	alloc    int64  // bump allocator within the region
 	walPos   int64
+
+	// Per-IO pools: requests, fire-and-forget write completions, and
+	// memory-latency completions. Steady-state operation recycles these
+	// instead of allocating.
+	reqs    blockio.Pool
+	bgFree  []*bgWrite
+	memFree []*memOp
 	// versions tracks each key's write count — the replication timestamp
 	// consistency-aware failover compares (§8.3). Keys absent from the
 	// map are at their preloaded base version 0.
@@ -200,6 +207,69 @@ func (s *Store) KeyOffset(key int64) (int64, bool) {
 	return 0, false
 }
 
+// bgWrite completes a fire-and-forget background write (WAL, flush,
+// compaction): it recycles the request and itself. The callback field is
+// bound once so background IO allocates nothing in steady state.
+type bgWrite struct {
+	s      *Store
+	req    *blockio.Request
+	doneFn func(error) // pre-bound (*bgWrite).done
+}
+
+func (w *bgWrite) done(error) {
+	s, req := w.s, w.req
+	w.req = nil
+	s.bgFree = append(s.bgFree, w)
+	req.Release()
+}
+
+// submitBackground issues one pooled fire-and-forget write/read.
+func (s *Store) submitBackground(op blockio.Op, off int64, size int, class blockio.Class, prio int) {
+	req := s.reqs.Get()
+	req.ID, req.Op, req.Offset, req.Size = s.ids.Next(), op, off, size
+	req.Proc, req.Class, req.Priority = s.cfg.Proc, class, prio
+	var w *bgWrite
+	if n := len(s.bgFree); n > 0 {
+		w = s.bgFree[n-1]
+		s.bgFree = s.bgFree[:n-1]
+	} else {
+		w = &bgWrite{s: s}
+		w.doneFn = w.done
+	}
+	w.req = req
+	s.target.SubmitSLO(req, w.doneFn)
+}
+
+// memOp delivers a memory-latency verdict (memtable hit, miss, mmap
+// rejection) through the engine without a per-call closure.
+type memOp struct {
+	s      *Store
+	err    error
+	onDone func(error)
+	fireFn func() // pre-bound (*memOp).fire
+}
+
+func (op *memOp) fire() {
+	s, onDone, err := op.s, op.onDone, op.err
+	op.onDone = nil
+	op.err = nil
+	s.memFree = append(s.memFree, op)
+	onDone(err)
+}
+
+func (s *Store) afterMem(err error, onDone func(error)) {
+	var op *memOp
+	if n := len(s.memFree); n > 0 {
+		op = s.memFree[n-1]
+		s.memFree = s.memFree[:n-1]
+	} else {
+		op = &memOp{s: s}
+		op.fireFn = op.fire
+	}
+	op.err, op.onDone = err, onDone
+	s.eng.After(s.cfg.MemLatency, op.fireFn)
+}
+
 func (s *Store) allocExtent(size int64) int64 {
 	if s.alloc+size > s.cfg.RegionBase+s.cfg.RegionSize {
 		// Wrap: immutable runs are replaced wholesale by compaction, so
@@ -218,7 +288,7 @@ func (s *Store) allocExtent(size int64) int64 {
 func (s *Store) Get(key int64, deadline time.Duration, onDone func(error)) *blockio.Request {
 	s.gets++
 	if s.memtable[key] {
-		s.eng.After(s.cfg.MemLatency, func() { onDone(nil) })
+		s.afterMem(nil, onDone)
 		return nil
 	}
 	for _, r := range s.runs {
@@ -230,29 +300,30 @@ func (s *Store) Get(key int64, deadline time.Duration, onDone func(error)) *bloc
 			// The §5 MongoDB path: addrcheck(&myDB[i], size, deadline)
 			// before dereferencing the mapped pointer.
 			if err := s.mcache.AddrCheck(off, s.cfg.BlockSize, deadline); err != nil {
-				s.eng.After(s.cfg.MemLatency, func() { onDone(err) })
+				s.afterMem(err, onDone)
 				return nil
 			}
 			// Resident (or a tolerable fault): touch the mapping. The
 			// fault path carries no deadline — the check already decided.
-			req := &blockio.Request{
-				ID: s.ids.Next(), Op: blockio.Read, Offset: off, Size: s.cfg.BlockSize,
-				Proc: s.cfg.Proc, Class: s.cfg.Class, Priority: s.cfg.Priority,
-			}
+			req := s.reqs.Get()
+			req.ID, req.Op, req.Offset, req.Size = s.ids.Next(), blockio.Read, off, s.cfg.BlockSize
+			req.Proc, req.Class, req.Priority = s.cfg.Proc, s.cfg.Class, s.cfg.Priority
 			// Via s.target (== the MittCache, possibly metrics-traced) so
 			// the touch crosses the node's span boundary exactly once.
 			s.target.SubmitSLO(req, onDone)
 			return req
 		}
-		req := &blockio.Request{
-			ID: s.ids.Next(), Op: blockio.Read, Offset: off, Size: s.cfg.BlockSize,
-			Proc: s.cfg.Proc, Class: s.cfg.Class, Priority: s.cfg.Priority,
-			Deadline: deadline,
-		}
+		// Pooled: whoever owns onDone also owns req.Release() at the
+		// terminal (cluster.Node's serve context does; bare test callers
+		// may simply drop it, which falls back to allocation).
+		req := s.reqs.Get()
+		req.ID, req.Op, req.Offset, req.Size = s.ids.Next(), blockio.Read, off, s.cfg.BlockSize
+		req.Proc, req.Class, req.Priority = s.cfg.Proc, s.cfg.Class, s.cfg.Priority
+		req.Deadline = deadline
 		s.target.SubmitSLO(req, onDone)
 		return req
 	}
-	s.eng.After(s.cfg.MemLatency, func() { onDone(ErrNotFound) })
+	s.afterMem(ErrNotFound, onDone)
 	return nil
 }
 
@@ -265,16 +336,11 @@ func (s *Store) Put(key int64, onDone func(error)) {
 	s.puts++
 	s.memtable[key] = true
 	s.versions[key]++
-	wal := &blockio.Request{
-		ID: s.ids.Next(), Op: blockio.Write,
-		Offset: s.walOffset(), Size: s.cfg.BlockSize,
-		Proc: s.cfg.Proc, Class: s.cfg.Class, Priority: s.cfg.Priority,
-	}
-	s.target.SubmitSLO(wal, func(error) {})
+	s.submitBackground(blockio.Write, s.walOffset(), s.cfg.BlockSize, s.cfg.Class, s.cfg.Priority)
 	if len(s.memtable) >= s.cfg.MemtableCap {
 		s.flush()
 	}
-	s.eng.After(s.cfg.MemLatency, func() { onDone(nil) })
+	s.afterMem(nil, onDone)
 }
 
 // walOffset cycles a small log extent at the region tail.
@@ -318,11 +384,7 @@ func (s *Store) flush() {
 		if off+int64(size) > bytes {
 			size = int(bytes - off)
 		}
-		w := &blockio.Request{
-			ID: s.ids.Next(), Op: blockio.Write, Offset: r.base + off, Size: size,
-			Proc: s.cfg.Proc, Class: blockio.ClassIdle, Priority: 7,
-		}
-		s.target.SubmitSLO(w, func(error) {})
+		s.submitBackground(blockio.Write, r.base+off, size, blockio.ClassIdle, 7)
 	}
 	if len(s.runs) > s.cfg.MaxRuns {
 		s.compact()
@@ -365,11 +427,7 @@ func (s *Store) compact() {
 			if off+int64(size) > bytes {
 				size = int(bytes - off)
 			}
-			rd := &blockio.Request{
-				ID: s.ids.Next(), Op: blockio.Read, Offset: o.base + off, Size: size,
-				Proc: s.cfg.Proc, Class: blockio.ClassIdle, Priority: 7,
-			}
-			s.target.SubmitSLO(rd, func(error) {})
+			s.submitBackground(blockio.Read, o.base+off, size, blockio.ClassIdle, 7)
 		}
 	}
 	bytes := total * int64(s.cfg.BlockSize)
@@ -378,10 +436,6 @@ func (s *Store) compact() {
 		if off+int64(size) > bytes {
 			size = int(bytes - off)
 		}
-		w := &blockio.Request{
-			ID: s.ids.Next(), Op: blockio.Write, Offset: r.base + off, Size: size,
-			Proc: s.cfg.Proc, Class: blockio.ClassIdle, Priority: 7,
-		}
-		s.target.SubmitSLO(w, func(error) {})
+		s.submitBackground(blockio.Write, r.base+off, size, blockio.ClassIdle, 7)
 	}
 }

@@ -352,6 +352,7 @@ func (r *Recorder) SchedDrop(res Resource, req *blockio.Request) {
 	s.gauges[res].Cur--
 	if sp := s.spanIdx[req]; sp != nil {
 		sp.terminal(s, "revoked")
+		delete(s.spanIdx, req)
 	}
 }
 
@@ -377,6 +378,7 @@ func (r *Recorder) DevDrop(res Resource, req *blockio.Request) {
 	s.gauges[res].Cur--
 	if sp := s.spanIdx[req]; sp != nil {
 		sp.terminal(s, "revoked")
+		delete(s.spanIdx, req)
 	}
 }
 

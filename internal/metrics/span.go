@@ -90,8 +90,8 @@ func (r *Recorder) IOBegin(req *blockio.Request) {
 	sp := &Span{
 		Node: r.node, ID: req.ID, Op: req.Op.String(),
 		Proc: req.Proc, Class: req.Class.String(), Prio: req.Priority,
-		DeadlineNs: int64(req.Deadline),
-		SubmitNs:   int64(s.eng.Now()),
+		DeadlineNs:   int64(req.Deadline),
+		SubmitNs:     int64(s.eng.Now()),
 		SchedEnterNs: -1, SchedExitNs: -1, DevEnterNs: -1, DevStartNs: -1,
 		EndNs: -1, PredWaitNs: -1, PredSvcNs: -1, ActualWaitNs: -1,
 	}
@@ -111,6 +111,10 @@ func (r *Recorder) IOEnd(req *blockio.Request, err error, busy bool) {
 	var sp *Span
 	if s.spanIdx != nil {
 		sp = s.spanIdx[req]
+		// The span stays in s.spans; only the request-pointer index entry
+		// goes, because a pooled request recycles at its terminal and the
+		// same pointer will be a fresh IO on its next submission.
+		delete(s.spanIdx, req)
 	}
 	switch {
 	case err == nil:

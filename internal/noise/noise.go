@@ -100,6 +100,22 @@ type Bursty struct {
 	stop     bool
 	episodes []Episode
 	inFlight int
+
+	reqs       blockio.Pool
+	streamFree []*bStream
+}
+
+// bStream is one pooled closed-loop contender stream; its completion
+// callback is bound once so per-IO reissue allocates nothing.
+type bStream struct {
+	b     *Bursty
+	until sim.Time
+	fn    func(*blockio.Request) // pre-bound (*bStream).complete
+}
+
+func (st *bStream) complete(*blockio.Request) {
+	st.b.inFlight--
+	st.b.stream(st)
 }
 
 // Episode records one contention burst (for inter-arrival analysis, Fig 3d-f).
@@ -153,7 +169,16 @@ func (b *Bursty) beginEpisode() {
 	b.episodes = append(b.episodes, Episode{Start: b.eng.Now(), Duration: dur, Streams: streams})
 	end := b.eng.Now().Add(dur)
 	for i := 0; i < streams*b.cfg.IODepth; i++ {
-		b.stream(end)
+		var st *bStream
+		if n := len(b.streamFree); n > 0 {
+			st = b.streamFree[n-1]
+			b.streamFree = b.streamFree[:n-1]
+		} else {
+			st = &bStream{b: b}
+			st.fn = st.complete
+		}
+		st.until = end
+		b.stream(st)
 	}
 	b.eng.FireAt(end, func() {
 		b.active = false
@@ -162,22 +187,22 @@ func (b *Bursty) beginEpisode() {
 }
 
 // stream is one closed-loop contender: issue, wait, repeat until the
-// episode ends.
-func (b *Bursty) stream(until sim.Time) {
-	if b.eng.Now() >= until || b.stop {
+// episode ends. Requests come from the pool and are boundary-owned
+// (AutoFree): the block layer recycles each one after its completion has
+// been observed.
+func (b *Bursty) stream(st *bStream) {
+	if b.eng.Now() >= st.until || b.stop {
+		b.streamFree = append(b.streamFree, st)
 		return
 	}
-	req := &blockio.Request{
-		ID: b.ids.Next(), Op: b.cfg.Op,
-		Offset: b.randomOffset(), Size: b.cfg.IOSize,
-		Proc: b.cfg.Proc, Class: b.cfg.Class, Priority: b.cfg.Priority,
-		SubmitTime: b.eng.Now(),
-	}
+	req := b.reqs.Get()
+	req.ID, req.Op = b.ids.Next(), b.cfg.Op
+	req.Offset, req.Size = b.randomOffset(), b.cfg.IOSize
+	req.Proc, req.Class, req.Priority = b.cfg.Proc, b.cfg.Class, b.cfg.Priority
+	req.SubmitTime = b.eng.Now()
+	req.AutoFree = true
+	req.OnComplete = st.fn
 	b.inFlight++
-	req.OnComplete = func(*blockio.Request) {
-		b.inFlight--
-		b.stream(until)
-	}
 	b.dev.Submit(req)
 }
 
@@ -208,15 +233,20 @@ type Steady struct {
 	space    int64
 
 	running bool
+
+	reqs   blockio.Pool
+	doneFn func(*blockio.Request) // bound once: re-loop on completion
 }
 
 // NewSteady builds a steady injector of `streams` closed-loop contenders.
 func NewSteady(eng *sim.Engine, dev blockio.Device, rng *sim.RNG,
 	op blockio.Op, size, streams int, class blockio.Class, priority, proc int,
 	space int64) *Steady {
-	return &Steady{eng: eng, dev: dev, rng: rng, op: op, size: size,
+	s := &Steady{eng: eng, dev: dev, rng: rng, op: op, size: size,
 		streamsN: streams, class: class, priority: priority, proc: proc,
 		space: space}
+	s.doneFn = func(*blockio.Request) { s.loop() }
+	return s
 }
 
 // Start launches the contender streams.
@@ -241,12 +271,12 @@ func (s *Steady) loop() {
 	if span <= 0 {
 		span = 1
 	}
-	req := &blockio.Request{
-		ID: s.ids.Next(), Op: s.op, Offset: s.rng.Int63n(span) &^ 4095,
-		Size: s.size, Proc: s.proc, Class: s.class, Priority: s.priority,
-		SubmitTime: s.eng.Now(),
-	}
-	req.OnComplete = func(*blockio.Request) { s.loop() }
+	req := s.reqs.Get()
+	req.ID, req.Op, req.Offset = s.ids.Next(), s.op, s.rng.Int63n(span)&^4095
+	req.Size, req.Proc, req.Class, req.Priority = s.size, s.proc, s.class, s.priority
+	req.SubmitTime = s.eng.Now()
+	req.AutoFree = true
+	req.OnComplete = s.doneFn
 	s.dev.Submit(req)
 }
 
@@ -266,7 +296,21 @@ type Rotating struct {
 	current int
 	epoch   uint64
 	running bool
+
+	reqs       blockio.Pool
+	streamFree []*rStream
 }
+
+// rStream is one pooled rotating-contender stream, pinned to a node and
+// epoch; stale streams retire at their next completion.
+type rStream struct {
+	r     *Rotating
+	node  int
+	epoch uint64
+	fn    func(*blockio.Request) // pre-bound (*rStream).complete
+}
+
+func (st *rStream) complete(*blockio.Request) { st.r.loop(st) }
 
 // NewRotating builds the rotating injector.
 func NewRotating(eng *sim.Engine, devs []blockio.Device, period time.Duration,
@@ -295,9 +339,17 @@ func (r *Rotating) beginEpoch() {
 		return
 	}
 	r.epoch++
-	epoch := r.epoch
 	for i := 0; i < r.streams; i++ {
-		r.loop(r.current, epoch)
+		var st *rStream
+		if n := len(r.streamFree); n > 0 {
+			st = r.streamFree[n-1]
+			r.streamFree = r.streamFree[:n-1]
+		} else {
+			st = &rStream{r: r}
+			st.fn = st.complete
+		}
+		st.node, st.epoch = r.current, r.epoch
+		r.loop(st)
 	}
 	r.eng.After(r.period, func() {
 		if !r.running {
@@ -308,21 +360,23 @@ func (r *Rotating) beginEpoch() {
 	})
 }
 
-func (r *Rotating) loop(node int, epoch uint64) {
-	if !r.running || epoch != r.epoch {
+func (r *Rotating) loop(st *rStream) {
+	if !r.running || st.epoch != r.epoch {
+		r.streamFree = append(r.streamFree, st)
 		return
 	}
 	span := r.space - int64(r.size)
 	if span <= 0 {
 		span = 1
 	}
-	req := &blockio.Request{
-		ID: r.ids.Next(), Op: blockio.Read, Offset: r.rng.Int63n(span) &^ 4095,
-		Size: r.size, Proc: 1000 + node, Class: blockio.ClassBestEffort, Priority: 4,
-		SubmitTime: r.eng.Now(),
-	}
-	req.OnComplete = func(*blockio.Request) { r.loop(node, epoch) }
-	r.devs[node].Submit(req)
+	req := r.reqs.Get()
+	req.ID, req.Op, req.Offset = r.ids.Next(), blockio.Read, r.rng.Int63n(span)&^4095
+	req.Size, req.Proc = r.size, 1000+st.node
+	req.Class, req.Priority = blockio.ClassBestEffort, 4
+	req.SubmitTime = r.eng.Now()
+	req.AutoFree = true
+	req.OnComplete = st.fn
+	r.devs[st.node].Submit(req)
 }
 
 // CacheEvictor models memory-space contention for MittCache runs: every

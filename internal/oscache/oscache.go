@@ -5,7 +5,6 @@
 package oscache
 
 import (
-	"container/list"
 	"fmt"
 	"time"
 
@@ -39,10 +38,13 @@ func DefaultConfig() Config {
 	}
 }
 
+// page is one resident cache page, doubly linked into the LRU list
+// directly (no container/list element allocation) and recycled through the
+// cache's freelist on eviction.
 type page struct {
-	id    int64
-	dirty bool
-	elem  *list.Element
+	id         int64
+	dirty      bool
+	prev, next *page
 }
 
 // Cache is the page cache. Reads that miss go to the backing device; writes
@@ -53,7 +55,10 @@ type Cache struct {
 	backing blockio.Device
 
 	pages map[int64]*page
-	lru   *list.List // front = most recently used
+	// Intrusive LRU: head = most recently used, tail = eviction victim.
+	lruHead, lruTail *page
+	resident         int
+	pageFree         *page // freelist, chained through next
 
 	// everResident distinguishes first-time accesses (cold misses) from
 	// re-evicted pages: MittCache only signals EBUSY for the latter
@@ -63,6 +68,12 @@ type Cache struct {
 
 	ids      blockio.IDGen
 	inflight int
+
+	// Per-IO freelists: background sub-requests and the hit/miss
+	// completion contexts that replace per-IO closures.
+	reqs    blockio.Pool
+	opFree  []*cacheOp
+	victims []*page // EvictFraction scratch
 
 	hits, misses, evictions uint64
 
@@ -82,7 +93,6 @@ func New(eng *sim.Engine, cfg Config, backing blockio.Device) *Cache {
 		cfg:          cfg,
 		backing:      backing,
 		pages:        make(map[int64]*page),
-		lru:          list.New(),
 		everResident: make(map[int64]bool),
 	}
 }
@@ -96,7 +106,7 @@ func (c *Cache) Stats() (hits, misses, evictions uint64) {
 }
 
 // ResidentPages returns the current resident-set size in pages.
-func (c *Cache) ResidentPages() int { return c.lru.Len() }
+func (c *Cache) ResidentPages() int { return c.resident }
 
 // InFlight implements blockio.Device.
 func (c *Cache) InFlight() int { return c.inflight }
@@ -134,6 +144,58 @@ func (c *Cache) WasEverResident(off int64, size int) bool {
 // AddrCheckCost returns the modeled cost of one addrcheck() call.
 func (c *Cache) AddrCheckCost() time.Duration { return c.cfg.AddrCheckLatency }
 
+// cacheOp is the pooled per-IO context for the cache's deferred work: the
+// hit-latency completion timer and the insert-then-complete callback of a
+// read-through or prefetch sub-IO. Callback fields are bound once at
+// allocation and reused across recycles.
+type cacheOp struct {
+	c           *Cache
+	req         *blockio.Request         // the client request to complete (nil for prefetch)
+	first, last int64                    // pages to insert on sub-IO completion
+	fireFn      func()                   // pre-bound op.fire (hit/write timer)
+	fillFn      func(r *blockio.Request) // pre-bound op.fill (sub-IO completion)
+}
+
+func (c *Cache) getOp(req *blockio.Request) *cacheOp {
+	var op *cacheOp
+	if n := len(c.opFree); n > 0 {
+		op = c.opFree[n-1]
+		c.opFree = c.opFree[:n-1]
+	} else {
+		op = &cacheOp{c: c}
+		op.fireFn = op.fire
+		op.fillFn = op.fill
+	}
+	op.req = req
+	return op
+}
+
+func (c *Cache) freeOp(op *cacheOp) {
+	op.req = nil
+	c.opFree = append(c.opFree, op)
+}
+
+// fire completes a hit/write after the hit latency elapsed.
+func (op *cacheOp) fire() {
+	c, req := op.c, op.req
+	c.freeOp(op)
+	c.complete(req)
+}
+
+// fill runs when a read-through or prefetch sub-IO finishes: populate the
+// fetched pages and, for a read-through, complete the waiting client.
+func (op *cacheOp) fill(*blockio.Request) {
+	c, req := op.c, op.req
+	first, last := op.first, op.last
+	c.freeOp(op)
+	for p := first; p <= last; p++ {
+		c.insert(p, false)
+	}
+	if req != nil {
+		c.complete(req)
+	}
+}
+
 // Submit implements blockio.Device: reads serve from the cache when fully
 // resident, otherwise read through to the backing device and populate.
 // Writes are absorbed write-back.
@@ -150,18 +212,18 @@ func (c *Cache) Submit(req *blockio.Request) {
 		for p := first; p <= last; p++ {
 			c.insert(p, true)
 		}
-		c.eng.After(c.cfg.HitLatency, func() { c.complete(req) })
+		c.eng.After(c.cfg.HitLatency, c.getOp(req).fireFn)
 	case blockio.Read:
 		if c.Resident(req.Offset, req.Size) {
 			c.hits++
 			c.rec.Incr(metrics.RCache, metrics.CCacheHit)
 			c.touchRange(req.Offset, req.Size)
-			c.eng.After(c.cfg.HitLatency, func() { c.complete(req) })
+			c.eng.After(c.cfg.HitLatency, c.getOp(req).fireFn)
 			return
 		}
 		c.misses++
 		c.rec.Incr(metrics.RCache, metrics.CCacheMiss)
-		c.readThrough(req, func() { c.complete(req) })
+		c.readThrough(req)
 	default:
 		panic(fmt.Sprintf("oscache: unsupported op %v", req.Op))
 	}
@@ -175,39 +237,36 @@ func (c *Cache) Prefetch(off int64, size int, class blockio.Class, prio int, pro
 		return
 	}
 	c.rec.Incr(metrics.RCache, metrics.CPrefetch)
-	sub := &blockio.Request{
-		ID: c.ids.Next(), Op: blockio.Read, Offset: off, Size: size,
-		Proc: proc, Class: class, Priority: prio,
-		SubmitTime: c.eng.Now(),
-	}
-	sub.OnComplete = func(r *blockio.Request) {
-		first, last := c.span(off, size)
-		for p := first; p <= last; p++ {
-			c.insert(p, false)
-		}
-	}
+	op := c.getOp(nil)
+	op.first, op.last = c.span(off, size)
+	sub := c.reqs.Get()
+	sub.ID = c.ids.Next()
+	sub.Op = blockio.Read
+	sub.Offset, sub.Size = off, size
+	sub.Proc, sub.Class, sub.Priority = proc, class, prio
+	sub.SubmitTime = c.eng.Now()
+	sub.OnComplete = op.fillFn
+	sub.AutoFree = true
 	c.backing.Submit(sub)
 }
 
 // readThrough fetches the full request range from the backing device
-// (kernel readahead reads whole pages), inserts the pages, then calls done.
-func (c *Cache) readThrough(req *blockio.Request, done func()) {
+// (kernel readahead reads whole pages), inserts the pages, then completes
+// the client request.
+func (c *Cache) readThrough(req *blockio.Request) {
 	ps := int64(c.cfg.PageSize)
 	first, last := c.span(req.Offset, req.Size)
-	off := first * ps
-	size := int((last - first + 1) * ps)
-	sub := &blockio.Request{
-		ID: c.ids.Next(), Op: blockio.Read, Offset: off, Size: size,
-		Proc: req.Proc, Class: req.Class, Priority: req.Priority,
-		Deadline:   req.Deadline,
-		SubmitTime: c.eng.Now(),
-	}
-	sub.OnComplete = func(r *blockio.Request) {
-		for p := first; p <= last; p++ {
-			c.insert(p, false)
-		}
-		done()
-	}
+	op := c.getOp(req)
+	op.first, op.last = first, last
+	sub := c.reqs.Get()
+	sub.ID = c.ids.Next()
+	sub.Op = blockio.Read
+	sub.Offset, sub.Size = first*ps, int((last-first+1)*ps)
+	sub.Proc, sub.Class, sub.Priority = req.Proc, req.Class, req.Priority
+	sub.Deadline = req.Deadline
+	sub.SubmitTime = c.eng.Now()
+	sub.OnComplete = op.fillFn
+	sub.AutoFree = true
 	c.backing.Submit(sub)
 }
 
@@ -220,19 +279,72 @@ func (c *Cache) complete(req *blockio.Request) {
 	}
 }
 
+// Intrusive-LRU plumbing.
+
+func (c *Cache) getPage() *page {
+	if pg := c.pageFree; pg != nil {
+		c.pageFree = pg.next
+		pg.next = nil
+		return pg
+	}
+	return &page{}
+}
+
+func (c *Cache) freePage(pg *page) {
+	*pg = page{next: c.pageFree}
+	c.pageFree = pg
+}
+
+func (c *Cache) pushFront(pg *page) {
+	pg.prev = nil
+	pg.next = c.lruHead
+	if c.lruHead != nil {
+		c.lruHead.prev = pg
+	}
+	c.lruHead = pg
+	if c.lruTail == nil {
+		c.lruTail = pg
+	}
+	c.resident++
+}
+
+func (c *Cache) unlink(pg *page) {
+	if pg.prev != nil {
+		pg.prev.next = pg.next
+	} else {
+		c.lruHead = pg.next
+	}
+	if pg.next != nil {
+		pg.next.prev = pg.prev
+	} else {
+		c.lruTail = pg.prev
+	}
+	pg.prev, pg.next = nil, nil
+	c.resident--
+}
+
+func (c *Cache) moveToFront(pg *page) {
+	if c.lruHead == pg {
+		return
+	}
+	c.unlink(pg)
+	c.pushFront(pg)
+}
+
 // insert makes a page resident (touching it if already resident), evicting
 // the LRU page when at capacity.
 func (c *Cache) insert(id int64, dirty bool) {
 	if pg, ok := c.pages[id]; ok {
 		pg.dirty = pg.dirty || dirty
-		c.lru.MoveToFront(pg.elem)
+		c.moveToFront(pg)
 		return
 	}
-	for c.lru.Len() >= c.cfg.CapacityPages {
+	for c.resident >= c.cfg.CapacityPages {
 		c.evictLRU()
 	}
-	pg := &page{id: id, dirty: dirty}
-	pg.elem = c.lru.PushFront(pg)
+	pg := c.getPage()
+	pg.id, pg.dirty = id, dirty
+	c.pushFront(pg)
 	c.pages[id] = pg
 	c.everResident[id] = true
 }
@@ -241,36 +353,35 @@ func (c *Cache) touchRange(off int64, size int) {
 	first, last := c.span(off, size)
 	for p := first; p <= last; p++ {
 		if pg, ok := c.pages[p]; ok {
-			c.lru.MoveToFront(pg.elem)
+			c.moveToFront(pg)
 		}
 	}
 }
 
 func (c *Cache) evictLRU() {
-	back := c.lru.Back()
-	if back == nil {
+	if c.lruTail == nil {
 		return
 	}
-	pg := back.Value.(*page)
-	c.evict(pg)
+	c.evict(c.lruTail)
 }
 
 func (c *Cache) evict(pg *page) {
-	c.lru.Remove(pg.elem)
+	c.unlink(pg)
 	delete(c.pages, pg.id)
 	c.evictions++
 	c.rec.Incr(metrics.RCache, metrics.CEviction)
 	if pg.dirty {
 		// Write-back on eviction, fire-and-forget at idle priority.
-		wb := &blockio.Request{
-			ID: c.ids.Next(), Op: blockio.Write,
-			Offset: pg.id * int64(c.cfg.PageSize), Size: c.cfg.PageSize,
-			Class: blockio.ClassIdle, Priority: 7,
-			SubmitTime: c.eng.Now(),
-		}
-		wb.OnComplete = func(*blockio.Request) {}
+		wb := c.reqs.Get()
+		wb.ID = c.ids.Next()
+		wb.Op = blockio.Write
+		wb.Offset, wb.Size = pg.id*int64(c.cfg.PageSize), c.cfg.PageSize
+		wb.Class, wb.Priority = blockio.ClassIdle, 7
+		wb.SubmitTime = c.eng.Now()
+		wb.AutoFree = true
 		c.backing.Submit(wb)
 	}
+	c.freePage(pg)
 }
 
 // EvictRange drops the pages covering [off, off+size), the moral equivalent
@@ -291,16 +402,18 @@ func (c *Cache) EvictFraction(frac float64, rng *sim.RNG) {
 	if frac <= 0 {
 		return
 	}
-	var victims []*page
+	c.victims = c.victims[:0]
 	// Iterate the LRU list for deterministic order, then sample.
-	for e := c.lru.Front(); e != nil; e = e.Next() {
+	for pg := c.lruHead; pg != nil; pg = pg.next {
 		if rng.Bool(frac) {
-			victims = append(victims, e.Value.(*page))
+			c.victims = append(c.victims, pg)
 		}
 	}
-	for _, pg := range victims {
+	for i, pg := range c.victims {
 		c.evict(pg)
+		c.victims[i] = nil
 	}
+	c.victims = c.victims[:0]
 }
 
 // Balloon shrinks the cache capacity by nPages (another tenant's VM balloon
@@ -311,7 +424,7 @@ func (c *Cache) Balloon(nPages int) {
 	if c.cfg.CapacityPages < 1 {
 		c.cfg.CapacityPages = 1
 	}
-	for c.lru.Len() > c.cfg.CapacityPages {
+	for c.resident > c.cfg.CapacityPages {
 		c.evictLRU()
 	}
 }

@@ -79,6 +79,41 @@ type Drive struct {
 	cleans         uint64
 	cleanHook      func(CleanEvent)
 	cleanStartHook func(band int64, estimated time.Duration)
+
+	// Band-clean state machine. Cleans run one at a time (d.cleaning) and
+	// issue chunks strictly sequentially, so one reusable request and a
+	// pre-bound completion cover every chunk IO without allocating.
+	cleanBand   int64
+	cleanCached int64
+	cleanStart  sim.Time
+	cleanIssued int64
+	cleanTotal  int64
+	cleanChunk  int64
+	cleanReq    blockio.Request
+	chunkFn     func(*blockio.Request) // pre-bound chunk completion
+	cleanFn     func()                 // pre-bound d.cleanNext
+
+	reqs     blockio.Pool
+	slowFree []*slowOp
+}
+
+// slowOp is the pooled completion context for the cache-full slow path: it
+// acks the original write when the drive-owned spindle pass finishes.
+type slowOp struct {
+	d   *Drive
+	req *blockio.Request // the original write being acked
+	fn  func(*blockio.Request)
+}
+
+func (op *slowOp) done(r *blockio.Request) {
+	d, req := op.d, op.req
+	op.req = nil
+	d.slowFree = append(d.slowFree, op)
+	r.Release()
+	req.CompleteTime = d.eng.Now()
+	if req.OnComplete != nil {
+		req.OnComplete(req)
+	}
 }
 
 // New builds the drive.
@@ -95,6 +130,8 @@ func New(eng *sim.Engine, cfg Config, rng *sim.RNG) *Drive {
 		disk:     disk.New(eng, cfg.Disk, rng),
 		dirtySet: make(map[int64]int64),
 	}
+	d.chunkFn = func(*blockio.Request) { d.issueChunk() }
+	d.cleanFn = d.cleanNext
 	return d
 }
 
@@ -154,15 +191,20 @@ func (d *Drive) Submit(req *blockio.Request) {
 			// (slow, spindle-bound) shingled write — the throttling every
 			// overdriven SMR drive exhibits. Model it as a spindle pass
 			// over the written range.
-			slow := &blockio.Request{Op: blockio.Read, Offset: req.Offset,
-				Size: req.Size, Proc: req.Proc, Class: req.Class,
-				Priority: req.Priority, SubmitTime: req.SubmitTime}
-			slow.OnComplete = func(*blockio.Request) {
-				req.CompleteTime = d.eng.Now()
-				if req.OnComplete != nil {
-					req.OnComplete(req)
-				}
+			slow := d.reqs.Get()
+			slow.Op, slow.Offset, slow.Size = blockio.Read, req.Offset, req.Size
+			slow.Proc, slow.Class, slow.Priority = req.Proc, req.Class, req.Priority
+			slow.SubmitTime = req.SubmitTime
+			var op *slowOp
+			if n := len(d.slowFree); n > 0 {
+				op = d.slowFree[n-1]
+				d.slowFree = d.slowFree[:n-1]
+			} else {
+				op = &slowOp{d: d}
+				op.fn = op.done
 			}
+			op.req = req
+			slow.OnComplete = op.fn
 			d.disk.Submit(slow)
 			d.maybeClean()
 			return
@@ -190,7 +232,7 @@ func (d *Drive) maybeClean() {
 		return
 	}
 	d.cleaning = true
-	d.eng.After(d.cfg.CleanIdleDelay, d.cleanNext)
+	d.eng.After(d.cfg.CleanIdleDelay, d.cleanFn)
 }
 
 func (d *Drive) cleanNext() {
@@ -200,9 +242,10 @@ func (d *Drive) cleanNext() {
 	}
 	band := d.dirtyBands[0]
 	d.dirtyBands = d.dirtyBands[1:]
-	cached := d.dirtySet[band]
+	d.cleanBand = band
+	d.cleanCached = d.dirtySet[band]
 	delete(d.dirtySet, band)
-	start := d.eng.Now()
+	d.cleanStart = d.eng.Now()
 	if d.cleanStartHook != nil {
 		d.cleanStartHook(band, d.EstimateCleanDuration())
 	}
@@ -216,35 +259,38 @@ func (d *Drive) cleanNext() {
 	if chunk <= 0 || chunk > d.cfg.BandBytes {
 		chunk = d.cfg.BandBytes
 	}
-	totalChunks := 2 * ((d.cfg.BandBytes + chunk - 1) / chunk)
-	issued := int64(0)
-	var next func()
-	next = func() {
-		if issued >= totalChunks {
-			d.cacheUsed -= cached
-			if d.cacheUsed < 0 {
-				d.cacheUsed = 0
-			}
-			d.cleans++
-			if d.cleanHook != nil {
-				d.cleanHook(CleanEvent{Band: band, Start: start,
-					BusyFor: d.eng.Now().Sub(start)})
-			}
-			d.cleanNext()
-			return
+	d.cleanChunk = chunk
+	d.cleanTotal = 2 * ((d.cfg.BandBytes + chunk - 1) / chunk)
+	d.cleanIssued = 0
+	d.issueChunk()
+}
+
+// issueChunk advances the clean state machine by one chunk. Chunks run
+// strictly one at a time, so the drive reuses a single request struct; the
+// next chunk is issued from the previous one's completion.
+func (d *Drive) issueChunk() {
+	if d.cleanIssued >= d.cleanTotal {
+		d.cacheUsed -= d.cleanCached
+		if d.cacheUsed < 0 {
+			d.cacheUsed = 0
 		}
-		off := d.bandStart(band) + (issued%(totalChunks/2))*chunk
-		size := chunk
-		if off+size > d.bandStart(band)+d.cfg.BandBytes {
-			size = d.bandStart(band) + d.cfg.BandBytes - off
+		d.cleans++
+		if d.cleanHook != nil {
+			d.cleanHook(CleanEvent{Band: d.cleanBand, Start: d.cleanStart,
+				BusyFor: d.eng.Now().Sub(d.cleanStart)})
 		}
-		issued++
-		io := &blockio.Request{Op: blockio.Read, Offset: off, Size: int(size),
-			Proc: -1, Class: blockio.ClassIdle, Priority: 7}
-		io.OnComplete = func(*blockio.Request) { next() }
-		d.disk.Submit(io)
+		d.cleanNext()
+		return
 	}
-	next()
+	off := d.bandStart(d.cleanBand) + (d.cleanIssued%(d.cleanTotal/2))*d.cleanChunk
+	size := d.cleanChunk
+	if off+size > d.bandStart(d.cleanBand)+d.cfg.BandBytes {
+		size = d.bandStart(d.cleanBand) + d.cfg.BandBytes - off
+	}
+	d.cleanIssued++
+	d.cleanReq = blockio.Request{Op: blockio.Read, Offset: off, Size: int(size),
+		Proc: -1, Class: blockio.ClassIdle, Priority: 7, OnComplete: d.chunkFn}
+	d.disk.Submit(&d.cleanReq)
 }
 
 // String describes drive state.

@@ -142,6 +142,12 @@ type SSD struct {
 
 	erasesSinceWL []int
 
+	// Freelists for the per-IO machinery: page ops, request groups, and
+	// chip-busy episodes. The steady-state per-IO path allocates nothing.
+	opFree   []*pageOp
+	grpFree  []*ioGroup
+	busyFree []*busyOp
+
 	gcHook     func(GCEvent)
 	submitHook func(*blockio.Request)
 	rec        *metrics.Recorder
@@ -150,34 +156,63 @@ type SSD struct {
 // SetRecorder attaches a metrics recorder (nil disables, the default).
 func (s *SSD) SetRecorder(rec *metrics.Recorder) { s.rec = rec }
 
-// server is a serial FIFO executor (a chip die or a channel bus). Each task
-// receives a release function and must call it when the server may proceed
-// to the next task.
+// serverTask is one unit of work on a serial server. serve runs when the
+// server reaches it; the task must call sv.finish exactly once (typically
+// from a later timer) when the server may proceed to the next task.
+type serverTask interface {
+	serve(sv *server)
+}
+
+// server is a serial FIFO executor (a chip die or a channel bus). The queue
+// is a consumed-prefix slice rather than a closure list: popping advances
+// head and the backing array is reused, where the previous
+// `queue = queue[1:]` form lost front capacity and reallocated on nearly
+// every push.
 type server struct {
-	queue   []func(release func())
+	q       []serverTask
+	head    int
 	running bool
 }
 
-func (sv *server) run(task func(release func())) {
-	sv.queue = append(sv.queue, task)
+func (sv *server) run(t serverTask) {
+	// Reclaim the consumed prefix once it dominates the slice so pushes
+	// reuse the backing array even when the queue never fully drains.
+	if sv.head > 32 && sv.head*2 >= len(sv.q) {
+		n := copy(sv.q, sv.q[sv.head:])
+		for i := n; i < len(sv.q); i++ {
+			sv.q[i] = nil
+		}
+		sv.q = sv.q[:n]
+		sv.head = 0
+	}
+	sv.q = append(sv.q, t)
 	sv.kick()
 }
 
 func (sv *server) kick() {
-	if sv.running || len(sv.queue) == 0 {
+	if sv.running || sv.head == len(sv.q) {
 		return
 	}
 	sv.running = true
-	t := sv.queue[0]
-	sv.queue = sv.queue[1:]
-	t(func() {
-		sv.running = false
-		sv.kick()
-	})
+	t := sv.q[sv.head]
+	sv.q[sv.head] = nil
+	sv.head++
+	if sv.head == len(sv.q) {
+		sv.q = sv.q[:0]
+		sv.head = 0
+	}
+	t.serve(sv)
+}
+
+// finish releases the server for the next queued task (the former per-task
+// `release` closure).
+func (sv *server) finish() {
+	sv.running = false
+	sv.kick()
 }
 
 func (sv *server) occupancy() int {
-	n := len(sv.queue)
+	n := len(sv.q) - sv.head
 	if sv.running {
 		n++
 	}
@@ -308,84 +343,210 @@ func (s *SSD) Submit(req *blockio.Request) {
 		s.submitHook(req)
 	}
 	first, count := s.PageSpan(req.Offset, req.Size)
-	remaining := int(count)
-	done := func() {
-		remaining--
-		if remaining == 0 {
-			req.CompleteTime = s.eng.Now()
-			s.inflight--
-			s.rec.DevDone(metrics.RSSD, req)
-			if req.OnComplete != nil {
-				req.OnComplete(req)
+	grp := s.getGroup(req, int(count))
+	for p := first; p < first+count; p++ {
+		if req.Op == blockio.Read {
+			s.readPage(grp, p)
+		} else {
+			s.writePage(grp, p)
+		}
+	}
+}
+
+// ioGroup tracks one submitted request's outstanding page sub-IOs; the
+// request completes when the last page does. Pooled: one per in-flight
+// request, recycled at completion.
+type ioGroup struct {
+	s         *SSD
+	req       *blockio.Request
+	remaining int
+}
+
+func (g *ioGroup) pageDone() {
+	g.remaining--
+	if g.remaining != 0 {
+		return
+	}
+	s, req := g.s, g.req
+	g.req = nil
+	s.grpFree = append(s.grpFree, g)
+	req.CompleteTime = s.eng.Now()
+	s.inflight--
+	s.rec.DevDone(metrics.RSSD, req)
+	if req.OnComplete != nil {
+		req.OnComplete(req)
+	}
+}
+
+func (s *SSD) getGroup(req *blockio.Request, pages int) *ioGroup {
+	var g *ioGroup
+	if n := len(s.grpFree); n > 0 {
+		g = s.grpFree[n-1]
+		s.grpFree = s.grpFree[:n-1]
+	} else {
+		g = &ioGroup{s: s}
+	}
+	g.req = req
+	g.remaining = pages
+	return g
+}
+
+// pageOp stages for the read and write pipelines.
+const (
+	opReadChip  uint8 = iota // cell read: die occupied
+	opReadXfer               // data out: channel bus occupied
+	opWriteXfer              // data in over the channel; die slot pending or held
+	opWriteProg              // programming: die occupied
+)
+
+// pageOp is one per-page sub-IO flowing through a chip die and its channel
+// bus. It replaces the former nest of per-page closures (up to five per
+// written page): the op is pooled, pre-binds its timer callback once, and
+// serves as the queued task on both servers.
+type pageOp struct {
+	s   *SSD
+	grp *ioGroup
+	req *blockio.Request
+	lp  int64
+	c   *chip
+	ch  *channel
+
+	stage uint8
+	// Write-path interlock: the die slot is reserved at submit time (so
+	// later reads queue behind it, as on real NAND), but programming can
+	// only start once the channel has transferred the data in.
+	transferred bool
+	chipHeld    bool
+
+	stepFn func() // pre-bound op.step, reused across recycles
+}
+
+func (s *SSD) getOp(grp *ioGroup, lp int64, stage uint8) *pageOp {
+	var op *pageOp
+	if n := len(s.opFree); n > 0 {
+		op = s.opFree[n-1]
+		s.opFree = s.opFree[:n-1]
+	} else {
+		op = &pageOp{s: s}
+		op.stepFn = op.step
+	}
+	chipID := int(lp % int64(s.cfg.TotalChips()))
+	op.grp, op.req, op.lp = grp, grp.req, lp
+	op.c = s.chips[chipID]
+	op.ch = s.channels[chipID%s.cfg.Channels]
+	op.stage = stage
+	op.transferred, op.chipHeld = false, false
+	return op
+}
+
+func (s *SSD) freeOp(op *pageOp) {
+	op.grp, op.req, op.c, op.ch = nil, nil, nil, nil
+	s.opFree = append(s.opFree, op)
+}
+
+// serve implements serverTask: the op reached the front of a die or channel
+// queue. For writes the same op is queued on both servers; sv disambiguates.
+func (op *pageOp) serve(sv *server) {
+	switch op.stage {
+	case opReadChip:
+		op.s.rec.DevStart(metrics.RSSD, op.req)
+		op.s.eng.After(op.s.cfg.ChipReadTime, op.stepFn)
+	case opReadXfer:
+		op.s.eng.After(op.s.cfg.ChannelXferTime, op.stepFn)
+	default: // opWriteXfer: channel transfer in, or the die slot opening up
+		if sv == &op.ch.srv {
+			op.s.eng.After(op.s.cfg.ChannelXferTime, op.stepFn)
+		} else {
+			op.chipHeld = true
+			if op.transferred {
+				op.startProgram()
 			}
 		}
 	}
-	for p := first; p < first+count; p++ {
-		lp := p
-		if req.Op == blockio.Read {
-			s.readPage(req, lp, done)
-		} else {
-			s.writePage(req, lp, done)
+}
+
+// step is the op's single timer callback; stage tells it which wait ended.
+func (op *pageOp) step() {
+	switch op.stage {
+	case opReadChip:
+		op.c.srv.finish()
+		op.stage = opReadXfer
+		op.ch.srv.run(op)
+	case opReadXfer:
+		op.ch.srv.finish()
+		grp := op.grp
+		op.s.freeOp(op)
+		grp.pageDone()
+	case opWriteXfer:
+		op.ch.srv.finish()
+		op.transferred = true
+		if op.chipHeld {
+			op.startProgram()
 		}
+	case opWriteProg:
+		op.c.srv.finish()
+		grp := op.grp
+		op.s.freeOp(op)
+		grp.pageDone()
 	}
+}
+
+func (op *pageOp) startProgram() {
+	s := op.s
+	op.stage = opWriteProg
+	s.rec.DevStart(metrics.RSSD, op.req)
+	s.maybeGC(op.c)
+	phys := s.allocPage(op.c, int32(op.lp/int64(s.cfg.TotalChips())))
+	s.eng.After(s.pattern[phys%s.cfg.PagesPerBlock], op.stepFn)
 }
 
 // readPage: chip cell read (die occupied), then channel transfer out.
-func (s *SSD) readPage(req *blockio.Request, lp int64, done func()) {
-	chipID := int(lp % int64(s.cfg.TotalChips()))
-	c := s.chips[chipID]
-	ch := s.channels[chipID%s.cfg.Channels]
+func (s *SSD) readPage(grp *ioGroup, lp int64) {
 	s.reads++
-	c.srv.run(func(release func()) {
-		s.rec.DevStart(metrics.RSSD, req)
-		s.eng.After(s.cfg.ChipReadTime, func() {
-			release()
-			ch.srv.run(func(rel func()) {
-				s.eng.After(s.cfg.ChannelXferTime, func() {
-					rel()
-					done()
-				})
-			})
-		})
-	})
+	op := s.getOp(grp, lp, opReadChip)
+	op.c.srv.run(op)
 }
 
-// writePage: the die slot is reserved at submit time (so later reads queue
-// behind it, as on real NAND), but programming can only start once the
-// channel has transferred the data in.
-func (s *SSD) writePage(req *blockio.Request, lp int64, done func()) {
-	chipID := int(lp % int64(s.cfg.TotalChips()))
-	c := s.chips[chipID]
-	ch := s.channels[chipID%s.cfg.Channels]
+// writePage reserves the die slot and starts the channel transfer at once;
+// pageOp's interlock sequences transfer-then-program.
+func (s *SSD) writePage(grp *ioGroup, lp int64) {
 	s.writes++
-	transferred := false
-	var resume func()
-	ch.srv.run(func(rel func()) {
-		s.eng.After(s.cfg.ChannelXferTime, func() {
-			rel()
-			transferred = true
-			if resume != nil {
-				resume()
-			}
-		})
-	})
-	c.srv.run(func(release func()) {
-		start := func() {
-			s.rec.DevStart(metrics.RSSD, req)
-			s.maybeGC(c)
-			phys := s.allocPage(c, int32(lp/int64(s.cfg.TotalChips())))
-			progTime := s.pattern[phys%s.cfg.PagesPerBlock]
-			s.eng.After(progTime, func() {
-				release()
-				done()
-			})
-		}
-		if transferred {
-			start()
-		} else {
-			resume = start
-		}
-	})
+	op := s.getOp(grp, lp, opWriteXfer)
+	op.ch.srv.run(op)
+	op.c.srv.run(op)
+}
+
+// busyOp occupies a die for a fixed episode (GC, wear leveling).
+type busyOp struct {
+	s      *SSD
+	sv     *server
+	d      time.Duration
+	stepFn func()
+}
+
+func (b *busyOp) serve(sv *server) {
+	b.sv = sv
+	b.s.eng.After(b.d, b.stepFn)
+}
+
+func (b *busyOp) step() {
+	sv := b.sv
+	b.sv = nil
+	b.s.busyFree = append(b.s.busyFree, b)
+	sv.finish()
+}
+
+func (s *SSD) occupyChip(c *chip, busy time.Duration) {
+	var b *busyOp
+	if n := len(s.busyFree); n > 0 {
+		b = s.busyFree[n-1]
+		s.busyFree = s.busyFree[:n-1]
+	} else {
+		b = &busyOp{s: s}
+		b.stepFn = b.step
+	}
+	b.d = busy
+	c.srv.run(b)
 }
 
 // allocPage invalidates the old mapping of chip-local logical page cl and
@@ -474,9 +635,7 @@ func (s *SSD) maybeGC(c *chip) {
 	c.freeBlocks = append(c.freeBlocks, victim)
 	// Occupy the chip for the episode (the moves + erase run after the
 	// program that triggered them; timing-wise the chip is busy either way).
-	c.srv.run(func(release func()) {
-		s.eng.After(busy, release)
-	})
+	s.occupyChip(c, busy)
 	if s.gcHook != nil {
 		s.gcHook(GCEvent{Chip: c.id, MovedPages: moved, BusyFor: busy})
 	}
@@ -539,9 +698,7 @@ func (s *SSD) maybeWearLevel(c *chip) {
 		c.pageState[victim*s.cfg.PagesPerBlock+p] = 0
 	}
 	c.freeBlocks = append(c.freeBlocks, victim)
-	c.srv.run(func(release func()) {
-		s.eng.After(busy, release)
-	})
+	s.occupyChip(c, busy)
 	if s.gcHook != nil {
 		s.gcHook(GCEvent{Chip: c.id, MovedPages: moved, BusyFor: busy, WearLevel: true})
 	}
