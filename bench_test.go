@@ -170,6 +170,14 @@ func BenchmarkWrites(b *testing.B) {
 	reportTailMetrics(b, res, "NoNoise", "clean")
 }
 
+// BenchmarkFailslow regenerates the graceful-degradation matrix (every
+// strategy through the composite fault scenario).
+func BenchmarkFailslow(b *testing.B) {
+	res := benchExperiment(b, "failslow")
+	reportTailMetrics(b, res, "MittOS", "mitt")
+	reportTailMetrics(b, res, "Base", "base")
+}
+
 // BenchmarkAdmissionDecision measures the cost of one MittOS admission
 // decision in the simulator — the analogue of the paper's <5µs syscall
 // claim (here: pure prediction cost, no kernel crossing).

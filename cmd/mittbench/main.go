@@ -9,6 +9,8 @@
 //	mittbench -run fig3 -csv out/  # also dump CDF series as CSV
 //	mittbench -run all -j 8        # 8-way parallel, identical output
 //	mittbench -run all -j 1        # force the serial reference schedule
+//	mittbench -run failslow        # graceful degradation under injected faults
+//	mittbench -run failslow -faults 'failslow node=1 at=2s for=4s x=8; crash node=2 at=4s for=2s'
 //	mittbench -run fig4 -metrics   # per-leg counters/histograms (§7.6 error)
 //	mittbench -run fig4 -metrics -trace-ios 100   # + first 100 IO spans (JSONL)
 //	mittbench -run fig4 -metrics -metrics-json m.json   # snapshots as JSON
@@ -32,6 +34,7 @@ import (
 
 	"mittos"
 	"mittos/internal/experiments"
+	"mittos/internal/faults"
 	"mittos/internal/metrics"
 )
 
@@ -44,6 +47,8 @@ func main() {
 		plot = flag.Bool("plot", false, "render each experiment's CDFs as an ASCII chart")
 		seed = flag.Int64("seed", 1, "simulation seed (same seed = identical output)")
 		jobs = flag.Int("j", 0, "worker pool size for parallel simulation legs (0 = one per CPU, 1 = serial); output is identical for any value")
+
+		faultsFlag = flag.String("faults", "", "fault schedule for -run failslow, e.g. 'failslow node=1 at=2s for=4s x=8; crash node=2 at=4s for=2s' (default: the experiment's built-in scenario)")
 
 		metricsOn   = flag.Bool("metrics", false, "collect per-layer counters/histograms and print an end-of-run dump per leg (fig4, fig7)")
 		traceIOs    = flag.Int("trace-ios", 0, "with -metrics: capture the first N per-IO spans per leg and print them as JSONL (<0 = all)")
@@ -69,6 +74,13 @@ func main() {
 			os.Exit(2)
 		}
 		return
+	}
+
+	if *faultsFlag != "" {
+		if _, err := faults.ParseSchedule(*faultsFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	ids := []string{*run}
@@ -105,7 +117,7 @@ func main() {
 			start := time.Now()
 			res, err := mittos.RunExperimentConfig(id, mittos.ExperimentConfig{
 				Quick: !*full, Seed: *seed, Workers: workers,
-				Metrics: *metricsOn, TraceIOs: *traceIOs,
+				Metrics: *metricsOn, TraceIOs: *traceIOs, Faults: *faultsFlag,
 			})
 			if err != nil {
 				outs[i].err = err

@@ -20,6 +20,11 @@ import (
 // the role of the kernel's EBUSY errno.
 var ErrBusy = errors.New("mittos: EBUSY (deadline SLO cannot be met)")
 
+// ErrIO is a device-level completion failure: the IO ran to its completion
+// point but the medium returned an error. Only fault injection produces it;
+// the device models never fail on their own.
+var ErrIO = errors.New("mittos: EIO (injected device error)")
+
 // Op is the IO operation type.
 type Op uint8
 
@@ -120,6 +125,11 @@ type Request struct {
 	// EBUSY verdict is recorded here instead of being returned, so the IO
 	// still runs and the actual latency can be compared to the verdict.
 	ShadowBusy bool
+
+	// Err is the device's completion verdict: nil on success, ErrIO when
+	// the device failed the IO (fault injection). Set just before
+	// OnComplete fires; the admission layers hand it to the submitter.
+	Err error
 
 	// OnComplete fires when the device finishes the IO. It runs in virtual
 	// time on the simulation engine.

@@ -8,6 +8,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -22,6 +23,11 @@ import (
 	"mittos/internal/sim"
 	"mittos/internal/ssd"
 )
+
+// ErrNodeDown is the verdict a crashed node's callers receive: every
+// in-flight get when the node dies (the connection drops), and every new
+// call until Revive.
+var ErrNodeDown = errors.New("cluster: node down")
 
 // DeviceKind selects a node's storage medium.
 type DeviceKind int
@@ -195,8 +201,16 @@ type Node struct {
 	ctxFree    []*getCtx
 	handleFree []*ServeHandle
 
+	// Crash fault state: while down, new calls are refused with
+	// ErrNodeDown. liveHead/liveTail is the intrusive list of in-flight
+	// get contexts, so Crash can abort them in insertion order without
+	// allocating or scanning the freelist.
+	down               bool
+	liveHead, liveTail *getCtx
+
 	served   uint64
 	rejected uint64
+	refused  uint64
 }
 
 // NewNode builds a node on the engine. rng seeds the device model.
@@ -307,6 +321,65 @@ func (n *Node) Served() uint64 { return n.served }
 // Rejected reports EBUSY verdicts issued by this node.
 func (n *Node) Rejected() uint64 { return n.rejected }
 
+// Refused reports calls turned away with ErrNodeDown while crashed.
+func (n *Node) Refused() uint64 { return n.refused }
+
+// Down reports whether the node is crashed.
+func (n *Node) Down() bool { return n.down }
+
+// Crash takes the node down fail-stop: every in-flight get is answered
+// with ErrNodeDown immediately (the caller's connection drops), its IO is
+// revoked where still possible (queued IOs are dropped; device-resident
+// IOs finish and are discarded), and new calls are refused until Revive.
+// Storage state survives — a crash loses in-flight work, not data.
+// In-flight puts are not aborted: the write path is acked at the NVRAM/
+// memtable boundary and survives the restart.
+func (n *Node) Crash() {
+	if n.down {
+		return
+	}
+	n.down = true
+	for ctx := n.liveHead; ctx != nil; {
+		next := ctx.nextLive
+		ctx.abort()
+		ctx = next
+	}
+}
+
+// Revive brings a crashed node back. Its stores and devices kept their
+// state (fail-stop, not data loss), so it resumes serving immediately.
+func (n *Node) Revive() { n.down = false }
+
+func (n *Node) linkCtx(ctx *getCtx) {
+	ctx.linked = true
+	ctx.prevLive = n.liveTail
+	ctx.nextLive = nil
+	if n.liveTail != nil {
+		n.liveTail.nextLive = ctx
+	} else {
+		n.liveHead = ctx
+	}
+	n.liveTail = ctx
+}
+
+func (n *Node) unlinkCtx(ctx *getCtx) {
+	if !ctx.linked {
+		return
+	}
+	ctx.linked = false
+	if ctx.prevLive != nil {
+		ctx.prevLive.nextLive = ctx.nextLive
+	} else {
+		n.liveHead = ctx.nextLive
+	}
+	if ctx.nextLive != nil {
+		ctx.nextLive.prevLive = ctx.prevLive
+	} else {
+		n.liveTail = ctx.prevLive
+	}
+	ctx.prevLive, ctx.nextLive = nil, nil
+}
+
 // OutstandingIOs reports queue depth at the node's storage stack (the
 // Fig 13b busyness signal).
 func (n *Node) OutstandingIOs() int {
@@ -383,6 +456,13 @@ type getCtx struct {
 	req      *blockio.Request
 	err      error
 
+	// Crash bookkeeping: live-list membership plus the aborted flag. An
+	// aborted get already delivered ErrNodeDown from Crash; whichever of
+	// its pending callbacks fires next only reclaims state.
+	aborted            bool
+	linked             bool
+	prevLive, nextLive *getCtx
+
 	workFn func()                 // pre-bound ctx.work: CPU admission stage
 	kvFn   func(error)            // pre-bound ctx.kv: Store.Get callback
 	respFn func()                 // pre-bound ctx.resp: CPU response stage
@@ -405,12 +485,45 @@ func (n *Node) getGetCtx() *getCtx {
 }
 
 func (n *Node) freeGetCtx(ctx *getCtx) {
+	n.unlinkCtx(ctx)
+	ctx.aborted = false
 	ctx.onDone, ctx.h, ctx.req, ctx.err = nil, nil, nil, nil
 	n.ctxFree = append(n.ctxFree, ctx)
 }
 
+// abort is Crash's per-get teardown: the caller hears ErrNodeDown now; the
+// get's IO is revoked if still queued; the context itself is reclaimed
+// later, by whichever pending callback fires next (work/kv/resp/drop).
+func (ctx *getCtx) abort() {
+	ctx.n.unlinkCtx(ctx)
+	ctx.aborted = true
+	onDone := ctx.onDone
+	ctx.onDone = nil
+	if ctx.req != nil {
+		ctx.req.Cancel()
+	}
+	onDone(ErrNodeDown)
+}
+
+// reclaim is the terminal for an aborted get: the verdict already went out
+// at crash time, so only the per-get state comes back to the pools.
+func (ctx *getCtx) reclaim() {
+	n, req, h := ctx.n, ctx.req, ctx.h
+	n.freeGetCtx(ctx)
+	if req != nil {
+		req.Release()
+	}
+	if h != nil {
+		h.deref()
+	}
+}
+
 func (ctx *getCtx) work() {
 	n := ctx.n
+	if ctx.aborted {
+		ctx.reclaim()
+		return
+	}
 	if ctx.h != nil && ctx.h.canceled {
 		// Revoked before the handler ran: nothing is submitted.
 		ctx.deliver(blockio.ErrBusy)
@@ -428,6 +541,10 @@ func (ctx *getCtx) work() {
 
 func (ctx *getCtx) kv(err error) {
 	n := ctx.n
+	if ctx.aborted {
+		ctx.reclaim()
+		return
+	}
 	if core.IsBusy(err) {
 		// EBUSY is the exceptionless fast path (§5): no response
 		// marshalling, just the errno.
@@ -444,7 +561,13 @@ func (ctx *getCtx) kv(err error) {
 	ctx.deliver(err)
 }
 
-func (ctx *getCtx) resp() { ctx.deliver(ctx.err) }
+func (ctx *getCtx) resp() {
+	if ctx.aborted {
+		ctx.reclaim()
+		return
+	}
+	ctx.deliver(ctx.err)
+}
 
 // deliver is the get's completion terminal: hand the verdict to the caller,
 // then recycle the request, the context, and the serve path's handle ref.
@@ -490,9 +613,18 @@ func (n *Node) ServeGetCancelable(key int64, deadline time.Duration, onDone func
 }
 
 func (n *Node) serveGet(key int64, deadline time.Duration, onDone func(error), h *ServeHandle) {
+	if n.down {
+		n.refused++
+		if h != nil {
+			h.deref() // the serve path's ref; the caller still owes Done
+		}
+		onDone(ErrNodeDown)
+		return
+	}
 	n.served++
 	ctx := n.getGetCtx()
 	ctx.key, ctx.deadline, ctx.onDone, ctx.h = key, deadline, onDone, h
+	n.linkCtx(ctx)
 	if n.cfg.CPU != nil && n.cfg.CPUPerOp > 0 {
 		n.cfg.CPU.Run(n.cfg.CPUPerOp, ctx.workFn)
 		return
@@ -500,8 +632,13 @@ func (n *Node) serveGet(key int64, deadline time.Duration, onDone func(error), h
 	ctx.work()
 }
 
-// ServePut executes a put locally.
+// ServePut executes a put locally. A crashed node refuses with ErrNodeDown.
 func (n *Node) ServePut(key int64, onDone func(error)) {
+	if n.down {
+		n.refused++
+		onDone(ErrNodeDown)
+		return
+	}
 	n.served++
 	n.Store.Put(key, onDone)
 }

@@ -1,12 +1,20 @@
 package cluster
 
 import (
+	"errors"
 	"math"
 	"time"
 
 	"mittos/internal/core"
 	"mittos/internal/sim"
 )
+
+// wasted reports whether a late (already-superseded) reply represents an IO
+// the cluster actually executed and threw away. Fast refusals — EBUSY and
+// node-down — never reached a device, so they are not waste.
+func wasted(err error) bool {
+	return !core.IsBusy(err) && !errors.Is(err, ErrNodeDown)
+}
 
 // GetResult reports one finished user-level get.
 type GetResult struct {
@@ -52,12 +60,19 @@ func (s *BaseStrategy) Get(key int64, onDone func(GetResult)) {
 
 // TimeoutStrategy is the "AppTO" comparison: cancel and retry on the next
 // replica after TO, with the timeout disabled on the final try so users do
-// not see read errors (§7.2).
+// not see read errors (§7.2). The timed-out attempt is revoked: if its IO is
+// still in the replica's scheduler queues the cancel drops it; an IO already
+// on the device runs to completion and is discarded (counted in WastedIOs).
+// A replica that refuses because it crashed triggers an immediate retry on
+// the next one instead of burning the full timeout.
 type TimeoutStrategy struct {
 	C  *Cluster
 	TO time.Duration
 
 	Retries uint64
+	// WastedIOs counts abandoned attempts whose IO the cluster executed
+	// anyway — the revocation arrived too late to drop it from a queue.
+	WastedIOs uint64
 }
 
 // Name implements Strategy.
@@ -70,8 +85,8 @@ func (s *TimeoutStrategy) Get(key int64, onDone func(GetResult)) {
 	var attempt func(i int)
 	attempt = func(i int) {
 		last := i == len(replicas)-1
-		deadline := time.Duration(0)
 		done := false
+		var h *ServeHandle
 		var timer *sim.Event
 		if !last {
 			timer = s.C.Eng.Schedule(s.TO, func() {
@@ -80,18 +95,47 @@ func (s *TimeoutStrategy) Get(key int64, onDone func(GetResult)) {
 				}
 				done = true
 				s.Retries++
-				attempt(i + 1) // the first try is abandoned (not awaited)
+				// Abandon the attempt AND revoke its IO (the fix: the old
+				// code retried without cancelling, leaving the stale IO to
+				// compete with every later attempt for the device).
+				if h != nil {
+					h.Cancel()
+					h.Done()
+					h = nil
+				}
+				attempt(i + 1)
 			})
 		}
-		replicaCall(s.C, replicas[i], key, deadline, func(err error) {
+		s.C.Net.Send(func() {
 			if done {
-				return // timed out; a later attempt owns the result
+				return // timed out before the request hop even landed
 			}
-			done = true
-			if timer != nil {
-				timer.Cancel()
-			}
-			onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: i + 1, Err: err})
+			h = s.C.Nodes[replicas[i]].ServeGetCancelable(key, 0, func(err error) {
+				s.C.Net.Send(func() {
+					if done {
+						if wasted(err) {
+							s.WastedIOs++ // revoked too late: the IO ran
+						}
+						return
+					}
+					done = true
+					if timer != nil {
+						timer.Cancel()
+					}
+					if h != nil {
+						h.Done()
+						h = nil
+					}
+					if errors.Is(err, ErrNodeDown) && !last {
+						// Crashed replica: its refusal came back in one
+						// RTT; retry now rather than waiting out TO.
+						s.Retries++
+						attempt(i + 1)
+						return
+					}
+					onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: i + 1, Err: err})
+				})
+			})
 		})
 	}
 	attempt(0)
@@ -103,6 +147,11 @@ func (s *TimeoutStrategy) Get(key int64, onDone func(GetResult)) {
 type CloneStrategy struct {
 	C   *Cluster
 	RNG *sim.RNG
+
+	// WastedIOs counts losing copies whose IO the cluster executed anyway.
+	WastedIOs uint64
+
+	live []int // selection scratch, reused across gets
 }
 
 // Name implements Strategy.
@@ -112,32 +161,68 @@ func (s *CloneStrategy) Name() string { return "Clone" }
 func (s *CloneStrategy) Get(key int64, onDone func(GetResult)) {
 	start := s.C.Eng.Now()
 	replicas := s.C.ReplicasFor(key)
-	// Two distinct random replicas out of the R choices.
-	i := s.RNG.Intn(len(replicas))
-	j := s.RNG.Intn(len(replicas) - 1)
+	// Select among live replicas only; cloning to a crashed node would
+	// just burn an RTT on a refusal. With every node up this filter is
+	// the identity and the random draws are unchanged.
+	s.live = s.live[:0]
+	for _, r := range replicas {
+		if !s.C.Nodes[r].Down() {
+			s.live = append(s.live, r)
+		}
+	}
+	if len(s.live) == 0 {
+		// Whole replica set down: fail fast via the primary's refusal.
+		replicaCall(s.C, replicas[0], key, 0, func(err error) {
+			onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: 1, Err: err})
+		})
+		return
+	}
+	if len(s.live) == 1 {
+		// One survivor: a clone pair is impossible (the old code's
+		// RNG.Intn(0) panic); send a single copy.
+		replicaCall(s.C, s.live[0], key, 0, func(err error) {
+			onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: 1, Err: err})
+		})
+		return
+	}
+	// Two distinct random replicas out of the live choices.
+	i := s.RNG.Intn(len(s.live))
+	j := s.RNG.Intn(len(s.live) - 1)
 	if j >= i {
 		j++
 	}
 	won := false
+	pending := 2
 	reply := func(err error) {
 		if won {
+			if wasted(err) {
+				s.WastedIOs++ // the losing copy's IO ran to completion
+			}
 			return
+		}
+		pending--
+		if errors.Is(err, ErrNodeDown) && pending > 0 {
+			return // that node crashed mid-flight; the sibling decides
 		}
 		won = true
 		onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: 2, Err: err})
 	}
-	replicaCall(s.C, replicas[i], key, 0, reply)
-	replicaCall(s.C, replicas[j], key, 0, reply)
+	replicaCall(s.C, s.live[i], key, 0, reply)
+	replicaCall(s.C, s.live[j], key, 0, reply)
 }
 
 // HedgedStrategy sends a secondary request only after the first has been
 // outstanding longer than the expected p95 latency (Dean & Barroso;
-// §7.2). The first request is not cancelled.
+// §7.2). Neither request is cancelled; the loser's IO is wasted work
+// (WastedIOs). A primary that refuses because it crashed fails over to the
+// secondary immediately instead of waiting out the hedge delay.
 type HedgedStrategy struct {
 	C          *Cluster
 	HedgeAfter time.Duration
 
 	Hedges uint64
+	// WastedIOs counts losing copies whose IO the cluster executed anyway.
+	WastedIOs uint64
 }
 
 // Name implements Strategy.
@@ -148,29 +233,50 @@ func (s *HedgedStrategy) Get(key int64, onDone func(GetResult)) {
 	start := s.C.Eng.Now()
 	replicas := s.C.ReplicasFor(key)
 	won := false
-	finish := func(tries int) func(error) {
-		return func(err error) {
-			if won {
+	sent := 1    // copies issued so far; the winner reports this as Tries
+	pending := 1 // copies still awaiting a reply
+	var timer *sim.Event
+	var reply func(error)
+	hedge := func() {
+		sent = 2
+		pending++
+		replicaCall(s.C, replicas[1], key, 0, reply)
+	}
+	reply = func(err error) {
+		if won {
+			if wasted(err) {
+				s.WastedIOs++ // the losing copy's IO ran to completion
+			}
+			return
+		}
+		pending--
+		if errors.Is(err, ErrNodeDown) {
+			if sent == 1 {
+				// Primary crashed: don't wait out HedgeAfter, go to the
+				// secondary now. The timer must not fire a third copy.
+				timer.Cancel()
+				hedge()
 				return
 			}
-			won = true
-			onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: tries, Err: err})
+			if pending > 0 {
+				return // the other copy may still answer
+			}
 		}
+		won = true
+		timer.Cancel()
+		// The fix: a primary that completes after the hedge fired used to
+		// report Tries: 1, hiding the duplicated IO from the per-try
+		// accounting. The winner reports how many copies were issued.
+		onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: sent, Err: err})
 	}
-	var timer *sim.Event
 	timer = s.C.Eng.Schedule(s.HedgeAfter, func() {
-		if won {
+		if won || sent > 1 {
 			return
 		}
 		s.Hedges++
-		replicaCall(s.C, replicas[1], key, 0, finish(2))
+		hedge()
 	})
-	replicaCall(s.C, replicas[0], key, 0, func(err error) {
-		if !won {
-			timer.Cancel()
-		}
-		finish(1)(err)
-	})
+	replicaCall(s.C, replicas[0], key, 0, reply)
 }
 
 // SnitchStrategy keeps an EWMA of each replica's recent latency and always
@@ -199,6 +305,9 @@ func (s *SnitchStrategy) Get(key int64, onDone func(GetResult)) {
 	best := replicas[0]
 	bestScore := math.MaxFloat64
 	for _, r := range replicas {
+		if s.C.Nodes[r].Down() {
+			continue // a crashed replica's fast refusals would look "fast"
+		}
 		score, seen := s.ewma[r]
 		if !seen {
 			score = 0 // explore unknown replicas first
@@ -258,6 +367,9 @@ func (s *C3Strategy) Get(key int64, onDone func(GetResult)) {
 	best := replicas[0]
 	bestScore := math.MaxFloat64
 	for _, r := range replicas {
+		if s.C.Nodes[r].Down() {
+			continue // crashed replicas drop out of the ranking
+		}
 		l := s.lat[r]
 		// C3's concurrency-compensated queue estimate: the stale
 		// server-reported depth (aged — C3's rate control lets shunned
@@ -295,8 +407,9 @@ func (s *C3Strategy) Get(key int64, onDone func(GetResult)) {
 }
 
 // MittOSStrategy is the paper's contribution at the client: send with the
-// deadline SLO, failover instantly on EBUSY, and disable the deadline on
-// the final try so the user never sees an error (§5). With UseWaitHint the
+// deadline SLO, failover instantly on EBUSY — or on a crashed replica's
+// refusal, which is just as fast — and disable the deadline on the final
+// try so the user never sees an error (§5). With UseWaitHint the
 // §7.8.1/§8.1 extension kicks in: when every replica rejected, the 4th try
 // targets the one that predicted the shortest wait.
 type MittOSStrategy struct {
@@ -329,9 +442,14 @@ func (s *MittOSStrategy) Get(key int64, onDone func(GetResult)) {
 			deadline = 0 // 3rd try disables the deadline (§5)
 		}
 		replicaCall(s.C, replicas[i], key, deadline, func(err error) {
-			if core.IsBusy(err) {
+			down := errors.Is(err, ErrNodeDown)
+			if core.IsBusy(err) || down {
 				if be, ok := err.(*core.BusyError); ok {
 					waits[i] = be.PredictedWait
+				} else if down {
+					// A crashed replica is "busy forever": never the
+					// least-busy pick below.
+					waits[i] = time.Duration(math.MaxInt64)
 				}
 				s.Failovers++
 				next := func() {
@@ -339,15 +457,31 @@ func (s *MittOSStrategy) Get(key int64, onDone func(GetResult)) {
 						attempt(i + 1)
 						return
 					}
+					if down && !s.UseWaitHint {
+						// The deadline was already disabled on this final
+						// try; a crash leaves nothing to fail over to.
+						onDone(GetResult{Latency: s.C.Eng.Now().Sub(start),
+							Tries: i + 1, Err: err})
+						return
+					}
 					// All replicas rejected under the wait-hint
 					// extension: go to the least busy one with the
-					// deadline disabled.
+					// deadline disabled, skipping crashed nodes.
 					s.LastDitch++
-					best := 0
+					best := -1
 					for j := range waits {
-						if waits[j] < waits[best] {
+						if s.C.Nodes[replicas[j]].Down() {
+							continue
+						}
+						if best < 0 || waits[j] < waits[best] {
 							best = j
 						}
+					}
+					if best < 0 {
+						// The whole replica set is down.
+						onDone(GetResult{Latency: s.C.Eng.Now().Sub(start),
+							Tries: len(replicas), Err: err})
+						return
 					}
 					replicaCall(s.C, replicas[best], key, 0, func(err error) {
 						onDone(GetResult{Latency: s.C.Eng.Now().Sub(start),

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"time"
 
 	"mittos/internal/sim"
@@ -28,6 +29,11 @@ type TiedStrategy struct {
 	RNG   *sim.RNG
 
 	Cancelled uint64
+	// WastedIOs counts losing copies whose IO escaped the cancellation —
+	// it was already device-resident, ran to completion, and was discarded.
+	WastedIOs uint64
+
+	live []int // selection scratch, reused across gets
 }
 
 // Name implements Strategy.
@@ -37,16 +43,49 @@ func (s *TiedStrategy) Name() string { return "Tied" }
 func (s *TiedStrategy) Get(key int64, onDone func(GetResult)) {
 	start := s.C.Eng.Now()
 	replicas := s.C.ReplicasFor(key)
-	i := s.RNG.Intn(len(replicas))
-	j := s.RNG.Intn(len(replicas) - 1)
+	// Tie only live replicas; with every node up the filter is the
+	// identity and the random draws are unchanged.
+	s.live = s.live[:0]
+	for _, r := range replicas {
+		if !s.C.Nodes[r].Down() {
+			s.live = append(s.live, r)
+		}
+	}
+	if len(s.live) == 0 {
+		// Whole replica set down: fail fast via the primary's refusal.
+		replicaCall(s.C, replicas[0], key, 0, func(err error) {
+			onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: 1, Err: err})
+		})
+		return
+	}
+	if len(s.live) == 1 {
+		// One survivor: a tied pair is impossible (the old code's
+		// RNG.Intn(0) panic); send a single plain copy.
+		replicaCall(s.C, s.live[0], key, 0, func(err error) {
+			onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: 1, Err: err})
+		})
+		return
+	}
+	i := s.RNG.Intn(len(s.live))
+	j := s.RNG.Intn(len(s.live) - 1)
 	if j >= i {
 		j++
 	}
 	won := false
+	pending := 0
 	handles := [2]*ServeHandle{}
 	finish := func(idx, tries int) func(error) {
 		return func(err error) {
 			if won {
+				if wasted(err) {
+					s.WastedIOs++ // the cancel lost the race with the device
+				}
+				return
+			}
+			pending--
+			if errors.Is(err, ErrNodeDown) && (pending > 0 || tries == 1) {
+				// That node crashed mid-flight; the sibling (already out,
+				// or still to be sent by the delay timer) decides.
 				return
 			}
 			won = true
@@ -75,13 +114,17 @@ func (s *TiedStrategy) Get(key int64, onDone func(GetResult)) {
 			if won {
 				return // lost the race with the winner's cancel hop
 			}
+			pending++
 			handles[idx] = s.C.Nodes[node].ServeGetCancelable(key, 0, func(err error) {
 				s.C.Net.Send(func() { finish(idx, tries)(err) })
 			})
 		})
 	}
+	// Resolve the pair to node indices now: s.live is shared scratch and
+	// the delay timer below outlives this Get.
+	first, second := s.live[i], s.live[j]
 	// First copy immediately; the tied copy after Delay unless already won.
-	send(0, replicas[i], 1)
+	send(0, first, 1)
 	delay := s.Delay
 	if delay <= 0 {
 		delay = 2 * s.C.Net.Config().HopLatency
@@ -90,6 +133,6 @@ func (s *TiedStrategy) Get(key int64, onDone func(GetResult)) {
 		if won {
 			return
 		}
-		send(1, replicas[j], 2)
+		send(1, second, 2)
 	})
 }

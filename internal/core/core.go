@@ -46,9 +46,10 @@ const DefaultSyscallCost = 2 * time.Microsecond
 // existing OS policies", §3.3).
 type Target interface {
 	// SubmitSLO submits the request. Exactly one of the following happens:
-	// onDone(nil) after the IO completes, or onDone(blockio.ErrBusy) if
-	// the IO is rejected (possibly after initial acceptance, for
-	// MittCFQ's late cancellation). onDone runs in virtual time.
+	// onDone(req.Err) after the IO completes (nil on success, ErrIO under
+	// error injection), or onDone(blockio.ErrBusy) if the IO is rejected
+	// (possibly after initial acceptance, for MittCFQ's late
+	// cancellation). onDone runs in virtual time.
 	SubmitSLO(req *blockio.Request, onDone func(error))
 }
 
@@ -132,6 +133,30 @@ type decider struct {
 	injRNG  *sim.RNG
 	acc     Accuracy
 	verdict uint64 // IOs decided (deadline-carrying only)
+
+	// Miscalibration fault injection: every predicted wait becomes
+	// wait×misScale + misBias before it is compared or returned. Unlike
+	// injFN/injFP's coin flips this distorts the prediction itself — the
+	// §8.1 "profile goes stale" failure, where the predictor is wrong in
+	// a structured way rather than randomly.
+	misBias  time.Duration
+	misScale float64 // 0 = no scaling
+}
+
+// adjust applies the injected miscalibration to a predicted wait. Both
+// knobs zero (the default) returns wait unchanged through a single branch.
+func (d *decider) adjust(wait time.Duration) time.Duration {
+	if d.misBias == 0 && d.misScale == 0 {
+		return wait
+	}
+	if d.misScale != 0 {
+		wait = time.Duration(float64(wait) * d.misScale)
+	}
+	wait += d.misBias
+	if wait < 0 {
+		wait = 0
+	}
+	return wait
 }
 
 // rejects converts the raw busy prediction into the effective decision,
@@ -247,7 +272,8 @@ func (c *busyReplies) deliver(eng *sim.Engine, d time.Duration, onDone func(erro
 }
 
 // Vanilla is the no-MittOS passthrough Target used by Base runs: deadlines
-// are ignored, every IO queues and waits, onDone always receives nil.
+// are ignored, every IO queues and waits, onDone receives the device's
+// completion verdict (nil unless error injection is on).
 type Vanilla struct {
 	Dev blockio.Device
 
@@ -266,10 +292,11 @@ func (op *vanillaOp) done(r *blockio.Request) {
 	v, prev, onDone := op.v, op.prev, op.onDone
 	op.prev, op.onDone = nil, nil
 	v.opFree = append(v.opFree, op)
+	err := r.Err // read before prev: the previous hook may recycle r
 	if prev != nil {
 		prev(r)
 	}
-	onDone(nil)
+	onDone(err)
 }
 
 // SubmitSLO implements Target.

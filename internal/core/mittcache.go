@@ -108,6 +108,13 @@ func NewMittCache(eng *sim.Engine, cache *oscache.Cache, lower Target, minIO tim
 	return m
 }
 
+// SetMiscalibration distorts the layer's miss-cost estimate (minIO) to
+// minIO×scale + bias (scale 0 = no scaling; (0,0) restores it). MittCache's
+// residency walk is exact, so this is the only prediction it can get wrong.
+func (m *MittCache) SetMiscalibration(bias time.Duration, scale float64) {
+	m.dec.misBias, m.dec.misScale = bias, scale
+}
+
 // Accuracy returns shadow-mode counters. MittCache predictions are exact
 // page-table lookups ("there is no accuracy issues", §4.4), so FP/FN stay
 // zero; the method exists for interface symmetry and tests.
@@ -130,13 +137,14 @@ func (m *MittCache) AddrCheck(off int64, size int, deadline time.Duration) error
 	if m.cache.Resident(off, size) {
 		return nil
 	}
-	if deadline > blockio.NoDeadline && deadline < m.minIO && m.cache.WasEverResident(off, size) {
+	missCost := m.dec.adjust(m.minIO)
+	if deadline > blockio.NoDeadline && deadline < missCost && m.cache.WasEverResident(off, size) {
 		m.rejected++
 		// addrcheck has no request descriptor; only the counter moves.
 		m.rec.Incr(metrics.RMittCache, metrics.CRejected)
 		// Keep swapping the data in behind the EBUSY (§4.4).
 		m.cache.Prefetch(off, size, blockio.ClassBestEffort, 4, -1)
-		return &BusyError{PredictedWait: m.minIO}
+		return &BusyError{PredictedWait: missCost}
 	}
 	return nil
 }
@@ -164,12 +172,13 @@ func (m *MittCache) SubmitSLO(req *blockio.Request, onDone func(error)) {
 	// possible IO latency plus evidence of prior residency = memory-space
 	// contention → EBUSY, with background swap-in.
 	hasSLO := req.Deadline > blockio.NoDeadline
-	if hasSLO && req.Deadline < m.minIO && !m.dec.shadow &&
+	missCost := m.dec.adjust(m.minIO)
+	if hasSLO && req.Deadline < missCost && !m.dec.shadow &&
 		m.cache.WasEverResident(req.Offset, req.Size) {
 		m.rejected++
-		m.rec.Rejected(metrics.RMittCache, req, m.minIO, false)
+		m.rec.Rejected(metrics.RMittCache, req, missCost, false)
 		m.cache.Prefetch(req.Offset, req.Size, req.Class, req.Priority, req.Proc)
-		m.replies.deliver(m.eng, m.opt.SyscallCost, onDone, &BusyError{PredictedWait: m.minIO})
+		m.replies.deliver(m.eng, m.opt.SyscallCost, onDone, &BusyError{PredictedWait: missCost})
 		return
 	}
 

@@ -100,10 +100,11 @@ func (op *cfqOp) done(r *blockio.Request) {
 		}
 		m.rec.Prediction(metrics.RMittCFQ, r, wait, actualWait)
 	}
+	err := r.Err
 	if prev != nil {
 		prev(r)
 	}
-	onDone(nil)
+	onDone(err)
 }
 
 // cfqDispatch is the pooled dispatch-side wrapper feeding the device mirror.
@@ -170,6 +171,12 @@ func (m *MittCFQ) SetErrorInjection(fnRate, fpRate float64, rng *sim.RNG) {
 	m.dec.injFN, m.dec.injFP, m.dec.injRNG = fnRate, fpRate, rng
 }
 
+// SetMiscalibration distorts every wait prediction to wait×scale + bias
+// (scale 0 = no scaling; (0,0) restores the calibrated predictor).
+func (m *MittCFQ) SetMiscalibration(bias time.Duration, scale float64) {
+	m.dec.misBias, m.dec.misScale = bias, scale
+}
+
 // Accuracy returns shadow-mode counters.
 func (m *MittCFQ) Accuracy() Accuracy { return m.dec.acc }
 
@@ -204,7 +211,7 @@ func (m *MittCFQ) SubmitSLO(req *blockio.Request, onDone func(error)) {
 	if req.SubmitTime == 0 {
 		req.SubmitTime = now
 	}
-	wait := m.PredictWait(req.Proc, req.Class)
+	wait := m.dec.adjust(m.PredictWait(req.Proc, req.Class))
 	svc := m.mirror.svcTime(m.mirror.headPos, req.Offset, req.Size)
 	req.PredictedWait = wait
 	req.PredictedService = svc

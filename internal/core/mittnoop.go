@@ -90,10 +90,11 @@ func (op *noopOp) done(r *blockio.Request) {
 		}
 		m.rec.Prediction(metrics.RMittNoop, r, wait, actualWait)
 	}
+	err := r.Err
 	if prev != nil {
 		prev(r)
 	}
-	onDone(nil)
+	onDone(err)
 }
 
 // SetRecorder attaches a metrics recorder (nil disables, the default).
@@ -111,6 +112,13 @@ func NewMittNoop(eng *sim.Engine, sched *iosched.Noop, prof *disk.Profile, opt O
 // SetErrorInjection enables §7.7 fault injection.
 func (m *MittNoop) SetErrorInjection(fnRate, fpRate float64, rng *sim.RNG) {
 	m.dec.injFN, m.dec.injFP, m.dec.injRNG = fnRate, fpRate, rng
+}
+
+// SetMiscalibration distorts every wait prediction to wait×scale + bias
+// (scale 0 = no scaling; (0,0) restores the calibrated predictor). This is
+// the §8.1 stale-profile fault: the predictor is wrong in a structured way.
+func (m *MittNoop) SetMiscalibration(bias time.Duration, scale float64) {
+	m.dec.misBias, m.dec.misScale = bias, scale
 }
 
 // Accuracy returns shadow-mode counters.
@@ -182,6 +190,7 @@ func (m *MittNoop) SubmitSLO(req *blockio.Request, onDone func(error)) {
 		wait = m.mirror.waitFor(req.Offset, req.Size)
 		svc = m.mirror.svcTime(m.mirror.headPos, req.Offset, req.Size)
 	}
+	wait = m.dec.adjust(wait)
 	req.PredictedWait = wait
 	req.PredictedService = svc
 

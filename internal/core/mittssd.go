@@ -90,10 +90,11 @@ func (op *ssdOp) done(r *blockio.Request) {
 		}
 		m.rec.Prediction(metrics.RMittSSD, r, wait, actualWait)
 	}
+	err := r.Err
 	if prev != nil {
 		prev(r)
 	}
-	onDone(nil)
+	onDone(err)
 }
 
 // chanDec is one pooled channel-occupancy decrement, scheduled at a page's
@@ -153,6 +154,12 @@ func (m *MittSSD) SetErrorInjection(fnRate, fpRate float64, rng *sim.RNG) {
 	m.dec.injFN, m.dec.injFP, m.dec.injRNG = fnRate, fpRate, rng
 }
 
+// SetMiscalibration distorts every wait prediction to wait×scale + bias
+// (scale 0 = no scaling; (0,0) restores the calibrated predictor).
+func (m *MittSSD) SetMiscalibration(bias time.Duration, scale float64) {
+	m.dec.misBias, m.dec.misScale = bias, scale
+}
+
 // Accuracy returns shadow-mode counters.
 func (m *MittSSD) Accuracy() Accuracy { return m.dec.acc }
 
@@ -185,7 +192,7 @@ func (m *MittSSD) SubmitSLO(req *blockio.Request, onDone func(error)) {
 	if req.SubmitTime == 0 {
 		req.SubmitTime = now
 	}
-	wait := m.PredictWait(req.Offset, req.Size)
+	wait := m.dec.adjust(m.PredictWait(req.Offset, req.Size))
 	req.PredictedWait = wait
 	// Per-request predicted service: pages run in parallel across chips,
 	// but pages sharing a channel serialize their transfers.

@@ -106,6 +106,12 @@ type Disk struct {
 	// improve as SLC cells wear), invalidating old latency profiles.
 	degrade float64
 
+	// Fault injection: fraction of completions that fail with EIO, drawn
+	// from a dedicated stream so an idle (rate 0) injector consumes no
+	// randomness and cannot perturb a seeded run.
+	errRate float64
+	errRNG  *sim.RNG
+
 	// onSlotFree lets the scheduler above refill the device queue.
 	onSlotFree func()
 
@@ -180,6 +186,16 @@ func (d *Disk) SetDegradation(factor float64) {
 
 // Degradation returns the current factor.
 func (d *Disk) Degradation() float64 { return d.degrade }
+
+// SetErrorInjection makes rate of subsequent completions fail with
+// blockio.ErrIO, drawn from rng (which must be a dedicated stream). Rate 0
+// disables and draws nothing.
+func (d *Disk) SetErrorInjection(rate float64, rng *sim.RNG) {
+	if rate < 0 || rate > 1 {
+		panic("disk: error rate must be in [0,1]")
+	}
+	d.errRate, d.errRNG = rate, rng
+}
 
 // Config returns the disk's configuration.
 func (d *Disk) Config() Config { return d.cfg }
@@ -317,6 +333,9 @@ func (d *Disk) next() (*blockio.Request, bool) {
 }
 
 func (d *Disk) complete(req *blockio.Request) {
+	if d.errRate > 0 && d.errRNG != nil && d.errRNG.Bool(d.errRate) {
+		req.Err = blockio.ErrIO
+	}
 	req.CompleteTime = d.eng.Now()
 	d.inflight--
 	d.rec.DevDone(metrics.RDisk, req)

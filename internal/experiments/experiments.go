@@ -50,6 +50,10 @@ type Options struct {
 	// 0 captures counters/histograms only, N > 0 the first N spans, and a
 	// negative value every span.
 	TraceIOs int
+	// Faults overrides the failslow experiment's fault schedule with a
+	// parsed config string (see faults.ParseSchedule; the mittbench
+	// -faults flag). Empty means the experiment's built-in scenario.
+	Faults string
 }
 
 // DefaultOptions is the full-scale configuration.

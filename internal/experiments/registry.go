@@ -21,6 +21,9 @@ type RunConfig struct {
 	Metrics bool
 	// TraceIOs bounds per-IO span capture (0 = off, <0 = unlimited).
 	TraceIOs int
+	// Faults overrides the failslow experiment's fault schedule (a
+	// faults.ParseSchedule config string; empty = built-in scenario).
+	Faults string
 }
 
 // options maps the config onto macro-experiment Options.
@@ -33,6 +36,7 @@ func (c RunConfig) options() Options {
 	o.Workers = c.Workers
 	o.Metrics = c.Metrics
 	o.TraceIOs = c.TraceIOs
+	o.Faults = c.Faults
 	return o
 }
 
@@ -86,6 +90,7 @@ var runners = map[string]func(RunConfig) *Result{
 	"fig13":    func(c RunConfig) *Result { return &Fig13(c.options()).Result },
 	"allinone": func(c RunConfig) *Result { return AllInOne(c.options()) },
 	"writes":   func(c RunConfig) *Result { return Writes(c.options()) },
+	"failslow": func(c RunConfig) *Result { return Failslow(c.options()) },
 }
 
 // IDs lists the registered experiment ids, sorted.

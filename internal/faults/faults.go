@@ -1,0 +1,237 @@
+// Package faults is the deterministic fault-injection subsystem: a typed
+// schedule of fault events fired by the virtual clock. It covers the
+// degradation modes MittOS's motivation names — fail-slow devices, crashed
+// nodes, flaky media (EIO), congested networks — plus the one MittOS itself
+// can suffer: a miscalibrated latency predictor (the §7.6 accuracy story,
+// and §8.1's "what if the profile goes stale").
+//
+// The package knows nothing about concrete resources. A Schedule fires
+// against an Injector — the cluster layer provides one — so faults compose
+// with any fleet shape. Determinism follows from two rules: events fire at
+// fixed virtual times through the engine (same heap discipline as every
+// other event), and injectors draw randomness only from their own forked
+// RNG streams, only while a fault is active. A schedule that is never
+// started, or an injection rate of zero, draws nothing and perturbs
+// nothing: faults-off is byte-identical to faults-absent.
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"mittos/internal/sim"
+)
+
+// Kind is the fault type.
+type Kind uint8
+
+// Fault kinds. Each maps to one Injector method pair (apply at At, restore
+// at At+For).
+const (
+	// FailSlow scales a node's device timing costs (disk seek/rotation/
+	// transfer, SSD chip read/program/channel transfer) by Factor. The
+	// device limps; the Mitt* predictor keeps its healthy profile — which
+	// is exactly the staleness hazard §8.1 discusses.
+	FailSlow Kind = iota
+	// IOErrors completes a fraction (Factor) of a node's device IOs with
+	// EIO instead of success.
+	IOErrors
+	// Crash takes a node down fail-stop: in-flight calls error out, new
+	// calls are refused until the window ends (restart). Storage state
+	// survives.
+	Crash
+	// NetDegrade adds Extra latency (and Jitter stddev) to every network
+	// hop. Node is ignored: the fabric is shared.
+	NetDegrade
+	// Miscalibrate distorts a node's Mitt* wait predictions: every
+	// predicted wait becomes wait×Scale + Extra (Scale 0 means "no
+	// scaling"). Only layers built with Mitt enabled feel it.
+	Miscalibrate
+	// CachePressure evicts a fraction (Factor) of a node's OS buffer
+	// cache once, at At — a one-shot fault with no restore window.
+	CachePressure
+)
+
+var kindNames = [...]string{
+	FailSlow:      "failslow",
+	IOErrors:      "eio",
+	Crash:         "crash",
+	NetDegrade:    "netslow",
+	Miscalibrate:  "miscal",
+	CachePressure: "cachedrop",
+}
+
+// String names the kind with its config-string keyword.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// AllNodes targets every node in the fleet.
+const AllNodes = -1
+
+// Event is one scheduled fault: a kind, a target node, an onset time, a
+// window length, and kind-specific magnitudes.
+type Event struct {
+	Kind Kind
+	// Node is the target node index, or AllNodes. NetDegrade ignores it.
+	Node int
+	// At is the virtual-time onset, relative to Schedule.Start.
+	At time.Duration
+	// For is the window length; the restore fires at At+For. Zero means
+	// the fault holds until the end of the run (CachePressure is one-shot
+	// and ignores For).
+	For time.Duration
+	// Factor is the kind's scalar magnitude: FailSlow slowdown ×(>1 is
+	// slower), IOErrors EIO rate in [0,1], CachePressure evicted fraction
+	// in (0,1].
+	Factor float64
+	// Extra is NetDegrade's added hop latency, or Miscalibrate's wait
+	// bias (may be negative: an optimistic predictor).
+	Extra time.Duration
+	// Jitter is NetDegrade's added hop jitter stddev.
+	Jitter time.Duration
+	// Scale is Miscalibrate's multiplicative distortion (0 = none).
+	Scale float64
+}
+
+// Validate checks the event's fields against its kind's contract.
+func (e Event) Validate() error {
+	if e.Node < AllNodes {
+		return fmt.Errorf("faults: %s: bad node %d", e.Kind, e.Node)
+	}
+	if e.At < 0 || e.For < 0 {
+		return fmt.Errorf("faults: %s: negative time (at=%v for=%v)", e.Kind, e.At, e.For)
+	}
+	switch e.Kind {
+	case FailSlow:
+		if e.Factor <= 0 {
+			return fmt.Errorf("faults: failslow: factor must be > 0, got %g", e.Factor)
+		}
+	case IOErrors:
+		if e.Factor < 0 || e.Factor > 1 {
+			return fmt.Errorf("faults: eio: rate must be in [0,1], got %g", e.Factor)
+		}
+	case Crash:
+		// No magnitude.
+	case NetDegrade:
+		if e.Extra < 0 || e.Jitter < 0 {
+			return fmt.Errorf("faults: netslow: negative add/jitter (%v/%v)", e.Extra, e.Jitter)
+		}
+		if e.Extra == 0 && e.Jitter == 0 {
+			return fmt.Errorf("faults: netslow: add and jitter both zero")
+		}
+	case Miscalibrate:
+		if e.Scale < 0 {
+			return fmt.Errorf("faults: miscal: scale must be >= 0, got %g", e.Scale)
+		}
+		if e.Extra == 0 && e.Scale == 0 {
+			return fmt.Errorf("faults: miscal: bias and scale both zero")
+		}
+	case CachePressure:
+		if e.Factor <= 0 || e.Factor > 1 {
+			return fmt.Errorf("faults: cachedrop: frac must be in (0,1], got %g", e.Factor)
+		}
+	default:
+		return fmt.Errorf("faults: unknown kind %d", uint8(e.Kind))
+	}
+	return nil
+}
+
+// Injector is what a Schedule fires against: the seam between the abstract
+// fault timeline and concrete resources. cluster.FaultAdapter implements it
+// for a replica fleet; tests implement it with a recorder.
+type Injector interface {
+	// FailSlow scales node's device timing by factor (1 restores).
+	FailSlow(node int, factor float64)
+	// SetIOErrorRate makes node's device complete IOs with EIO at rate
+	// (0 restores).
+	SetIOErrorRate(node int, rate float64)
+	// Crash takes node down fail-stop; Revive brings it back.
+	Crash(node int)
+	Revive(node int)
+	// NetDegrade adds per-hop latency/jitter fleet-wide; NetRestore heals.
+	NetDegrade(extraLatency, extraJitter time.Duration)
+	NetRestore()
+	// Miscalibrate distorts node's Mitt* wait predictions to
+	// wait×scale + bias ((0,0) restores).
+	Miscalibrate(node int, bias time.Duration, scale float64)
+	// CachePressure evicts frac of node's OS cache, once.
+	CachePressure(node int, frac float64)
+}
+
+// Schedule is an ordered list of fault events.
+type Schedule struct {
+	Events []Event
+}
+
+// Add validates and appends an event; it panics on an invalid event so
+// programmatic schedules fail loudly at construction.
+func (s *Schedule) Add(e Event) *Schedule {
+	if err := e.Validate(); err != nil {
+		panic(err)
+	}
+	s.Events = append(s.Events, e)
+	return s
+}
+
+// Validate checks every event.
+func (s *Schedule) Validate() error {
+	for i, e := range s.Events {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Start schedules every event's apply (at At) and restore (at At+For, when
+// For > 0) on the engine, firing against inj. Offsets are relative to the
+// engine's current virtual time. Startup allocates (one closure per edge);
+// nothing allocates once the run is going.
+func (s *Schedule) Start(eng *sim.Engine, inj Injector) {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	for _, e := range s.Events {
+		e := e
+		eng.After(e.At, func() { apply(inj, e) })
+		if e.For > 0 && e.Kind != CachePressure {
+			eng.After(e.At+e.For, func() { restore(inj, e) })
+		}
+	}
+}
+
+func apply(inj Injector, e Event) {
+	switch e.Kind {
+	case FailSlow:
+		inj.FailSlow(e.Node, e.Factor)
+	case IOErrors:
+		inj.SetIOErrorRate(e.Node, e.Factor)
+	case Crash:
+		inj.Crash(e.Node)
+	case NetDegrade:
+		inj.NetDegrade(e.Extra, e.Jitter)
+	case Miscalibrate:
+		inj.Miscalibrate(e.Node, e.Extra, e.Scale)
+	case CachePressure:
+		inj.CachePressure(e.Node, e.Factor)
+	}
+}
+
+func restore(inj Injector, e Event) {
+	switch e.Kind {
+	case FailSlow:
+		inj.FailSlow(e.Node, 1)
+	case IOErrors:
+		inj.SetIOErrorRate(e.Node, 0)
+	case Crash:
+		inj.Revive(e.Node)
+	case NetDegrade:
+		inj.NetRestore()
+	case Miscalibrate:
+		inj.Miscalibrate(e.Node, 0, 0)
+	}
+}

@@ -1,0 +1,176 @@
+// Config-string form of a Schedule, for `mittbench -faults`. The grammar is
+// a semicolon-separated event list; each event is a kind keyword followed by
+// key=value fields:
+//
+//	failslow  node=1 at=2s for=4s x=8        device timing ×8
+//	eio       node=1 at=2s for=4s rate=0.02  2% of completions fail
+//	crash     node=2 at=4s for=3s            fail-stop, restart at 7s
+//	netslow   at=7s for=1s add=200us jitter=50us
+//	miscal    node=3 at=5s for=4s bias=2ms scale=1.5
+//	cachedrop node=0 at=3s frac=0.5          one-shot eviction
+//
+// `node=all` (the default when node is omitted) targets every node.
+// Durations use Go syntax (300us, 2ms, 1.5s). String() renders the
+// canonical form, and ParseSchedule(s.String()) reproduces s exactly.
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSchedule parses the -faults config-string grammar above.
+func ParseSchedule(s string) (*Schedule, error) {
+	sch := &Schedule{}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		e, err := parseEvent(part)
+		if err != nil {
+			return nil, err
+		}
+		sch.Events = append(sch.Events, e)
+	}
+	return sch, nil
+}
+
+func parseEvent(s string) (Event, error) {
+	fields := strings.Fields(s)
+	e := Event{Node: AllNodes}
+	kind := fields[0]
+	found := false
+	for k, name := range kindNames {
+		if name == kind {
+			e.Kind = Kind(k)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return e, fmt.Errorf("faults: unknown fault kind %q", kind)
+	}
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return e, fmt.Errorf("faults: %s: field %q is not key=value", kind, f)
+		}
+		var err error
+		switch {
+		case key == "node" && e.Kind != NetDegrade:
+			if val == "all" {
+				e.Node = AllNodes
+				break
+			}
+			var n int
+			if n, err = strconv.Atoi(val); err == nil {
+				if n < 0 {
+					err = fmt.Errorf("negative node %d", n)
+				}
+				e.Node = n
+			}
+		case key == "at":
+			e.At, err = parseDur(val)
+		case key == "for" && e.Kind != CachePressure:
+			e.For, err = parseDur(val)
+		case key == "x" && e.Kind == FailSlow:
+			e.Factor, err = parseFloat(val)
+		case key == "rate" && e.Kind == IOErrors:
+			e.Factor, err = parseFloat(val)
+		case key == "frac" && e.Kind == CachePressure:
+			e.Factor, err = parseFloat(val)
+		case key == "add" && e.Kind == NetDegrade:
+			e.Extra, err = parseDur(val)
+		case key == "jitter" && e.Kind == NetDegrade:
+			e.Jitter, err = parseDur(val)
+		case key == "bias" && e.Kind == Miscalibrate:
+			e.Extra, err = parseDur(val)
+		case key == "scale" && e.Kind == Miscalibrate:
+			e.Scale, err = parseFloat(val)
+		default:
+			return e, fmt.Errorf("faults: %s does not take %q", kind, key)
+		}
+		if err != nil {
+			return e, fmt.Errorf("faults: %s: bad %s %q: %v", kind, key, val, err)
+		}
+	}
+	if err := e.Validate(); err != nil {
+		return e, err
+	}
+	return e, nil
+}
+
+func parseDur(s string) (time.Duration, error) {
+	return time.ParseDuration(s)
+}
+
+func parseFloat(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case f != f: // NaN
+		return 0, fmt.Errorf("NaN")
+	case f > 1e18 || f < -1e18: // also rejects ±Inf
+		return 0, fmt.Errorf("out of range")
+	}
+	return f, nil
+}
+
+// String renders the event in the canonical config-string form.
+func (e Event) String() string {
+	var b strings.Builder
+	b.WriteString(e.Kind.String())
+	if e.Kind != NetDegrade {
+		if e.Node == AllNodes {
+			b.WriteString(" node=all")
+		} else {
+			fmt.Fprintf(&b, " node=%d", e.Node)
+		}
+	}
+	fmt.Fprintf(&b, " at=%v", e.At)
+	if e.For > 0 && e.Kind != CachePressure {
+		fmt.Fprintf(&b, " for=%v", e.For)
+	}
+	switch e.Kind {
+	case FailSlow:
+		fmt.Fprintf(&b, " x=%s", fmtFloat(e.Factor))
+	case IOErrors:
+		fmt.Fprintf(&b, " rate=%s", fmtFloat(e.Factor))
+	case CachePressure:
+		fmt.Fprintf(&b, " frac=%s", fmtFloat(e.Factor))
+	case NetDegrade:
+		if e.Extra != 0 {
+			fmt.Fprintf(&b, " add=%v", e.Extra)
+		}
+		if e.Jitter != 0 {
+			fmt.Fprintf(&b, " jitter=%v", e.Jitter)
+		}
+	case Miscalibrate:
+		if e.Extra != 0 {
+			fmt.Fprintf(&b, " bias=%v", e.Extra)
+		}
+		if e.Scale != 0 {
+			fmt.Fprintf(&b, " scale=%s", fmtFloat(e.Scale))
+		}
+	}
+	return b.String()
+}
+
+// String renders the schedule in the canonical config-string form;
+// ParseSchedule inverts it exactly.
+func (s *Schedule) String() string {
+	parts := make([]string, len(s.Events))
+	for i, e := range s.Events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+func fmtFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

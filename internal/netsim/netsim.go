@@ -31,6 +31,13 @@ type Network struct {
 	cfg Config
 	rng *sim.RNG
 
+	// Fault-injection state: extra per-hop latency and jitter while a
+	// network-degradation window is open. Both zero when healthy, and the
+	// healthy path draws no extra random numbers, so an unused degradation
+	// hook cannot perturb a seeded run.
+	extraLatency time.Duration
+	extraJitter  time.Duration
+
 	sent uint64
 }
 
@@ -48,11 +55,33 @@ func (n *Network) Config() Config { return n.cfg }
 // Sent returns the number of messages delivered so far.
 func (n *Network) Sent() uint64 { return n.sent }
 
+// SetDegradation opens a degradation window: every subsequent hop costs
+// extraLatency more, plus Gaussian noise with stddev extraJitter. Used by
+// fault injection to model a congested or flapping fabric.
+func (n *Network) SetDegradation(extraLatency, extraJitter time.Duration) {
+	if extraLatency < 0 || extraJitter < 0 {
+		panic("netsim: negative degradation")
+	}
+	n.extraLatency, n.extraJitter = extraLatency, extraJitter
+}
+
+// ClearDegradation restores healthy hop costs.
+func (n *Network) ClearDegradation() { n.extraLatency, n.extraJitter = 0, 0 }
+
+// Degraded reports whether a degradation window is open.
+func (n *Network) Degraded() bool { return n.extraLatency > 0 || n.extraJitter > 0 }
+
 // HopCost samples one hop's latency.
 func (n *Network) HopCost() time.Duration {
 	d := n.cfg.HopLatency
 	if n.cfg.JitterStd > 0 && n.rng != nil {
 		d = n.rng.NormalDuration(d, n.cfg.JitterStd)
+	}
+	if n.extraLatency > 0 || n.extraJitter > 0 {
+		d += n.extraLatency
+		if n.extraJitter > 0 && n.rng != nil {
+			d += n.rng.NormalDuration(0, n.extraJitter)
+		}
 	}
 	if d < 0 {
 		d = 0

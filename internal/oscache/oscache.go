@@ -77,6 +77,10 @@ type Cache struct {
 
 	hits, misses, evictions uint64
 
+	// degrade scales the hit path (memory-bus contention from a noisy
+	// co-tenant); 1.0 = healthy.
+	degrade float64
+
 	rec *metrics.Recorder
 }
 
@@ -94,7 +98,29 @@ func New(eng *sim.Engine, cfg Config, backing blockio.Device) *Cache {
 		backing:      backing,
 		pages:        make(map[int64]*page),
 		everResident: make(map[int64]bool),
+		degrade:      1.0,
 	}
+}
+
+// SetDegradation scales the hit-serving latency by factor (>1 slower);
+// 1 restores. Misses are priced by the backing device, which has its own
+// degradation hook.
+func (c *Cache) SetDegradation(factor float64) {
+	if factor <= 0 {
+		panic("oscache: degradation factor must be positive")
+	}
+	c.degrade = factor
+}
+
+// Degradation returns the current factor.
+func (c *Cache) Degradation() float64 { return c.degrade }
+
+// hitLatency is the possibly-degraded cost of serving from memory.
+func (c *Cache) hitLatency() time.Duration {
+	if c.degrade != 1.0 {
+		return time.Duration(float64(c.cfg.HitLatency) * c.degrade)
+	}
+	return c.cfg.HitLatency
 }
 
 // Config returns the cache configuration.
@@ -212,13 +238,13 @@ func (c *Cache) Submit(req *blockio.Request) {
 		for p := first; p <= last; p++ {
 			c.insert(p, true)
 		}
-		c.eng.After(c.cfg.HitLatency, c.getOp(req).fireFn)
+		c.eng.After(c.hitLatency(), c.getOp(req).fireFn)
 	case blockio.Read:
 		if c.Resident(req.Offset, req.Size) {
 			c.hits++
 			c.rec.Incr(metrics.RCache, metrics.CCacheHit)
 			c.touchRange(req.Offset, req.Size)
-			c.eng.After(c.cfg.HitLatency, c.getOp(req).fireFn)
+			c.eng.After(c.hitLatency(), c.getOp(req).fireFn)
 			return
 		}
 		c.misses++

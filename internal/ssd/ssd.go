@@ -148,6 +148,17 @@ type SSD struct {
 	grpFree  []*ioGroup
 	busyFree []*busyOp
 
+	// degrade scales every chip and channel operation; 1.0 = healthy. The
+	// FTL's GC bookkeeping and the host-visible profile (NextProgramTime,
+	// GCEvent.BusyFor) deliberately stay unscaled: a fail-slow device is
+	// precisely one whose real timing has drifted from its profile (§8.1).
+	degrade float64
+
+	// Fault injection: fraction of request completions that fail with
+	// EIO, drawn from a dedicated stream (no draws at rate 0).
+	errRate float64
+	errRNG  *sim.RNG
+
 	gcHook     func(GCEvent)
 	submitHook func(*blockio.Request)
 	rec        *metrics.Recorder
@@ -251,7 +262,7 @@ func New(eng *sim.Engine, cfg Config) *SSD {
 		panic("ssd: overprovisioning exceeds capacity")
 	}
 	s := &SSD{eng: eng, cfg: cfg, pattern: cfg.ProgramPattern(),
-		erasesSinceWL: make([]int, cfg.TotalChips())}
+		erasesSinceWL: make([]int, cfg.TotalChips()), degrade: 1.0}
 	for i := 0; i < cfg.Channels; i++ {
 		s.channels = append(s.channels, &channel{id: i})
 	}
@@ -284,6 +295,36 @@ func New(eng *sim.Engine, cfg Config) *SSD {
 
 // Config returns the SSD configuration.
 func (s *SSD) Config() Config { return s.cfg }
+
+// SetDegradation scales all subsequent chip/channel operation times by
+// factor (>1 slower). The host-visible profile does not move with it.
+func (s *SSD) SetDegradation(factor float64) {
+	if factor <= 0 {
+		panic("ssd: degradation factor must be positive")
+	}
+	s.degrade = factor
+}
+
+// Degradation returns the current factor.
+func (s *SSD) Degradation() float64 { return s.degrade }
+
+// SetErrorInjection makes rate of subsequent request completions fail with
+// blockio.ErrIO, drawn from rng (a dedicated stream). Rate 0 disables and
+// draws nothing.
+func (s *SSD) SetErrorInjection(rate float64, rng *sim.RNG) {
+	if rate < 0 || rate > 1 {
+		panic("ssd: error rate must be in [0,1]")
+	}
+	s.errRate, s.errRNG = rate, rng
+}
+
+// scaled applies the fail-slow factor to a device timing cost.
+func (s *SSD) scaled(d time.Duration) time.Duration {
+	if s.degrade != 1.0 {
+		d = time.Duration(float64(d) * s.degrade)
+	}
+	return d
+}
 
 // SetGCHook registers the host-visible GC notification.
 func (s *SSD) SetGCHook(fn func(GCEvent)) { s.gcHook = fn }
@@ -370,6 +411,9 @@ func (g *ioGroup) pageDone() {
 	s, req := g.s, g.req
 	g.req = nil
 	s.grpFree = append(s.grpFree, g)
+	if s.errRate > 0 && s.errRNG != nil && s.errRNG.Bool(s.errRate) {
+		req.Err = blockio.ErrIO
+	}
 	req.CompleteTime = s.eng.Now()
 	s.inflight--
 	s.rec.DevDone(metrics.RSSD, req)
@@ -450,12 +494,12 @@ func (op *pageOp) serve(sv *server) {
 	switch op.stage {
 	case opReadChip:
 		op.s.rec.DevStart(metrics.RSSD, op.req)
-		op.s.eng.After(op.s.cfg.ChipReadTime, op.stepFn)
+		op.s.eng.After(op.s.scaled(op.s.cfg.ChipReadTime), op.stepFn)
 	case opReadXfer:
-		op.s.eng.After(op.s.cfg.ChannelXferTime, op.stepFn)
+		op.s.eng.After(op.s.scaled(op.s.cfg.ChannelXferTime), op.stepFn)
 	default: // opWriteXfer: channel transfer in, or the die slot opening up
 		if sv == &op.ch.srv {
-			op.s.eng.After(op.s.cfg.ChannelXferTime, op.stepFn)
+			op.s.eng.After(op.s.scaled(op.s.cfg.ChannelXferTime), op.stepFn)
 		} else {
 			op.chipHeld = true
 			if op.transferred {
@@ -497,7 +541,7 @@ func (op *pageOp) startProgram() {
 	s.rec.DevStart(metrics.RSSD, op.req)
 	s.maybeGC(op.c)
 	phys := s.allocPage(op.c, int32(op.lp/int64(s.cfg.TotalChips())))
-	s.eng.After(s.pattern[phys%s.cfg.PagesPerBlock], op.stepFn)
+	s.eng.After(s.scaled(s.pattern[phys%s.cfg.PagesPerBlock]), op.stepFn)
 }
 
 // readPage: chip cell read (die occupied), then channel transfer out.
@@ -545,7 +589,7 @@ func (s *SSD) occupyChip(c *chip, busy time.Duration) {
 		b = &busyOp{s: s}
 		b.stepFn = b.step
 	}
-	b.d = busy
+	b.d = s.scaled(busy)
 	c.srv.run(b)
 }
 
