@@ -3,6 +3,8 @@ package mittos
 import (
 	"testing"
 	"time"
+
+	"mittos/internal/blockio"
 )
 
 // TestAllocBudgets pins the steady-state allocation budgets of the two
@@ -21,6 +23,54 @@ func TestAllocBudgets(t *testing.T) {
 		})
 		if avg != 0 {
 			t.Fatalf("PredictWait allocates %.1f objects per call; budget is 0", avg)
+		}
+	})
+	t.Run("CFQPredictWait", func(t *testing.T) {
+		eng := NewEngine()
+		s := NewStack(eng, StackConfig{Device: DeviceDisk, Scheduler: SchedulerCFQ, Mitt: true, Seed: 1})
+		// Populate several process nodes so the prefix queries walk real
+		// trees, plus a device-resident quantum for the mirror replay.
+		for i := 0; i < 16; i++ {
+			req := &blockio.Request{ID: uint64(i + 1), Op: blockio.Read,
+				Offset: int64(i+1) * (40 << 30), Size: 1 << 20, Proc: i % 5}
+			s.Target().SubmitSLO(req, func(error) {})
+		}
+		_ = s.PredictWait(100<<30, 4096) // warm the replay scratch
+		avg := testing.AllocsPerRun(200, func() {
+			_ = s.PredictWait(450<<30, 4096)
+		})
+		if avg != 0 {
+			t.Fatalf("CFQ PredictWait allocates %.1f objects per call; budget is 0", avg)
+		}
+	})
+	t.Run("CFQSubmitAccept", func(t *testing.T) {
+		// Full accept round trip through MittCFQ with an SLO: admission,
+		// tolerable-table entry, dispatch, completion, recycling. Requests
+		// come from a pool so the path itself is what's measured.
+		eng := NewEngine()
+		s := NewStack(eng, StackConfig{Device: DeviceDisk, Scheduler: SchedulerCFQ, Mitt: true, Seed: 1})
+		var pool blockio.Pool
+		var ids blockio.IDGen
+		var cur *blockio.Request
+		done := func(error) { cur.Release() }
+		submit := func(off int64) {
+			cur = pool.Get()
+			cur.ID = ids.Next()
+			cur.Op = blockio.Read
+			cur.Offset, cur.Size = off, 4096
+			cur.Proc = 1
+			cur.Deadline = time.Second
+			s.Target().SubmitSLO(cur, done)
+			eng.Run()
+		}
+		for i := 0; i < 64; i++ { // warm every pool on the path
+			submit(int64(i+1) * (10 << 30))
+		}
+		avg := testing.AllocsPerRun(200, func() {
+			submit(300 << 30)
+		})
+		if avg != 0 {
+			t.Fatalf("MittCFQ accept path allocates %.1f objects per IO; budget is 0", avg)
 		}
 	})
 	t.Run("EngineSchedule", func(t *testing.T) {

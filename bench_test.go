@@ -8,9 +8,12 @@ package mittos
 // reproduction show up alongside performance regressions.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
+	"mittos/internal/blockio"
+	"mittos/internal/disk"
 	"mittos/internal/experiments"
 	"mittos/internal/stats"
 )
@@ -191,6 +194,80 @@ func BenchmarkAdmissionDecision(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = s.PredictWait(int64(i%900)<<30, 4096)
 	}
+}
+
+// BenchmarkPredictWaitCFQ measures MittCFQ's admission prediction with P
+// process nodes queued — the path the augmented service trees turned from an
+// O(P) walk into O(log P) prefix queries, so ns/op should stay nearly flat
+// as P grows.
+func BenchmarkPredictWaitCFQ(b *testing.B) {
+	for _, procs := range []int{4, 32, 256} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			eng := NewEngine()
+			s := NewStack(eng, StackConfig{Device: DeviceDisk, Scheduler: SchedulerCFQ, Mitt: true, Seed: 1})
+			var ids blockio.IDGen
+			for p := 0; p < procs; p++ {
+				for k := 0; k < 2; k++ {
+					req := &Request{ID: ids.Next(), Op: OpRead,
+						Offset: int64(p*7+k+1) * (1 << 30), Size: 1 << 20, Proc: p + 2}
+					s.Target().SubmitSLO(req, func(error) {})
+				}
+			}
+			_ = s.PredictWait(100<<30, 4096) // warm the replay scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = s.PredictWait(int64(i%900)<<30, 4096)
+			}
+		})
+	}
+}
+
+// BenchmarkCFQSubmitDispatch measures the full MittCFQ accept round trip:
+// admission, tolerable-table entry, CFQ dispatch, disk service, completion,
+// and recycling of every pooled context — the per-IO cost of the busiest
+// experiment path.
+func BenchmarkCFQSubmitDispatch(b *testing.B) {
+	eng := NewEngine()
+	s := NewStack(eng, StackConfig{Device: DeviceDisk, Scheduler: SchedulerCFQ, Mitt: true, Seed: 1})
+	var pool blockio.Pool
+	var ids blockio.IDGen
+	var cur *blockio.Request
+	done := func(error) { cur.Release() }
+	submit := func(off int64) {
+		cur = pool.Get()
+		cur.ID = ids.Next()
+		cur.Op = blockio.Read
+		cur.Offset, cur.Size = off, 4096
+		cur.Proc = 1
+		cur.Deadline = time.Second
+		s.Target().SubmitSLO(cur, done)
+		eng.Run()
+	}
+	for i := 0; i < 64; i++ { // warm every pool on the path
+		submit(int64(i+1) * (10 << 30))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		submit(int64(i%900) << 30)
+	}
+}
+
+var seekCostSink time.Duration
+
+// BenchmarkSeekCost measures one profile lookup — the innermost operation of
+// every SSTF-mirror replay step, now a direct-index table instead of a
+// division plus bucket clamp.
+func BenchmarkSeekCost(b *testing.B) {
+	prof := disk.ProfileTwin(disk.DefaultConfig(), 42, disk.DefaultProfilerOptions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink time.Duration
+	for i := 0; i < b.N; i++ {
+		sink += prof.SeekCost(int64(i%997) << 27)
+	}
+	seekCostSink = sink
 }
 
 // BenchmarkEngineThroughput measures raw event-loop throughput, the floor

@@ -1,0 +1,111 @@
+// Command benchdiff compares two mittbench -bench-json snapshots and fails
+// (exit 1) on performance regressions — the CI gate that keeps the
+// admission path's measured budgets from silently eroding.
+//
+// Usage:
+//
+//	benchdiff [-ns-threshold 25] old.json new.json
+//
+// For every benchmark present in the baseline, the gate fails when:
+//
+//   - ns/op regresses by more than -ns-threshold percent (default 25%,
+//     loose enough for shared CI machines but tight enough to catch a
+//     complexity-class slip), or
+//   - allocs/op regresses: any increase for zero-alloc baselines (those
+//     paths are pinned and deterministic), and any increase beyond 0.1%
+//     for experiment-scale baselines (iteration count amortizes one-time
+//     warmup allocations differently run to run, shifting the count by a
+//     few parts in ten thousand), or
+//   - the benchmark disappeared from the new snapshot (coverage loss).
+//
+// Benchmarks only present in the new snapshot pass (they extend coverage;
+// committing the refreshed snapshot makes them part of the baseline).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func load(path string) (map[string]benchResult, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var list []benchResult
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]benchResult, len(list))
+	order := make([]string, 0, len(list))
+	for _, r := range list {
+		if _, dup := m[r.Name]; dup {
+			return nil, nil, fmt.Errorf("%s: duplicate benchmark %q", path, r.Name)
+		}
+		m[r.Name] = r
+		order = append(order, r.Name)
+	}
+	return m, order, nil
+}
+
+func main() {
+	nsThreshold := flag.Float64("ns-threshold", 25, "max allowed ns/op regression in percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-ns-threshold pct] old.json new.json")
+		os.Exit(2)
+	}
+	oldSet, order, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newSet, _, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	failed := false
+	fmt.Printf("%-24s %14s %14s %8s %10s %10s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns", "old allocs", "new allocs")
+	for _, name := range order {
+		o := oldSet[name]
+		n, ok := newSet[name]
+		if !ok {
+			fmt.Printf("%-24s MISSING from new snapshot\n", name)
+			failed = true
+			continue
+		}
+		deltaPct := 0.0
+		if o.NsPerOp > 0 {
+			deltaPct = 100 * (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		}
+		verdict := ""
+		if deltaPct > *nsThreshold {
+			verdict = "  FAIL ns/op"
+			failed = true
+		}
+		if n.AllocsPerOp > o.AllocsPerOp+o.AllocsPerOp/1000 {
+			verdict += "  FAIL allocs/op"
+			failed = true
+		}
+		fmt.Printf("%-24s %14.1f %14.1f %+7.1f%% %10d %10d%s\n",
+			name, o.NsPerOp, n.NsPerOp, deltaPct, o.AllocsPerOp, n.AllocsPerOp, verdict)
+	}
+	if failed {
+		fmt.Println("\nbenchdiff: regression detected")
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchdiff: ok")
+}

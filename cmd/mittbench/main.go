@@ -28,11 +28,14 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
 
 	"mittos"
+	"mittos/internal/blockio"
+	"mittos/internal/disk"
 	"mittos/internal/experiments"
 	"mittos/internal/faults"
 	"mittos/internal/metrics"
@@ -54,13 +57,23 @@ func main() {
 		traceIOs    = flag.Int("trace-ios", 0, "with -metrics: capture the first N per-IO spans per leg and print them as JSONL (<0 = all)")
 		metricsJSON = flag.String("metrics-json", "", "with -metrics: also write every snapshot as a JSON array to this file")
 		benchJSON   = flag.String("bench-json", "", "run the headline benchmarks in-process and write ns/op, B/op, allocs/op as JSON to this file, then exit")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with `go tool pprof`)")
+		memprofile = flag.String("memprofile", "", "write an end-of-run heap profile to this file (allocation sites need no extra flag: virtual time makes every run a profiling run)")
 	)
 	flag.Parse()
 
+	stopProfiles := startProfiles(*cpuprofile, *memprofile)
+	defer stopProfiles()
+	fail := func(err error, code int) {
+		fmt.Fprintln(os.Stderr, err)
+		stopProfiles()
+		os.Exit(code)
+	}
+
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err, 1)
 		}
 		return
 	}
@@ -71,6 +84,7 @@ func main() {
 			fmt.Printf("  %s\n", id)
 		}
 		if *run == "" && !*list {
+			stopProfiles()
 			os.Exit(2)
 		}
 		return
@@ -78,8 +92,7 @@ func main() {
 
 	if *faultsFlag != "" {
 		if _, err := faults.ParseSchedule(*faultsFlag); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fail(err, 2)
 		}
 	}
 
@@ -145,19 +158,58 @@ func main() {
 	for i := range ids {
 		<-done[i]
 		if outs[i].err != nil {
-			fmt.Fprintln(os.Stderr, outs[i].err)
-			os.Exit(1)
+			fail(outs[i].err, 1)
 		}
 		fmt.Print(outs[i].text)
 		allSnaps = append(allSnaps, outs[i].metrics...)
 	}
 	if *metricsJSON != "" {
 		if err := dumpMetricsJSON(*metricsJSON, allSnaps); err != nil {
+			fail(err, 1)
+		}
+	}
+}
+
+// startProfiles wires -cpuprofile/-memprofile and returns the idempotent
+// finisher that stops the CPU profile and writes the heap snapshot.
+func startProfiles(cpu, mem string) func() {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so live objects dominate the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}
 }
+
+// benchSink defeats dead-code elimination in the SeekCost benchmark.
+var benchSink time.Duration
 
 // benchResult is one headline benchmark's record in the -bench-json dump.
 type benchResult struct {
@@ -173,7 +225,11 @@ type benchResult struct {
 // as a JSON array — the machine-readable artifact CI archives per commit.
 func runBenchJSON(path string) error {
 	var results []benchResult
-	add := func(name string, r testing.BenchmarkResult) {
+	add := func(name string, fn func(b *testing.B)) {
+		// Settle the previous benchmark's garbage so each measurement
+		// starts from a quiet heap instead of inheriting GC debt.
+		runtime.GC()
+		r := testing.Benchmark(fn)
 		results = append(results, benchResult{
 			Name:        name,
 			Iterations:  r.N,
@@ -185,16 +241,16 @@ func runBenchJSON(path string) error {
 			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
 	}
 
-	add("Fig4", testing.Benchmark(func(b *testing.B) {
+	add("Fig4", func(b *testing.B) {
 		b.ReportAllocs()
 		opt := experiments.QuickFig4Options()
 		opt.Duration = 4 * time.Second
 		for i := 0; i < b.N; i++ {
 			experiments.Fig4(opt)
 		}
-	}))
+	})
 
-	add("AdmissionDecision", testing.Benchmark(func(b *testing.B) {
+	add("AdmissionDecision", func(b *testing.B) {
 		b.ReportAllocs()
 		eng := mittos.NewEngine()
 		s := mittos.NewStack(eng, mittos.StackConfig{
@@ -206,9 +262,9 @@ func runBenchJSON(path string) error {
 		for i := 0; i < b.N; i++ {
 			_ = s.PredictWait(int64(i%900)<<30, 4096)
 		}
-	}))
+	})
 
-	add("EngineThroughput", testing.Benchmark(func(b *testing.B) {
+	add("EngineThroughput", func(b *testing.B) {
 		b.ReportAllocs()
 		eng := mittos.NewEngine()
 		n := 0
@@ -222,7 +278,69 @@ func runBenchJSON(path string) error {
 		eng.After(time.Microsecond, tick)
 		b.ResetTimer()
 		eng.Run()
-	}))
+	})
+
+	for _, procs := range []int{4, 32, 256} {
+		procs := procs
+		add(fmt.Sprintf("PredictWaitCFQ/%d", procs), func(b *testing.B) {
+			b.ReportAllocs()
+			eng := mittos.NewEngine()
+			s := mittos.NewStack(eng, mittos.StackConfig{
+				Device: mittos.DeviceDisk, Scheduler: mittos.SchedulerCFQ, Mitt: true, Seed: 1})
+			var ids blockio.IDGen
+			for p := 0; p < procs; p++ {
+				for k := 0; k < 2; k++ {
+					req := &mittos.Request{ID: ids.Next(), Op: mittos.OpRead,
+						Offset: int64(p*7+k+1) * (1 << 30), Size: 1 << 20, Proc: p + 2}
+					s.Target().SubmitSLO(req, func(error) {})
+				}
+			}
+			_ = s.PredictWait(100<<30, 4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = s.PredictWait(int64(i%900)<<30, 4096)
+			}
+		})
+	}
+
+	add("CFQSubmitDispatch", func(b *testing.B) {
+		b.ReportAllocs()
+		eng := mittos.NewEngine()
+		s := mittos.NewStack(eng, mittos.StackConfig{
+			Device: mittos.DeviceDisk, Scheduler: mittos.SchedulerCFQ, Mitt: true, Seed: 1})
+		var pool blockio.Pool
+		var ids blockio.IDGen
+		var cur *blockio.Request
+		done := func(error) { cur.Release() }
+		submit := func(off int64) {
+			cur = pool.Get()
+			cur.ID = ids.Next()
+			cur.Op = blockio.Read
+			cur.Offset, cur.Size = off, 4096
+			cur.Proc = 1
+			cur.Deadline = time.Second
+			s.Target().SubmitSLO(cur, done)
+			eng.Run()
+		}
+		for i := 0; i < 64; i++ {
+			submit(int64(i+1) * (10 << 30))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			submit(int64(i%900) << 30)
+		}
+	})
+
+	add("SeekCost", func(b *testing.B) {
+		b.ReportAllocs()
+		prof := disk.ProfileTwin(disk.DefaultConfig(), 42, disk.DefaultProfilerOptions())
+		b.ResetTimer()
+		var sink time.Duration
+		for i := 0; i < b.N; i++ {
+			sink += prof.SeekCost(int64(i%997) << 27)
+		}
+		benchSink = sink
+	})
 
 	j, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {

@@ -135,6 +135,12 @@ type Request struct {
 	// time on the simulation engine.
 	OnComplete func(*Request)
 
+	// SchedPriv is the admission layer's per-request context back-pointer
+	// (MittCFQ's pooled op), replacing a request-keyed map on the hot path.
+	// Owned by whichever layer set it; cleared when the request leaves that
+	// layer and by pool recycling.
+	SchedPriv any
+
 	// OnDrop fires when a scheduler or device discards a cancelled request
 	// (the revoked terminal). Exactly one of the completion path and OnDrop
 	// runs for a submitted request; owners that must reclaim per-IO state on

@@ -62,7 +62,8 @@ func (op *cacheHitOp) done(r *blockio.Request) {
 	onDone(nil)
 }
 
-func (m *MittCache) submitHit(req *blockio.Request, onDone func(error)) {
+// wrapHit chains the pooled completion wrapper onto req.
+func (m *MittCache) wrapHit(req *blockio.Request, onDone func(error)) {
 	var op *cacheHitOp
 	if n := len(m.hitFree); n > 0 {
 		op = m.hitFree[n-1]
@@ -73,7 +74,19 @@ func (m *MittCache) submitHit(req *blockio.Request, onDone func(error)) {
 	}
 	op.prev, op.onDone = req.OnComplete, onDone
 	req.OnComplete = op.fn
+}
+
+func (m *MittCache) submitHit(req *blockio.Request, onDone func(error)) {
+	m.wrapHit(req, onDone)
 	m.cache.Submit(req)
+}
+
+// submitResident is submitHit for a read whose residency the admission
+// check above just verified: the cache can skip its duplicate page-table
+// walk (the SubmitSLO fast path would otherwise walk every page twice).
+func (m *MittCache) submitResident(req *blockio.Request, onDone func(error)) {
+	m.wrapHit(req, onDone)
+	m.cache.SubmitResident(req)
 }
 
 // cacheMissOp is the pooled lower-layer callback for the miss path: warm
@@ -164,7 +177,7 @@ func (m *MittCache) SubmitSLO(req *blockio.Request, onDone func(error)) {
 	if m.cache.Resident(req.Offset, req.Size) {
 		m.accepted++
 		m.rec.Incr(metrics.RMittCache, metrics.CAccepted)
-		m.submitHit(req, onDone) // hit path
+		m.submitResident(req, onDone) // hit path, residency just verified
 		return
 	}
 

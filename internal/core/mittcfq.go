@@ -12,9 +12,10 @@ import (
 
 // MittCFQ is MittOS integrated with the CFQ scheduler (§4.2).
 //
-// Admission is O(P), not O(N): the layer keeps a running predicted-total-IO
-// time per process node, so the wait estimate for an arriving IO is the
-// device drain time plus the totals of the nodes CFQ will service first.
+// Admission is O(log P), not O(N): each process node carries its running
+// predicted-total-IO time (slice-clamped) inside the scheduler's augmented
+// service trees, so the wait estimate for an arriving IO is the device
+// drain time plus one aggregate prefix query — see CFQ.AheadCharge.
 //
 // Because CFQ can accept an IO and later push it back behind
 // newly-arriving higher-priority IOs, MittCFQ additionally maintains the
@@ -22,7 +23,9 @@ import (
 // bucketed by how much extra delay they can still absorb (1ms buckets).
 // When a higher-priority IO is admitted, affected entries are re-bucketed;
 // entries whose tolerable time goes negative are cancelled out of the CFQ
-// queues and their owners receive EBUSY.
+// queues and their owners receive EBUSY. The table is allocation-free in
+// steady state: entries are pooled, buckets are pooled intrusive rings,
+// and the request→entry index is the request's SchedPriv back-pointer.
 type MittCFQ struct {
 	eng   *sim.Engine
 	sched *iosched.CFQ
@@ -35,19 +38,18 @@ type MittCFQ struct {
 	// the per-node totals instead.
 	mirror *sstfMirror
 
-	// nodeTotal is the predicted total IO time per process node (§4.2:
-	// "MittCFQ keeps track of the predicted total IO time of each process
-	// node ... reducing O(N) to O(P)").
-	nodeTotal map[int]time.Duration
-
-	// Tolerable-time hash table: key = tolerable milliseconds.
-	buckets map[int64][]*cfqEntry
-	entries map[*blockio.Request]*cfqEntry
-	// order is the insertion-ordered view of entries. Charging bumped
-	// entries must walk them in a deterministic order — ranging over the
-	// entries map would randomize bucket-list and cancellation order and
-	// with it the simulation's event sequence.
-	order []*cfqEntry
+	// Tolerable-time hash table: key = tolerable milliseconds. Each bucket
+	// is an intrusive doubly-linked ring in insertion order; empty buckets
+	// recycle through bktFree.
+	buckets map[int64]*cfqBucket
+	bktFree *cfqBucket
+	// ordHead/ordTail is the insertion-ordered view of table entries.
+	// Charging bumped entries must walk them in a deterministic order —
+	// ranging over a map would randomize re-bucketing and cancellation
+	// order and with it the simulation's event sequence.
+	ordHead, ordTail *cfqEntry
+	entryFree        *cfqEntry // pooled entries, chained via olNext
+	victims          []*cfqEntry
 
 	accepted  uint64
 	rejected  uint64 // at admission
@@ -60,10 +62,10 @@ type MittCFQ struct {
 	rec *metrics.Recorder
 }
 
-// cfqOp is the pooled admission-side completion context. Its entry pointer
-// stays valid for the op's whole life: cfqEntry is deliberately not pooled
-// (a cancelled entry's late-completion guard may be consulted after the
-// entry left the table).
+// cfqOp is the pooled admission-side completion context. Until the IO
+// dispatches it is reachable from the request via SchedPriv, so the drop
+// and late-cancellation paths can reclaim it (and its entry) when the
+// completion callback will never fire.
 type cfqOp struct {
 	m       *MittCFQ
 	entry   *cfqEntry
@@ -81,10 +83,13 @@ func (op *cfqOp) done(r *blockio.Request) {
 	hasSLO, rawBusy, wait, svc := op.hasSLO, op.rawBusy, op.wait, op.svc
 	op.entry, op.prev, op.onDone = nil, nil, nil
 	m.opFree = append(m.opFree, op)
-	if entry != nil && entry.done {
-		// Cancelled late; EBUSY already delivered. (The scheduler drops
-		// cancelled IOs before dispatch, so this should not fire.)
-		return
+	if entry != nil {
+		if entry.done {
+			// Cancelled late; EBUSY already delivered. (The scheduler drops
+			// cancelled IOs before dispatch, so this should not fire.)
+			return
+		}
+		m.putEntry(entry)
 	}
 	if hasSLO && m.dec.shadow {
 		actualWait := r.Latency() - svc
@@ -127,42 +132,44 @@ func (d *cfqDispatch) done(r *blockio.Request) {
 // SetRecorder attaches a metrics recorder (nil disables, the default).
 func (m *MittCFQ) SetRecorder(rec *metrics.Recorder) { m.rec = rec }
 
-// cfqEntry is one accepted, still-cancellable, deadline-carrying IO.
+// cfqEntry is one accepted, still-cancellable, deadline-carrying IO. It is
+// pooled: alive from admission until its op completes, its request drops,
+// or its late cancellation succeeds.
 type cfqEntry struct {
 	req       *blockio.Request
 	onDone    func(error)
+	op        *cfqOp
 	tolerable time.Duration
-	bucket    int64
 	class     blockio.Class
 	prio      int
 	svc       time.Duration
 	done      bool
+
+	bkt            *cfqBucket // nil once off the table
+	bkPrev, bkNext *cfqEntry  // bucket ring, insertion order
+	olPrev, olNext *cfqEntry  // global insertion-order list
+}
+
+// cfqBucket is one 1ms tolerable-time bucket: an intrusive list head,
+// recycled through the layer's bucket freelist when emptied.
+type cfqBucket struct {
+	key  int64
+	head *cfqEntry
+	tail *cfqEntry
+	next *cfqBucket // freelist chain
 }
 
 // NewMittCFQ builds the layer over a CFQ scheduler and a disk profile.
 func NewMittCFQ(eng *sim.Engine, sched *iosched.CFQ, prof *disk.Profile, opt Options) *MittCFQ {
 	m := &MittCFQ{
 		eng: eng, sched: sched, prof: prof, opt: opt,
-		mirror:    newSSTFMirror(eng, prof, opt.Calibrate),
-		nodeTotal: make(map[int]time.Duration),
-		buckets:   make(map[int64][]*cfqEntry),
-		entries:   make(map[*blockio.Request]*cfqEntry),
+		mirror:  newSSTFMirror(eng, prof, opt.Calibrate),
+		buckets: make(map[int64]*cfqBucket),
 	}
 	m.dec.thop = opt.Thop
 	m.dec.shadow = opt.Shadow
 	sched.SetDispatchHook(m.onDispatch)
-	sched.SetDropHook(func(req *blockio.Request) {
-		// A request revoked by its owner (tied-request cancellation) was
-		// discarded before dispatch: release its node charge and entry.
-		if t := m.nodeTotal[req.Proc] - req.PredictedService; t > 0 {
-			m.nodeTotal[req.Proc] = t
-		} else {
-			m.nodeTotal[req.Proc] = 0
-		}
-		if entry, ok := m.entries[req]; ok {
-			m.dropEntry(entry)
-		}
-	})
+	sched.SetDropHook(m.onDrop)
 	return m
 }
 
@@ -186,23 +193,10 @@ func (m *MittCFQ) Counts() (accepted, rejected, cancelled uint64) {
 }
 
 // PredictWait estimates the queueing delay an IO from proc at the given
-// class would see right now: device drain + totals of nodes ahead + the
-// proc's own queued IOs.
+// class would see right now: device drain + slice-clamped totals of nodes
+// ahead (one augmented-tree query) + the proc's own queued IOs.
 func (m *MittCFQ) PredictWait(proc int, class blockio.Class) time.Duration {
-	wait := m.mirror.drainTime()
-	for _, p := range m.sched.ProcsAheadOf(proc, class) {
-		t := m.nodeTotal[p]
-		// A node ahead can hold the device for at most its time slice per
-		// round before this proc's node is served — part of
-		// "understanding the queueing discipline of the target resource"
-		// (§3.4).
-		if slice := m.sched.NodeSlice(p); t > slice {
-			t = slice
-		}
-		wait += t
-	}
-	wait += m.nodeTotal[proc]
-	return wait
+	return m.mirror.drainTime() + m.sched.AheadCharge(proc, class) + m.sched.ProcCharge(proc)
 }
 
 // SubmitSLO implements Target.
@@ -234,21 +228,7 @@ func (m *MittCFQ) SubmitSLO(req *blockio.Request, onDone func(error)) {
 
 	m.accepted++
 	m.rec.Admitted(metrics.RMittCFQ, req)
-	m.nodeTotal[req.Proc] += svc
-
-	var entry *cfqEntry
-	if hasSLO && !m.dec.shadow {
-		// Track the IO in the tolerable-time table until dispatch.
-		entry = &cfqEntry{
-			req: req, onDone: onDone,
-			tolerable: m.dec.threshold(req.Deadline) - wait,
-			class:     req.Class, prio: req.Priority, svc: svc,
-		}
-		entry.bucket = bucketOf(entry.tolerable)
-		m.buckets[entry.bucket] = append(m.buckets[entry.bucket], entry)
-		m.entries[req] = entry
-		m.order = append(m.order, entry)
-	}
+	m.sched.AddProcCharge(req.Proc, svc)
 
 	var op *cfqOp
 	if n := len(m.opFree); n > 0 {
@@ -258,9 +238,22 @@ func (m *MittCFQ) SubmitSLO(req *blockio.Request, onDone func(error)) {
 		op = &cfqOp{m: m}
 		op.fn = op.done
 	}
-	op.entry, op.hasSLO, op.rawBusy, op.wait, op.svc = entry, hasSLO, rawBusy, wait, svc
+	op.hasSLO, op.rawBusy, op.wait, op.svc = hasSLO, rawBusy, wait, svc
 	op.prev, op.onDone = req.OnComplete, onDone
+
+	var entry *cfqEntry
+	if hasSLO && !m.dec.shadow {
+		// Track the IO in the tolerable-time table until dispatch.
+		entry = m.getEntry()
+		entry.req, entry.onDone, entry.op = req, onDone, op
+		entry.tolerable = m.dec.threshold(req.Deadline) - wait
+		entry.class, entry.prio, entry.svc = req.Class, req.Priority, svc
+		m.bucketAdd(entry, bucketOf(entry.tolerable))
+		m.orderAppend(entry)
+	}
+	op.entry = entry
 	req.OnComplete = op.fn
+	req.SchedPriv = op
 	m.sched.Submit(req)
 
 	// A newly accepted IO consumes the slack of queued IOs it will be
@@ -272,14 +265,14 @@ func (m *MittCFQ) SubmitSLO(req *blockio.Request, onDone func(error)) {
 // moves from its node's total to the device mirror, and it stops being
 // cancellable.
 func (m *MittCFQ) onDispatch(req *blockio.Request) {
-	svc := req.PredictedService
-	if t := m.nodeTotal[req.Proc] - svc; t > 0 {
-		m.nodeTotal[req.Proc] = t
-	} else {
-		m.nodeTotal[req.Proc] = 0
-	}
-	if entry, ok := m.entries[req]; ok {
-		m.dropEntry(entry)
+	m.sched.ReleaseProcCharge(req.Proc, req.PredictedService)
+	if op, ok := req.SchedPriv.(*cfqOp); ok {
+		req.SchedPriv = nil
+		if op.entry != nil {
+			// The entry stays with the op (freed at completion); it merely
+			// leaves the tolerable-time table.
+			m.dropEntry(op.entry)
+		}
 	}
 	m.mirror.add(req)
 	var d *cfqDispatch
@@ -294,6 +287,23 @@ func (m *MittCFQ) onDispatch(req *blockio.Request) {
 	req.OnComplete = d.fn
 }
 
+// onDrop fires when the scheduler discards a request revoked by its owner
+// (tied-request cancellation) before dispatch: release its node charge and
+// reclaim the op and entry — their completion callback will never run.
+func (m *MittCFQ) onDrop(req *blockio.Request) {
+	m.sched.ReleaseProcCharge(req.Proc, req.PredictedService)
+	if op, ok := req.SchedPriv.(*cfqOp); ok {
+		req.SchedPriv = nil
+		req.OnComplete = op.prev
+		if e := op.entry; e != nil {
+			m.dropEntry(e)
+			m.putEntry(e)
+		}
+		op.entry, op.prev, op.onDone = nil, nil, nil
+		m.opFree = append(m.opFree, op)
+	}
+}
+
 // chargeBumpedEntries implements the re-bucketing rule (§4.2): every queued
 // entry that the new IO would be serviced ahead of loses `svc` of tolerable
 // time; entries that go negative are cancelled with EBUSY. An entry is
@@ -303,23 +313,17 @@ func (m *MittCFQ) onDispatch(req *blockio.Request) {
 // soon new IOs arrive and the deadlines of the earlier IOs can be violated
 // as they are bumped to the back".
 func (m *MittCFQ) chargeBumpedEntries(newReq *blockio.Request, svc time.Duration) {
-	if len(m.entries) == 0 {
+	if m.ordHead == nil {
 		return
 	}
-	var victims []*cfqEntry
-	for _, entry := range m.order {
+	victims := m.victims[:0]
+	for entry := m.ordHead; entry != nil; entry = entry.olNext {
 		if entry.req == newReq || entry.done || entry.req.Proc == newReq.Proc {
 			continue
 		}
-		bumps := outranks(newReq.Class, newReq.Priority, entry.class, entry.prio)
-		if !bumps && newReq.Class == entry.class {
-			for _, p := range m.sched.ProcsAheadOf(entry.req.Proc, entry.class) {
-				if p == newReq.Proc {
-					bumps = true
-					break
-				}
-			}
-		}
+		bumps := outranks(newReq.Class, newReq.Priority, entry.class, entry.prio) ||
+			(newReq.Class == entry.class &&
+				m.sched.IsAheadOf(newReq.Proc, entry.req.Proc, entry.class))
 		if !bumps {
 			continue
 		}
@@ -328,9 +332,11 @@ func (m *MittCFQ) chargeBumpedEntries(newReq *blockio.Request, svc time.Duration
 			victims = append(victims, entry)
 		}
 	}
-	for _, v := range victims {
+	for i, v := range victims {
 		m.cancel(v)
+		victims[i] = nil
 	}
+	m.victims = victims[:0]
 }
 
 // outranks reports whether (ca,pa) is scheduled ahead of (cb,pb): a higher
@@ -350,38 +356,105 @@ func bucketOf(d time.Duration) int64 {
 	return int64(ms)
 }
 
+func (m *MittCFQ) getEntry() *cfqEntry {
+	if e := m.entryFree; e != nil {
+		m.entryFree = e.olNext
+		*e = cfqEntry{}
+		return e
+	}
+	return &cfqEntry{}
+}
+
+func (m *MittCFQ) putEntry(e *cfqEntry) {
+	*e = cfqEntry{}
+	e.olNext = m.entryFree
+	m.entryFree = e
+}
+
+// bucketAdd appends the entry to the tail of the key's bucket ring,
+// creating (or recycling) the bucket on first use.
+func (m *MittCFQ) bucketAdd(e *cfqEntry, key int64) {
+	b := m.buckets[key]
+	if b == nil {
+		if b = m.bktFree; b != nil {
+			m.bktFree = b.next
+			b.key, b.next = key, nil
+		} else {
+			b = &cfqBucket{key: key}
+		}
+		m.buckets[key] = b
+	}
+	e.bkt, e.bkPrev, e.bkNext = b, b.tail, nil
+	if b.tail != nil {
+		b.tail.bkNext = e
+	} else {
+		b.head = e
+	}
+	b.tail = e
+}
+
+// bucketRemove unlinks the entry from its bucket ring, recycling the bucket
+// when it empties.
+func (m *MittCFQ) bucketRemove(e *cfqEntry) {
+	b := e.bkt
+	if b == nil {
+		return
+	}
+	if e.bkPrev != nil {
+		e.bkPrev.bkNext = e.bkNext
+	} else {
+		b.head = e.bkNext
+	}
+	if e.bkNext != nil {
+		e.bkNext.bkPrev = e.bkPrev
+	} else {
+		b.tail = e.bkPrev
+	}
+	e.bkt, e.bkPrev, e.bkNext = nil, nil, nil
+	if b.head == nil {
+		delete(m.buckets, b.key)
+		b.next = m.bktFree
+		m.bktFree = b
+	}
+}
+
 func (m *MittCFQ) rebucket(e *cfqEntry, newTolerable time.Duration) {
 	nb := bucketOf(newTolerable)
-	if nb != e.bucket {
-		m.removeFromBucket(e)
-		e.bucket = nb
-		m.buckets[nb] = append(m.buckets[nb], e)
+	if nb != e.bkt.key {
+		m.bucketRemove(e)
+		m.bucketAdd(e, nb)
 	}
 	e.tolerable = newTolerable
 }
 
-func (m *MittCFQ) removeFromBucket(e *cfqEntry) {
-	list := m.buckets[e.bucket]
-	for i, x := range list {
-		if x == e {
-			m.buckets[e.bucket] = append(list[:i], list[i+1:]...)
-			break
-		}
+func (m *MittCFQ) orderAppend(e *cfqEntry) {
+	e.olPrev, e.olNext = m.ordTail, nil
+	if m.ordTail != nil {
+		m.ordTail.olNext = e
+	} else {
+		m.ordHead = e
 	}
-	if len(m.buckets[e.bucket]) == 0 {
-		delete(m.buckets, e.bucket)
-	}
+	m.ordTail = e
 }
 
+// dropEntry takes the entry off the tolerable-time table (bucket ring and
+// order list); it is a no-op for entries already off.
 func (m *MittCFQ) dropEntry(e *cfqEntry) {
-	m.removeFromBucket(e)
-	delete(m.entries, e.req)
-	for i, x := range m.order {
-		if x == e {
-			m.order = append(m.order[:i], m.order[i+1:]...)
-			break
-		}
+	if e.bkt == nil {
+		return
 	}
+	m.bucketRemove(e)
+	if e.olPrev != nil {
+		e.olPrev.olNext = e.olNext
+	} else {
+		m.ordHead = e.olNext
+	}
+	if e.olNext != nil {
+		e.olNext.olPrev = e.olPrev
+	} else {
+		m.ordTail = e.olPrev
+	}
+	e.olPrev, e.olNext = nil, nil
 }
 
 // cancel delivers late EBUSY: the IO is pulled out of the CFQ queues (never
@@ -392,7 +465,8 @@ func (m *MittCFQ) cancel(e *cfqEntry) {
 	}
 	if !m.dec.rejects(true) {
 		// Injected false negative (§7.7): the cancellation verdict is
-		// suppressed and the IO continues; stop tracking it.
+		// suppressed and the IO continues; stop tracking it. The entry
+		// stays with its op until the IO completes.
 		m.dropEntry(e)
 		return
 	}
@@ -404,14 +478,20 @@ func (m *MittCFQ) cancel(e *cfqEntry) {
 		e.done = false
 		return
 	}
-	e.req.Cancel()
-	if t := m.nodeTotal[e.req.Proc] - e.svc; t > 0 {
-		m.nodeTotal[e.req.Proc] = t
-	} else {
-		m.nodeTotal[e.req.Proc] = 0
-	}
+	req := e.req
+	req.Cancel()
+	m.sched.ReleaseProcCharge(req.Proc, e.svc)
 	m.cancelled++
-	busyErr := &BusyError{PredictedWait: -e.tolerable + e.req.Deadline}
-	m.rec.Rejected(metrics.RMittCFQ, e.req, busyErr.PredictedWait, true)
+	busyErr := &BusyError{PredictedWait: -e.tolerable + req.Deadline}
+	m.rec.Rejected(metrics.RMittCFQ, req, busyErr.PredictedWait, true)
 	m.replies.deliver(m.eng, m.opt.SyscallCost, e.onDone, busyErr)
+	// The removed IO never dispatches, so its completion callback never
+	// fires: unwind it and reclaim the op and entry.
+	if op := e.op; op != nil {
+		req.OnComplete = op.prev
+		req.SchedPriv = nil
+		op.entry, op.prev, op.onDone = nil, nil, nil
+		m.opFree = append(m.opFree, op)
+	}
+	m.putEntry(e)
 }

@@ -53,7 +53,8 @@ type MittSSD struct {
 	opFree  []*ssdOp
 	decFree []*chanDec
 	// chanPages is admission scratch: pages of the current request per
-	// channel. Zeroed at the start of every accepted submission.
+	// channel. Invariant: all-zero between submissions — each accepted
+	// submission re-zeroes exactly the channels it touched.
 	chanPages []int
 
 	rec *metrics.Recorder
@@ -233,9 +234,6 @@ func (m *MittSSD) SubmitSLO(req *blockio.Request, onDone func(error)) {
 	// everyone else — false positives).
 	first, count := m.dev.PageSpan(req.Offset, req.Size)
 	ps := int64(m.dev.Config().PageSize)
-	for i := range m.chanPages {
-		m.chanPages[i] = 0
-	}
 	for p := first; p < first+count; p++ {
 		chipID, chanID := m.dev.ChipForOffset(p * ps)
 		if m.chipNextFree[chipID] < now {
@@ -266,6 +264,18 @@ func (m *MittSSD) SubmitSLO(req *blockio.Request, onDone func(error)) {
 		}
 		d.ch = chanID
 		m.eng.After(xferAt, d.fn)
+	}
+	// Restore the scratch's all-zero invariant, touching only the channels
+	// this request used instead of sweeping the whole array per submit.
+	if count >= int64(len(m.chanPages)) {
+		for i := range m.chanPages {
+			m.chanPages[i] = 0
+		}
+	} else {
+		for p := first; p < first+count; p++ {
+			_, chanID := m.dev.ChipForOffset(p * ps)
+			m.chanPages[chanID] = 0
+		}
 	}
 
 	var op *ssdOp

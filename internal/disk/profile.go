@@ -1,6 +1,7 @@
 package disk
 
 import (
+	"math/bits"
 	"time"
 
 	"mittos/internal/blockio"
@@ -28,6 +29,41 @@ type Profile struct {
 	// or policy characterization, as Appendix A characterizes the queue
 	// policy): IOs older than this are served FIFO, not SSTF.
 	AgeLimit time.Duration
+
+	// Direct-index seek lookup built by Prepare: seekIdx maps
+	// dist>>seekShift to a candidate bucket (the cell width 2^seekShift
+	// never exceeds BucketBytes, so a cell spans at most two buckets and
+	// one boundary compare resolves it), replacing the hot-path division.
+	// BucketBytes is not a power of two for realistic capacities, so a
+	// plain shift cannot index the buckets directly.
+	seekIdx   []int16
+	seekShift uint
+	seekBound []int64 // (i+1)*BucketBytes per bucket
+}
+
+// Prepare builds the division-free seek lookup. ProfileDisk calls it;
+// hand-built profiles may call it too (or skip it — SeekCost falls back to
+// the dividing path). The profile must not be mutated afterwards.
+func (p *Profile) Prepare() {
+	nb := len(p.SeekBuckets)
+	if nb == 0 || nb > 1<<15-1 || p.BucketBytes <= 0 {
+		return
+	}
+	shift := uint(bits.Len64(uint64(p.BucketBytes)) - 1)
+	span := int64(nb) * p.BucketBytes
+	idx := make([]int16, span>>shift+1)
+	for j := range idx {
+		i := (int64(j) << shift) / p.BucketBytes
+		if i >= int64(nb) {
+			i = int64(nb) - 1
+		}
+		idx[j] = int16(i)
+	}
+	bound := make([]int64, nb)
+	for i := range bound {
+		bound[i] = (int64(i) + 1) * p.BucketBytes
+	}
+	p.seekIdx, p.seekShift, p.seekBound = idx, shift, bound
 }
 
 // SeekCost predicts the positioning cost for a head movement of dist bytes.
@@ -37,6 +73,16 @@ func (p *Profile) SeekCost(dist int64) time.Duration {
 	}
 	if dist <= p.SeqThreshold {
 		return p.SeqCost
+	}
+	if t := p.seekIdx; t != nil {
+		if j := uint64(dist) >> p.seekShift; j < uint64(len(t)) {
+			i := int(t[j])
+			if i+1 < len(p.SeekBuckets) && dist >= p.seekBound[i] {
+				i++
+			}
+			return p.SeekBuckets[i]
+		}
+		return p.SeekBuckets[len(p.SeekBuckets)-1]
 	}
 	i := int(dist / p.BucketBytes)
 	if i >= len(p.SeekBuckets) {
@@ -166,6 +212,7 @@ func ProfileDisk(eng *sim.Engine, d *Disk, opt ProfilerOptions) *Profile {
 		smoothed[i] = sum / time.Duration(n)
 	}
 	prof.SeekBuckets = smoothed
+	prof.Prepare()
 	return prof
 }
 

@@ -119,10 +119,25 @@ type procNode struct {
 	class blockio.Class
 	prio  int
 	tree  rbTree
-	onRR  bool
+	// total is the admission layer's predicted total IO time charged to
+	// this node (§4.2: "MittCFQ keeps track of the predicted total IO time
+	// of each process node"); contrib is the slice-clamped value the
+	// service-tree aggregates sum — min(total, Slice(prio)) while the node
+	// has queued IOs, 0 otherwise.
+	total   time.Duration
+	contrib time.Duration
+	// st is the node's slot on its class service tree (nil while active or
+	// idle); stRank is the class rank it was enqueued under, which lags
+	// class until the node is re-enqueued (ionice semantics).
+	st     *stNode
+	stRank int
 	// headPos is the offset dispatch resumes from (ascending elevator).
 	headPos int64
 }
+
+// denseProcs bounds the O(1) proc→node lookup array; processes with IDs
+// outside [0, denseProcs) fall back to the map.
+const denseProcs = 1024
 
 // CFQ is the Completely Fair Queueing scheduler model.
 type CFQ struct {
@@ -130,8 +145,10 @@ type CFQ struct {
 	cfg  CFQConfig
 	down Downstream
 
-	nodes    map[int]*procNode
-	rr       [3][]*procNode // round-robin per class rank (0 = RT)
+	dense    []*procNode       // proc → node for small non-negative IDs
+	nodes    map[int]*procNode // fallback for IDs outside the dense range
+	st       [3]serviceTree    // round-robin per class rank (0 = RT)
+	stSeq    uint64
 	active   *procNode
 	sliceEnd sim.Time
 
@@ -141,6 +158,7 @@ type CFQ struct {
 	dispatchHook func(*blockio.Request)
 	dropHook     func(*blockio.Request)
 	dispFree     []*cfqDisp
+	aheadScratch []int
 	rec          *metrics.Recorder
 }
 
@@ -200,21 +218,65 @@ func (c *CFQ) Submit(req *blockio.Request) {
 	node.prio = req.Priority
 	node.tree.Insert(req)
 	c.queued++
-	if !node.onRR && node != c.active {
-		node.onRR = true
-		r := node.class.Rank()
-		c.rr[r] = append(c.rr[r], node)
+	c.refreshContrib(node)
+	if node.st == nil && node != c.active {
+		c.enqueue(node)
 	}
 	c.pump()
 }
 
+// enqueue appends the node to the tail of its class round-robin.
+func (c *CFQ) enqueue(n *procNode) {
+	c.stSeq++
+	n.stRank = n.class.Rank()
+	c.st[n.stRank].append(n, c.stSeq)
+}
+
+// lookup returns the proc's node, or nil.
+func (c *CFQ) lookup(proc int) *procNode {
+	if proc >= 0 && proc < len(c.dense) {
+		return c.dense[proc]
+	}
+	return c.nodes[proc]
+}
+
 func (c *CFQ) node(proc int) *procNode {
-	n, ok := c.nodes[proc]
-	if !ok {
-		n = &procNode{proc: proc, class: blockio.ClassBestEffort, prio: 4}
+	if n := c.lookup(proc); n != nil {
+		return n
+	}
+	n := &procNode{proc: proc, class: blockio.ClassBestEffort, prio: 4}
+	if proc >= 0 && proc < denseProcs {
+		if proc >= len(c.dense) {
+			grown := make([]*procNode, proc+1)
+			copy(grown, c.dense)
+			c.dense = grown
+		}
+		c.dense[proc] = n
+	} else {
 		c.nodes[proc] = n
 	}
 	return n
+}
+
+// refreshContrib recomputes the node's slice-clamped aggregate contribution
+// after a change to its total, priority, or queued-IO count, propagating
+// the delta into its service tree when it is enqueued.
+func (c *CFQ) refreshContrib(n *procNode) {
+	var nc time.Duration
+	if n.tree.Len() > 0 {
+		nc = n.total
+		if s := c.cfg.Slice(n.prio); nc > s {
+			nc = s
+		}
+	}
+	if nc == n.contrib {
+		return
+	}
+	delta := nc - n.contrib
+	n.contrib = nc
+	if n.st != nil {
+		c.st[n.stRank].update(n.st, delta)
+	}
 }
 
 // InFlight implements blockio.Device.
@@ -229,7 +291,7 @@ func (c *CFQ) Dispatched() uint64 { return c.dispatched }
 
 // PendingOf returns the number of queued IOs of one process.
 func (c *CFQ) PendingOf(proc int) int {
-	if n, ok := c.nodes[proc]; ok {
+	if n := c.lookup(proc); n != nil {
 		return n.tree.Len()
 	}
 	return 0
@@ -239,25 +301,125 @@ func (c *CFQ) PendingOf(proc int) int {
 // cancellation path). It returns false if the request already left for the
 // device.
 func (c *CFQ) Remove(req *blockio.Request) bool {
-	n, ok := c.nodes[req.Proc]
-	if !ok {
+	n := c.lookup(req.Proc)
+	if n == nil {
 		return false
 	}
 	if n.tree.Remove(req) {
 		c.queued--
+		c.refreshContrib(n)
 		c.rec.SchedRemove(metrics.RSchedCFQ, req)
 		return true
 	}
 	return false
 }
 
+// AddProcCharge adds predicted IO time to the proc's node total — MittCFQ's
+// per-node accounting (§4.2), kept on the node so the service-tree
+// aggregates can sum it.
+func (c *CFQ) AddProcCharge(proc int, d time.Duration) {
+	n := c.node(proc)
+	n.total += d
+	c.refreshContrib(n)
+}
+
+// ReleaseProcCharge returns predicted IO time to the proc's node when an IO
+// dispatches, cancels, or drops, flooring at zero.
+func (c *CFQ) ReleaseProcCharge(proc int, d time.Duration) {
+	n := c.node(proc)
+	if t := n.total - d; t > 0 {
+		n.total = t
+	} else {
+		n.total = 0
+	}
+	c.refreshContrib(n)
+}
+
+// ProcCharge returns the proc's unclamped charged total.
+func (c *CFQ) ProcCharge(proc int) time.Duration {
+	if n := c.lookup(proc); n != nil {
+		return n.total
+	}
+	return 0
+}
+
+// AheadCharge returns the slice-clamped charge sum of every process node
+// CFQ would service before a newly arriving IO from `proc` at the given
+// class — the augmented-tree form of the ProcsAheadOf walk: the active
+// node's clamped charge plus one aggregate (or prefix) query per class rank,
+// O(log P) total. ProcsAheadOf remains as the walking oracle; the two agree
+// exactly because integer addition is order-independent and both apply the
+// same inclusion and clamping rules.
+func (c *CFQ) AheadCharge(proc int, class blockio.Class) time.Duration {
+	var sum time.Duration
+	rank := class.Rank()
+	if c.active != nil && c.active.proc != proc && c.active.tree.Len() > 0 &&
+		rank >= c.active.class.Rank() {
+		sum += c.active.contrib
+	}
+	pn := c.lookup(proc)
+	for r := 0; r <= rank; r++ {
+		t := &c.st[r]
+		if t.size == 0 {
+			continue
+		}
+		if pn != nil && pn.st != nil && pn.stRank == r {
+			if r < rank {
+				// The walk skips the proc's own node wherever it sits.
+				sum += t.total() - pn.contrib
+			} else {
+				// Same class: only nodes ahead in round-robin order count.
+				sum += t.prefixBefore(pn.st)
+			}
+		} else {
+			sum += t.total()
+		}
+	}
+	return sum
+}
+
+// IsAheadOf reports whether candidate's node is among the processes CFQ
+// would service before a new IO from proc at the given class — the O(log P)
+// membership form of ProcsAheadOf, used when charging bumped entries.
+func (c *CFQ) IsAheadOf(candidate, proc int, class blockio.Class) bool {
+	if candidate == proc {
+		return false
+	}
+	cn := c.lookup(candidate)
+	if cn == nil || cn.tree.Len() == 0 {
+		return false
+	}
+	rank := class.Rank()
+	if cn == c.active {
+		return rank >= c.active.class.Rank()
+	}
+	if cn.st == nil {
+		return false
+	}
+	if cn.stRank > rank {
+		return false
+	}
+	if cn.stRank < rank {
+		return true
+	}
+	// Same class: everyone already queued is ahead of a newly-joining node
+	// (RR tail insertion). If proc is already on the RR, nodes before it
+	// are ahead.
+	pn := c.lookup(proc)
+	if pn == nil || pn.st == nil || pn.stRank != rank {
+		return true
+	}
+	return cn.st.key < pn.st.key
+}
+
 // ProcsAheadOf returns the process IDs whose queued IOs CFQ would service
 // before a newly arriving IO from `proc` at (class, prio) — the O(P) walk
-// MittCFQ performs instead of iterating every pending IO (§4.2). The order
-// is: the active node, nodes of higher classes, then same-class nodes ahead
-// in round-robin order.
+// of §4.2, kept as the oracle AheadCharge and IsAheadOf are verified
+// against. The order is: the active node, nodes of higher classes, then
+// same-class nodes ahead in round-robin order. The returned slice is scratch
+// reused across calls.
 func (c *CFQ) ProcsAheadOf(proc int, class blockio.Class) []int {
-	var ahead []int
+	ahead := c.aheadScratch[:0]
 	// The active node counts only when the newcomer cannot preempt it: a
 	// higher-class arrival takes over at the next dispatch decision, so
 	// only the active node's device-resident IOs (accounted separately by
@@ -267,39 +429,30 @@ func (c *CFQ) ProcsAheadOf(proc int, class blockio.Class) []int {
 		rank >= c.active.class.Rank() {
 		ahead = append(ahead, c.active.proc)
 	}
+	var procKey uint64
+	procOn := false
+	if pn := c.lookup(proc); pn != nil && pn.st != nil && pn.stRank == rank {
+		procKey, procOn = pn.st.key, true
+	}
 	for r := 0; r <= rank; r++ {
-		for _, n := range c.rr[r] {
+		for x := c.st[r].first(); x != nil; x = stNext(x) {
+			n := x.pn
 			if n.proc == proc || n.tree.Len() == 0 {
 				continue
 			}
-			if r < rank {
-				ahead = append(ahead, n.proc)
-				continue
-			}
-			// Same class: everyone already queued is ahead of a
-			// newly-joining node (RR tail insertion). If proc is already
-			// on the RR, nodes before it are ahead.
-			if idxOf(c.rr[r], proc) == -1 || idxOf(c.rr[r], proc) > idxOf(c.rr[r], n.proc) {
+			if r < rank || !procOn || x.key < procKey {
 				ahead = append(ahead, n.proc)
 			}
 		}
 	}
+	c.aheadScratch = ahead
 	return ahead
-}
-
-func idxOf(list []*procNode, proc int) int {
-	for i, n := range list {
-		if n.proc == proc {
-			return i
-		}
-	}
-	return -1
 }
 
 // NodeSlice returns the time slice the proc's node currently earns — the
 // bound on how long one node can hold the device per round.
 func (c *CFQ) NodeSlice(proc int) time.Duration {
-	if n, ok := c.nodes[proc]; ok {
+	if n := c.lookup(proc); n != nil {
 		return c.cfg.Slice(n.prio)
 	}
 	return c.cfg.Slice(4)
@@ -307,7 +460,7 @@ func (c *CFQ) NodeSlice(proc int) time.Duration {
 
 // EachQueued visits every queued request of a process in offset order.
 func (c *CFQ) EachQueued(proc int, fn func(*blockio.Request) bool) {
-	if n, ok := c.nodes[proc]; ok {
+	if n := c.lookup(proc); n != nil {
 		n.tree.Each(fn)
 	}
 }
@@ -368,7 +521,7 @@ func (c *CFQ) needNewSlice() bool {
 		return true
 	}
 	// RealTime preemption: an RT node waiting preempts lower classes.
-	if c.active.class != blockio.ClassRealTime && len(c.rr[blockio.ClassRealTime.Rank()]) > 0 {
+	if c.active.class != blockio.ClassRealTime && c.st[blockio.ClassRealTime.Rank()].size > 0 {
 		return true
 	}
 	return false
@@ -382,19 +535,13 @@ func (c *CFQ) selectNext() {
 	if c.active != nil {
 		if c.active.tree.Len() > 0 {
 			// Unfinished node goes to the back of its class RR.
-			c.active.onRR = true
-			r := c.active.class.Rank()
-			c.rr[r] = append(c.rr[r], c.active)
-		} else {
-			c.active.onRR = false
+			c.enqueue(c.active)
 		}
 		c.active = nil
 	}
 	for r := 0; r < 3; r++ {
-		for len(c.rr[r]) > 0 {
-			n := c.rr[r][0]
-			c.rr[r] = c.rr[r][1:]
-			n.onRR = false
+		for c.st[r].size > 0 {
+			n := c.st[r].popMin()
 			if n.tree.Len() == 0 {
 				continue
 			}
@@ -415,6 +562,7 @@ func (c *CFQ) dispatchFrom(n *procNode) *blockio.Request {
 			req = n.tree.Min()
 		}
 		n.tree.Remove(req)
+		c.refreshContrib(n)
 		n.headPos = req.End()
 		return req
 	}

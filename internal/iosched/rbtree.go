@@ -42,15 +42,32 @@ type rbTree struct {
 	root *rbNode
 	size int
 	seq  uint64
+	free *rbNode // recycled nodes, chained via right
 }
 
 // Len returns the number of stored requests.
 func (t *rbTree) Len() int { return t.size }
 
+func (t *rbTree) getNode() *rbNode {
+	if n := t.free; n != nil {
+		t.free = n.right
+		*n = rbNode{}
+		return n
+	}
+	return &rbNode{}
+}
+
+func (t *rbTree) putNode(n *rbNode) {
+	*n = rbNode{}
+	n.right = t.free
+	t.free = n
+}
+
 // Insert adds a request keyed by its offset.
 func (t *rbTree) Insert(req *blockio.Request) {
 	t.seq++
-	n := &rbNode{key: rbKey{req.Offset, t.seq}, req: req, color: rbRed}
+	n := t.getNode()
+	n.key, n.req, n.color = rbKey{req.Offset, t.seq}, req, rbRed
 	t.size++
 	if t.root == nil {
 		n.color = rbBlack
@@ -197,8 +214,9 @@ func (t *rbTree) PopMin() *blockio.Request {
 		return nil
 	}
 	n := t.minNode(t.root)
+	req := n.req
 	t.delete(n)
-	return n.req
+	return req
 }
 
 // Remove deletes the node holding req (matched by identity). It returns
@@ -286,6 +304,7 @@ func (t *rbTree) delete(z *rbNode) {
 	if yColor == rbBlack {
 		t.deleteFixup(x, xParent)
 	}
+	t.putNode(z)
 }
 
 func (t *rbTree) transplant(u, v *rbNode) {

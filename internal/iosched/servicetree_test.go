@@ -1,0 +1,139 @@
+package iosched
+
+import (
+	"testing"
+	"time"
+)
+
+// naivePrefix walks the tree in round-robin order summing contribs until it
+// reaches target — the reference for prefixBefore.
+func naivePrefix(t *serviceTree, target *procNode) time.Duration {
+	var sum time.Duration
+	t.each(func(pn *procNode) bool {
+		if pn == target {
+			return false
+		}
+		sum += pn.contrib
+		return true
+	})
+	return sum
+}
+
+func naiveTotal(t *serviceTree) time.Duration {
+	var sum time.Duration
+	t.each(func(pn *procNode) bool { sum += pn.contrib; return true })
+	return sum
+}
+
+func TestServiceTreeAppendPopFIFO(t *testing.T) {
+	var st serviceTree
+	var seq uint64
+	var order []*procNode
+	for i := 0; i < 60; i++ {
+		pn := &procNode{proc: i, contrib: time.Duration(i%7+1) * time.Millisecond}
+		seq++
+		st.append(pn, seq)
+		order = append(order, pn)
+		if st.checkAggregates() < 0 {
+			t.Fatalf("aggregates broken after append %d", i)
+		}
+		if st.total() != naiveTotal(&st) {
+			t.Fatalf("total()=%v, naive=%v after append %d", st.total(), naiveTotal(&st), i)
+		}
+	}
+	if st.size != 60 {
+		t.Fatalf("size = %d, want 60", st.size)
+	}
+	for i, want := range order {
+		got := st.popMin()
+		if got != want {
+			t.Fatalf("popMin %d returned proc %d, want %d (FIFO)", i, got.proc, want.proc)
+		}
+		if got.st != nil {
+			t.Fatalf("popped node still points at a tree slot")
+		}
+		if st.checkAggregates() < 0 {
+			t.Fatalf("aggregates broken after pop %d", i)
+		}
+	}
+	if st.popMin() != nil || st.size != 0 || st.total() != 0 {
+		t.Fatal("tree not empty after drain")
+	}
+}
+
+// TestServiceTreeRotationAggregates exercises the rotation paths hard:
+// monotonic appends descend the right spine, so every insertFixup rotates,
+// and interleaved pops exercise deleteFixup. The subtree sums and every
+// prefix query must survive each restructure.
+func TestServiceTreeRotationAggregates(t *testing.T) {
+	var st serviceTree
+	var seq uint64
+	live := map[*procNode]bool{}
+	checkAll := func(op string) {
+		t.Helper()
+		if st.checkAggregates() < 0 {
+			t.Fatalf("%s: invariants violated (size %d)", op, st.size)
+		}
+		if st.total() != naiveTotal(&st) {
+			t.Fatalf("%s: total mismatch", op)
+		}
+		for pn := range live {
+			if got, want := st.prefixBefore(pn.st), naivePrefix(&st, pn); got != want {
+				t.Fatalf("%s: prefixBefore(proc %d) = %v, naive %v", op, pn.proc, got, want)
+			}
+		}
+	}
+	for i := 0; i < 200; i++ {
+		pn := &procNode{proc: i, contrib: time.Duration(i%13) * time.Millisecond}
+		seq++
+		st.append(pn, seq)
+		live[pn] = true
+		checkAll("append")
+		if i%3 == 2 {
+			popped := st.popMin()
+			delete(live, popped)
+			checkAll("popMin")
+		}
+		if i%5 == 4 {
+			// In-place contrib change with delta propagation.
+			var victim *procNode
+			for pn := range live {
+				victim = pn
+				break
+			}
+			delta := time.Duration(i%9-4) * time.Millisecond
+			if victim.contrib+delta < 0 {
+				delta = -victim.contrib
+			}
+			victim.contrib += delta
+			st.update(victim.st, delta)
+			checkAll("update")
+		}
+	}
+	for st.size > 0 {
+		delete(live, st.popMin())
+		checkAll("drain")
+	}
+}
+
+func TestServiceTreeNodeRecycling(t *testing.T) {
+	var st serviceTree
+	var seq uint64
+	// Fill and drain twice: the second round must reuse freelist nodes
+	// without stale state leaking through.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 20; i++ {
+			seq++
+			st.append(&procNode{proc: i, contrib: time.Millisecond}, seq)
+		}
+		if st.total() != 20*time.Millisecond {
+			t.Fatalf("round %d: total = %v", round, st.total())
+		}
+		for st.size > 0 {
+			st.popMin()
+			if st.checkAggregates() < 0 {
+				t.Fatalf("round %d: invariants violated on drain", round)
+			}
+		}
+	}
+}
