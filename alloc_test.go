@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mittos/internal/blockio"
+	"mittos/internal/kv"
 )
 
 // TestAllocBudgets pins the steady-state allocation budgets of the two
@@ -86,6 +87,31 @@ func TestAllocBudgets(t *testing.T) {
 		})
 		if avg != 0 {
 			t.Fatalf("After+Run allocates %.1f objects per event; budget is 0", avg)
+		}
+	})
+	t.Run("PutAccepted", func(t *testing.T) {
+		// The accepted durable-put round trip: WAL group assembly, SLO
+		// admission through MittCFQ, dispatch, completion, memtable apply,
+		// and memory-latency ack — every context on the path is pooled.
+		eng := NewEngine()
+		s := NewStack(eng, StackConfig{Device: DeviceDisk, Scheduler: SchedulerCFQ, Mitt: true, Seed: 1})
+		cfg := kv.DefaultConfig(0, 100<<30)
+		cfg.MemtableCap = 1 << 30 // isolate the WAL path: never flush
+		var ids blockio.IDGen
+		st := kv.New(eng, cfg, s.Target(), &ids)
+		done := func(error) {}
+		put := func() {
+			st.PutDurable(7, time.Second, done)
+			eng.Run()
+		}
+		for i := 0; i < 64; i++ { // warm every pool on the path
+			put()
+		}
+		avg := testing.AllocsPerRun(200, func() {
+			put()
+		})
+		if avg != 0 {
+			t.Fatalf("accepted durable put allocates %.1f objects per op; budget is 0", avg)
 		}
 	})
 }

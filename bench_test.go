@@ -15,6 +15,7 @@ import (
 	"mittos/internal/blockio"
 	"mittos/internal/disk"
 	"mittos/internal/experiments"
+	"mittos/internal/kv"
 	"mittos/internal/stats"
 )
 
@@ -179,6 +180,40 @@ func BenchmarkFailslow(b *testing.B) {
 	res := benchExperiment(b, "failslow")
 	reportTailMetrics(b, res, "MittOS", "mitt")
 	reportTailMetrics(b, res, "Base", "base")
+}
+
+// BenchmarkYCSBMix regenerates the YCSB A/B/F mixed-workload matrix (every
+// read strategy paired with its write-side mirror over quorum puts).
+func BenchmarkYCSBMix(b *testing.B) {
+	res := benchExperiment(b, "ycsbmix")
+	reportTailMetrics(b, res, "A/MittOS put", "mitt-put")
+	reportTailMetrics(b, res, "A/Base put", "base-put")
+}
+
+// BenchmarkPutAdmission measures the accepted durable-put round trip: WAL
+// group assembly, SLO admission through MittCFQ, dispatch, completion,
+// memtable apply, and the memory-latency ack — the write-path twin of
+// BenchmarkCFQSubmitDispatch, and allocation-free in steady state.
+func BenchmarkPutAdmission(b *testing.B) {
+	eng := NewEngine()
+	s := NewStack(eng, StackConfig{Device: DeviceDisk, Scheduler: SchedulerCFQ, Mitt: true, Seed: 1})
+	cfg := kv.DefaultConfig(0, 100<<30)
+	cfg.MemtableCap = 1 << 30 // isolate the WAL path: never flush
+	var ids blockio.IDGen
+	st := kv.New(eng, cfg, s.Target(), &ids)
+	done := func(error) {}
+	put := func() {
+		st.PutDurable(7, time.Second, done)
+		eng.Run()
+	}
+	for i := 0; i < 64; i++ { // warm every pool on the path
+		put()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		put()
+	}
 }
 
 // BenchmarkAdmissionDecision measures the cost of one MittOS admission

@@ -38,6 +38,7 @@ import (
 	"mittos/internal/disk"
 	"mittos/internal/experiments"
 	"mittos/internal/faults"
+	"mittos/internal/kv"
 	"mittos/internal/metrics"
 )
 
@@ -302,6 +303,38 @@ func runBenchJSON(path string) error {
 			}
 		})
 	}
+
+	add("YCSBMix", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Run("ycsbmix", experiments.RunConfig{Quick: true, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	add("PutAdmission", func(b *testing.B) {
+		b.ReportAllocs()
+		eng := mittos.NewEngine()
+		s := mittos.NewStack(eng, mittos.StackConfig{
+			Device: mittos.DeviceDisk, Scheduler: mittos.SchedulerCFQ, Mitt: true, Seed: 1})
+		cfg := kv.DefaultConfig(0, 100<<30)
+		cfg.MemtableCap = 1 << 30 // isolate the WAL path: never flush
+		var ids blockio.IDGen
+		st := kv.New(eng, cfg, s.Target(), &ids)
+		done := func(error) {}
+		put := func() {
+			st.PutDurable(7, time.Second, done)
+			eng.Run()
+		}
+		for i := 0; i < 64; i++ {
+			put()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			put()
+		}
+	})
 
 	add("CFQSubmitDispatch", func(b *testing.B) {
 		b.ReportAllocs()

@@ -115,6 +115,12 @@ type Request struct {
 	DispatchTime sim.Time // entered the device
 	CompleteTime sim.Time // completion callback fired
 
+	// QueuedTime marks when the oldest work batched into this request was
+	// enqueued above the stack (group-committed WAL appends): the span
+	// tracer exposes queued→submit as the wal-queue stage. Zero for IOs
+	// that were never batch-queued.
+	QueuedTime sim.Time
+
 	// MittOS bookkeeping, attached to the descriptor exactly as §4.1
 	// describes: predicted processing time and IO start time, so the
 	// completion path can compute Tdiff = actual − predicted.

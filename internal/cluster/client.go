@@ -44,11 +44,23 @@ type Client struct {
 	wl    *ycsb.Workload
 	rng   *sim.RNG
 
+	// putStrat, when set via SetPutStrategy, switches the client to mixed
+	// read/write issuing: each tick draws an op from the workload mix and
+	// writes go through the put strategy.
+	putStrat PutStrategy
+	// rmw makes every write a read-modify-write (YCSB workload F): the get
+	// completes first, then the put is issued, and the user latency covers
+	// both legs.
+	rmw bool
+
 	// UserLatencies holds per-user-request completion times (max over the
 	// scale-factor fan-out) — the Figure 6 metric.
 	UserLatencies *stats.Sample
 	// IOLatencies holds per-get completion times — the Figure 5 metric.
 	IOLatencies *stats.Sample
+	// PutLatencies holds per-put quorum-ack times (empty for read-only
+	// clients).
+	PutLatencies *stats.Sample
 
 	issued   int
 	finished int
@@ -67,7 +79,10 @@ type userReq struct {
 	start     sim.Time
 	remaining int
 	failed    bool
+	key       int64           // RMW carry: the key the follow-up put writes
 	fn        func(GetResult) // pre-bound u.done
+	putFn     func(PutResult) // pre-bound u.putDone
+	rmwFn     func(GetResult) // pre-bound u.rmwGet: get leg of a workload-F op
 }
 
 func (u *userReq) done(res GetResult) {
@@ -80,6 +95,35 @@ func (u *userReq) done(res GetResult) {
 	if u.remaining > 0 {
 		return
 	}
+	u.finish()
+}
+
+func (u *userReq) putDone(res PutResult) {
+	cl := u.cl
+	cl.PutLatencies.Add(cl.eng.Now().Sub(u.start))
+	if res.Err != nil {
+		u.failed = true
+	}
+	u.remaining--
+	if u.remaining > 0 {
+		return
+	}
+	u.finish()
+}
+
+// rmwGet is the read leg of a read-modify-write: record the get like any
+// sub-get, then chain the put on the same key without releasing the context.
+func (u *userReq) rmwGet(res GetResult) {
+	cl := u.cl
+	cl.IOLatencies.Add(cl.eng.Now().Sub(u.start))
+	if res.Err != nil {
+		u.failed = true
+	}
+	cl.putStrat.Put(u.key, u.putFn)
+}
+
+func (u *userReq) finish() {
+	cl := u.cl
 	cl.finished++
 	if u.failed {
 		cl.errors++
@@ -108,9 +152,22 @@ func NewClient(eng *sim.Engine, cfg ClientConfig, strat Strategy,
 		eng: eng, cfg: cfg, strat: strat, wl: wl, rng: rng,
 		UserLatencies: stats.NewSample(ops),
 		IOLatencies:   stats.NewSample(ops * cfg.ScaleFactor),
+		PutLatencies:  stats.NewSample(ops),
 	}
 	cl.tickFn = cl.tick
 	return cl
+}
+
+// SetPutStrategy switches the client to mixed issuing: each tick draws
+// Workload.Next and routes writes through ps. rmw turns writes into
+// read-modify-writes (YCSB F); the per-request context carries one RMW key,
+// so rmw requires ScaleFactor 1. Must be called before Start.
+func (cl *Client) SetPutStrategy(ps PutStrategy, rmw bool) {
+	if rmw && cl.cfg.ScaleFactor != 1 {
+		panic("cluster: RMW clients require ScaleFactor 1")
+	}
+	cl.putStrat = ps
+	cl.rmw = rmw
 }
 
 // Start begins issuing requests.
@@ -156,11 +213,32 @@ func (cl *Client) issueOne() {
 	} else {
 		u = &userReq{cl: cl}
 		u.fn = u.done
+		u.putFn = u.putDone
+		u.rmwFn = u.rmwGet
 	}
 	u.start = cl.eng.Now()
 	u.remaining = cl.cfg.ScaleFactor
 	u.failed = false
+	if cl.putStrat == nil {
+		// Read-only clients draw keys exactly as before the mixed path
+		// existed, keeping their RNG streams golden-stable.
+		for i := 0; i < cl.cfg.ScaleFactor; i++ {
+			cl.strat.Get(cl.wl.NextKey(), u.fn)
+		}
+		return
+	}
 	for i := 0; i < cl.cfg.ScaleFactor; i++ {
-		cl.strat.Get(cl.wl.NextKey(), u.fn)
+		op := cl.wl.Next()
+		switch {
+		case op.Kind == ycsb.OpRead:
+			cl.strat.Get(op.Key, u.fn)
+		case cl.rmw:
+			// Workload F: the write is a get→put chain on one key; the
+			// user leg stays outstanding until the put's quorum ack.
+			u.key = op.Key
+			cl.strat.Get(op.Key, u.rmwFn)
+		default:
+			cl.putStrat.Put(op.Key, u.putFn)
+		}
 	}
 }

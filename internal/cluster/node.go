@@ -197,26 +197,39 @@ type Node struct {
 
 	cfg NodeConfig
 
-	// Per-get freelists: serve contexts and revocation handles.
+	// Per-op freelists: serve contexts and revocation handles.
 	ctxFree    []*getCtx
+	putFree    []*putCtx
 	handleFree []*ServeHandle
 
 	// Crash fault state: while down, new calls are refused with
 	// ErrNodeDown. liveHead/liveTail is the intrusive list of in-flight
-	// get contexts, so Crash can abort them in insertion order without
-	// allocating or scanning the freelist.
+	// serve contexts (gets and puts), so Crash can abort them in insertion
+	// order without allocating or scanning the freelists.
 	down               bool
-	liveHead, liveTail *getCtx
+	liveHead, liveTail *liveEntry
+
+	rec *metrics.Recorder // nil when metrics are off
 
 	served   uint64
 	rejected uint64
 	refused  uint64
 }
 
+// liveEntry is the intrusive live-list node embedded in every in-flight
+// serve context (get or put); abortFn is bound once at context allocation so
+// Crash can tear down a mixed list without type switches or allocations.
+type liveEntry struct {
+	linked     bool
+	prev, next *liveEntry
+	abortFn    func()
+}
+
 // NewNode builds a node on the engine. rng seeds the device model.
 func NewNode(eng *sim.Engine, cfg NodeConfig, rng *sim.RNG) *Node {
 	n := &Node{Index: cfg.Index, eng: eng, cfg: cfg}
 	rec := cfg.Metrics.Node(cfg.Index) // nil when metrics are off
+	n.rec = rec
 
 	var ioTarget core.Target
 	var capacity int64
@@ -292,6 +305,7 @@ func NewNode(eng *sim.Engine, cfg NodeConfig, rng *sim.RNG) *Node {
 	kcfg := kv.DefaultConfig(0, region)
 	kcfg.Proc = 1 // the NoSQL server process
 	n.Store = kv.New(eng, kcfg, target, &n.IDs)
+	n.Store.SetRecorder(rec)
 	if cfg.Mmap && n.MittCache != nil {
 		n.Store.UseMmap(n.MittCache)
 	}
@@ -327,22 +341,23 @@ func (n *Node) Refused() uint64 { return n.refused }
 // Down reports whether the node is crashed.
 func (n *Node) Down() bool { return n.down }
 
-// Crash takes the node down fail-stop: every in-flight get is answered
+// Crash takes the node down fail-stop: every in-flight call is answered
 // with ErrNodeDown immediately (the caller's connection drops), its IO is
 // revoked where still possible (queued IOs are dropped; device-resident
 // IOs finish and are discarded), and new calls are refused until Revive.
-// Storage state survives — a crash loses in-flight work, not data.
-// In-flight puts are not aborted: the write path is acked at the NVRAM/
-// memtable boundary and survives the restart.
+// Storage state survives — a crash loses in-flight work, not data. An
+// in-flight put's ack is lost the same way, but work its group-commit WAL
+// append already made durable survives the restart: the classic
+// "ack lost, write applied" ambiguity.
 func (n *Node) Crash() {
 	if n.down {
 		return
 	}
 	n.down = true
-	for ctx := n.liveHead; ctx != nil; {
-		next := ctx.nextLive
-		ctx.abort()
-		ctx = next
+	for e := n.liveHead; e != nil; {
+		next := e.next
+		e.abortFn()
+		e = next
 	}
 }
 
@@ -350,34 +365,34 @@ func (n *Node) Crash() {
 // state (fail-stop, not data loss), so it resumes serving immediately.
 func (n *Node) Revive() { n.down = false }
 
-func (n *Node) linkCtx(ctx *getCtx) {
-	ctx.linked = true
-	ctx.prevLive = n.liveTail
-	ctx.nextLive = nil
+func (n *Node) link(e *liveEntry) {
+	e.linked = true
+	e.prev = n.liveTail
+	e.next = nil
 	if n.liveTail != nil {
-		n.liveTail.nextLive = ctx
+		n.liveTail.next = e
 	} else {
-		n.liveHead = ctx
+		n.liveHead = e
 	}
-	n.liveTail = ctx
+	n.liveTail = e
 }
 
-func (n *Node) unlinkCtx(ctx *getCtx) {
-	if !ctx.linked {
+func (n *Node) unlink(e *liveEntry) {
+	if !e.linked {
 		return
 	}
-	ctx.linked = false
-	if ctx.prevLive != nil {
-		ctx.prevLive.nextLive = ctx.nextLive
+	e.linked = false
+	if e.prev != nil {
+		e.prev.next = e.next
 	} else {
-		n.liveHead = ctx.nextLive
+		n.liveHead = e.next
 	}
-	if ctx.nextLive != nil {
-		ctx.nextLive.prevLive = ctx.prevLive
+	if e.next != nil {
+		e.next.prev = e.prev
 	} else {
-		n.liveTail = ctx.prevLive
+		n.liveTail = e.prev
 	}
-	ctx.prevLive, ctx.nextLive = nil, nil
+	e.prev, e.next = nil, nil
 }
 
 // OutstandingIOs reports queue depth at the node's storage stack (the
@@ -459,9 +474,8 @@ type getCtx struct {
 	// Crash bookkeeping: live-list membership plus the aborted flag. An
 	// aborted get already delivered ErrNodeDown from Crash; whichever of
 	// its pending callbacks fires next only reclaims state.
-	aborted            bool
-	linked             bool
-	prevLive, nextLive *getCtx
+	aborted bool
+	live    liveEntry
 
 	workFn func()                 // pre-bound ctx.work: CPU admission stage
 	kvFn   func(error)            // pre-bound ctx.kv: Store.Get callback
@@ -480,12 +494,13 @@ func (n *Node) getGetCtx() *getCtx {
 		ctx.kvFn = ctx.kv
 		ctx.respFn = ctx.resp
 		ctx.dropFn = ctx.drop
+		ctx.live.abortFn = ctx.abort
 	}
 	return ctx
 }
 
 func (n *Node) freeGetCtx(ctx *getCtx) {
-	n.unlinkCtx(ctx)
+	n.unlink(&ctx.live)
 	ctx.aborted = false
 	ctx.onDone, ctx.h, ctx.req, ctx.err = nil, nil, nil, nil
 	n.ctxFree = append(n.ctxFree, ctx)
@@ -495,7 +510,7 @@ func (n *Node) freeGetCtx(ctx *getCtx) {
 // get's IO is revoked if still queued; the context itself is reclaimed
 // later, by whichever pending callback fires next (work/kv/resp/drop).
 func (ctx *getCtx) abort() {
-	ctx.n.unlinkCtx(ctx)
+	ctx.n.unlink(&ctx.live)
 	ctx.aborted = true
 	onDone := ctx.onDone
 	ctx.onDone = nil
@@ -624,7 +639,7 @@ func (n *Node) serveGet(key int64, deadline time.Duration, onDone func(error), h
 	n.served++
 	ctx := n.getGetCtx()
 	ctx.key, ctx.deadline, ctx.onDone, ctx.h = key, deadline, onDone, h
-	n.linkCtx(ctx)
+	n.link(&ctx.live)
 	if n.cfg.CPU != nil && n.cfg.CPUPerOp > 0 {
 		n.cfg.CPU.Run(n.cfg.CPUPerOp, ctx.workFn)
 		return
@@ -632,15 +647,156 @@ func (n *Node) serveGet(key int64, deadline time.Duration, onDone func(error), h
 	ctx.work()
 }
 
-// ServePut executes a put locally. A crashed node refuses with ErrNodeDown.
+// putCtx is the pooled per-put serve context, the write-side twin of getCtx:
+// optional CPU admission stage, the SLO-aware KV put, optional CPU response
+// stage, then the ack. There is no revocation handle and no per-put request
+// pointer — a put rides a shared group-commit WAL IO that cannot be
+// cancelled on one member's behalf.
+type putCtx struct {
+	n        *Node
+	key      int64
+	deadline time.Duration
+	onDone   func(error)
+	err      error
+
+	// durable routes the put through Store.PutDurable (ack at WAL
+	// durability, even with deadline 0) instead of PutSLO's legacy
+	// memtable-ack path — the quorum replication contract.
+	durable bool
+	aborted bool
+	live    liveEntry
+
+	workFn func()      // pre-bound ctx.work: CPU admission stage
+	kvFn   func(error) // pre-bound ctx.kv: Store.PutSLO callback
+	respFn func()      // pre-bound ctx.resp: CPU response stage
+}
+
+func (n *Node) getPutCtx() *putCtx {
+	var ctx *putCtx
+	if ln := len(n.putFree); ln > 0 {
+		ctx = n.putFree[ln-1]
+		n.putFree = n.putFree[:ln-1]
+	} else {
+		ctx = &putCtx{n: n}
+		ctx.workFn = ctx.work
+		ctx.kvFn = ctx.kv
+		ctx.respFn = ctx.resp
+		ctx.live.abortFn = ctx.abort
+	}
+	return ctx
+}
+
+func (n *Node) freePutCtx(ctx *putCtx) {
+	n.unlink(&ctx.live)
+	ctx.aborted = false
+	ctx.onDone, ctx.err = nil, nil
+	n.putFree = append(n.putFree, ctx)
+}
+
+// abort is Crash's per-put teardown: the caller hears ErrNodeDown now (the
+// ack is lost); whether the write survives depends on how far its WAL group
+// got. The context is reclaimed by whichever pending callback fires next.
+func (ctx *putCtx) abort() {
+	ctx.n.unlink(&ctx.live)
+	ctx.aborted = true
+	onDone := ctx.onDone
+	ctx.onDone = nil
+	onDone(ErrNodeDown)
+}
+
+func (ctx *putCtx) reclaim() { ctx.n.freePutCtx(ctx) }
+
+func (ctx *putCtx) work() {
+	if ctx.aborted {
+		ctx.reclaim()
+		return
+	}
+	if ctx.durable {
+		ctx.n.Store.PutDurable(ctx.key, ctx.deadline, ctx.kvFn)
+		return
+	}
+	ctx.n.Store.PutSLO(ctx.key, ctx.deadline, ctx.kvFn)
+}
+
+func (ctx *putCtx) kv(err error) {
+	n := ctx.n
+	if ctx.aborted {
+		ctx.reclaim()
+		return
+	}
+	if core.IsBusy(err) {
+		// EBUSY is the exceptionless fast path (§5): no response
+		// marshalling, just the errno.
+		n.rejected++
+		ctx.deliver(err)
+		return
+	}
+	if n.cfg.CPU != nil && n.cfg.CPUPerOp > 0 {
+		// Response-path CPU (marshalling the ack).
+		ctx.err = err
+		n.cfg.CPU.Run(n.cfg.CPUPerOp, ctx.respFn)
+		return
+	}
+	ctx.deliver(err)
+}
+
+func (ctx *putCtx) resp() {
+	if ctx.aborted {
+		ctx.reclaim()
+		return
+	}
+	ctx.deliver(ctx.err)
+}
+
+func (ctx *putCtx) deliver(err error) {
+	n, onDone := ctx.n, ctx.onDone
+	n.freePutCtx(ctx)
+	onDone(err)
+}
+
+// ServePut executes a put locally with no SLO (the vanilla write() path).
+// A crashed node refuses with ErrNodeDown.
 func (n *Node) ServePut(key int64, onDone func(error)) {
+	n.servePut(key, 0, false, onDone)
+}
+
+// ServePutSLO executes a put locally with a deadline SLO: the WAL append is
+// admitted through the node's Mitt* target and EBUSY surfaces before the
+// memtable mutates. onDone gets nil, a busy error, blockio.ErrIO, or
+// ErrNodeDown.
+func (n *Node) ServePutSLO(key int64, deadline time.Duration, onDone func(error)) {
+	n.servePut(key, deadline, false, onDone)
+}
+
+// ServePutDurable executes a put acked only at WAL durability — the quorum
+// replication path. Deadline 0 means durable-but-no-SLO (never rejected);
+// a positive deadline adds the WAL admission fast reject on top.
+func (n *Node) ServePutDurable(key int64, deadline time.Duration, onDone func(error)) {
+	n.servePut(key, deadline, true, onDone)
+}
+
+func (n *Node) servePut(key int64, deadline time.Duration, durable bool, onDone func(error)) {
 	if n.down {
 		n.refused++
 		onDone(ErrNodeDown)
 		return
 	}
 	n.served++
-	n.Store.Put(key, onDone)
+	ctx := n.getPutCtx()
+	ctx.key, ctx.deadline, ctx.onDone = key, deadline, onDone
+	ctx.durable = durable
+	n.link(&ctx.live)
+	if n.cfg.CPU != nil && n.cfg.CPUPerOp > 0 {
+		n.cfg.CPU.Run(n.cfg.CPUPerOp, ctx.workFn)
+		return
+	}
+	ctx.work()
+}
+
+// ObservePutQuorum feeds the put path's quorum stage (client-visible
+// quorum-assembly latency) into this node's span histograms.
+func (n *Node) ObservePutQuorum(d time.Duration) {
+	n.rec.Observe(metrics.RNode, metrics.HPutQuorum, blockio.Write, d)
 }
 
 // Cluster is a fleet of nodes with R-way replication.
@@ -650,7 +806,8 @@ type Cluster struct {
 	Nodes []*Node
 	R     int
 
-	callFree []*callCtx
+	callFree    []*callCtx
+	putCallFree []*putCallCtx
 }
 
 // callCtx is a pooled replica call: request hop → serve → response hop.
@@ -700,6 +857,92 @@ func (c *Cluster) ReplicaCall(node int, key int64, deadline time.Duration, onDon
 		ctx.replyFn = ctx.reply
 	}
 	ctx.node, ctx.key, ctx.deadline, ctx.onDone = node, key, deadline, onDone
+	c.Net.Send(ctx.sendFn)
+}
+
+// putCallCtx is the pooled put twin of callCtx: request hop → serve →
+// response hop (or no hop at all for one-way fire-and-forget writes).
+type putCallCtx struct {
+	c        *Cluster
+	node     int
+	key      int64
+	deadline time.Duration
+	onDone   func(error)
+	err      error
+	oneway   bool
+	durable  bool
+
+	sendFn  func()      // pre-bound (*putCallCtx).send
+	serveFn func(error) // pre-bound (*putCallCtx).serve
+	replyFn func()      // pre-bound (*putCallCtx).reply
+}
+
+func (ctx *putCallCtx) send() {
+	if ctx.durable {
+		ctx.c.Nodes[ctx.node].ServePutDurable(ctx.key, ctx.deadline, ctx.serveFn)
+		return
+	}
+	ctx.c.Nodes[ctx.node].ServePutSLO(ctx.key, ctx.deadline, ctx.serveFn)
+}
+
+func (ctx *putCallCtx) serve(err error) {
+	if ctx.oneway {
+		c := ctx.c
+		ctx.onDone, ctx.err = nil, nil
+		c.putCallFree = append(c.putCallFree, ctx)
+		return
+	}
+	ctx.err = err
+	ctx.c.Net.Send(ctx.replyFn)
+}
+
+func (ctx *putCallCtx) reply() {
+	c, onDone, err := ctx.c, ctx.onDone, ctx.err
+	ctx.onDone, ctx.err = nil, nil
+	c.putCallFree = append(c.putCallFree, ctx)
+	onDone(err)
+}
+
+func (c *Cluster) getPutCall() *putCallCtx {
+	var ctx *putCallCtx
+	if n := len(c.putCallFree); n > 0 {
+		ctx = c.putCallFree[n-1]
+		c.putCallFree = c.putCallFree[:n-1]
+	} else {
+		ctx = &putCallCtx{c: c}
+		ctx.sendFn = ctx.send
+		ctx.serveFn = ctx.serve
+		ctx.replyFn = ctx.reply
+	}
+	return ctx
+}
+
+// PutCall sends a put to one node over the network and hands back the ack
+// after the response hop; the shared plumbing under every put strategy.
+func (c *Cluster) PutCall(node int, key int64, deadline time.Duration, onDone func(error)) {
+	ctx := c.getPutCall()
+	ctx.node, ctx.key, ctx.deadline, ctx.onDone, ctx.oneway = node, key, deadline, onDone, false
+	ctx.durable = false
+	c.Net.Send(ctx.sendFn)
+}
+
+// PutDurableCall is PutCall with durable-ack semantics: the serving node acks
+// only after the WAL group commit, so quorum strategies compare like for like
+// (deadline 0 = durable vanilla, never rejected; positive = fast-rejectable).
+func (c *Cluster) PutDurableCall(node int, key int64, deadline time.Duration, onDone func(error)) {
+	ctx := c.getPutCall()
+	ctx.node, ctx.key, ctx.deadline, ctx.onDone, ctx.oneway = node, key, deadline, onDone, false
+	ctx.durable = true
+	c.Net.Send(ctx.sendFn)
+}
+
+// PutOneWay fires a put at a node with neither a reply hop nor an ack — the
+// fire-and-forget background-write shape (fig13's 10% write mix), routed
+// through the traced/pooled serve path instead of raw closures.
+func (c *Cluster) PutOneWay(node int, key int64) {
+	ctx := c.getPutCall()
+	ctx.node, ctx.key, ctx.deadline, ctx.onDone, ctx.oneway = node, key, 0, nil, true
+	ctx.durable = false
 	c.Net.Send(ctx.sendFn)
 }
 

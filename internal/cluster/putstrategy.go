@@ -1,0 +1,523 @@
+package cluster
+
+import (
+	"errors"
+	"time"
+
+	"mittos/internal/core"
+	"mittos/internal/sim"
+)
+
+// ErrQuorumFailed reports a replicated put that could not assemble W acks:
+// every base copy, replacement, and last-ditch retry either refused or
+// failed. The write may still be partially durable on the acking minority.
+var ErrQuorumFailed = errors.New("cluster: write quorum failed")
+
+// PutResult reports one finished user-level replicated put.
+type PutResult struct {
+	Latency time.Duration
+	// Acks is how many replicas had acknowledged when the verdict fired.
+	Acks int
+	// Copies is how many copies the strategy had sent by then (base
+	// replicas plus replacements/hedges/failovers).
+	Copies int
+	// Err is non-nil only when the quorum failed (ErrQuorumFailed).
+	Err error
+}
+
+// PutStrategy issues one client put against the cluster and reports the
+// user-observed quorum verdict — the write-side mirror of Strategy.
+type PutStrategy interface {
+	Name() string
+	Put(key int64, onDone func(PutResult))
+}
+
+// quorumVerdict is a quorumState transition.
+type quorumVerdict int
+
+// Verdicts returned by quorumState.report.
+const (
+	quorumPending quorumVerdict = iota // no terminal yet
+	quorumReached                      // this reply delivered the Wth ack
+	quorumLate                         // reply after the terminal verdict
+)
+
+// quorumState is the W-of-N ack assembly for one replicated put: copies go
+// out via add, replies come back via report, and exactly one terminal is
+// reached — quorumReached from the Wth ack, or the strategy calling fail
+// once it is out of copies to send. Every copy targets a distinct node, so
+// ack counting needs no per-node dedup. The type is deliberately free of
+// cluster plumbing: the FuzzQuorumPut harness drives it directly against a
+// reference model.
+type quorumState struct {
+	w      int
+	copies int // copies sent
+	acks   int
+	busy   int
+	down   int
+	errs   int
+	done   bool
+}
+
+// add records n more copies sent.
+func (q *quorumState) add(n int) { q.copies += n }
+
+// pending reports copies still awaiting a reply.
+func (q *quorumState) pending() int { return q.copies - q.acks - q.busy - q.down - q.errs }
+
+// report classifies one replica reply. Replies keep being tallied after the
+// terminal (the late arrivals the wasted-write accounting inspects), so
+// after a full drain acks+busy+down+errs == copies always holds.
+func (q *quorumState) report(err error) quorumVerdict {
+	late := q.done
+	switch {
+	case err == nil:
+		q.acks++
+	case core.IsBusy(err):
+		q.busy++
+	case errors.Is(err, ErrNodeDown):
+		q.down++
+	default:
+		q.errs++
+	}
+	if late {
+		return quorumLate
+	}
+	if err == nil && q.acks >= q.w {
+		q.done = true
+		return quorumReached
+	}
+	return quorumPending
+}
+
+// fail marks the failure terminal: the strategy has no copies left to send
+// and the outstanding set cannot reach W.
+func (q *quorumState) fail() { q.done = true }
+
+// PutCounters is the shared per-strategy accounting, embedded in every put
+// strategy. Every reply is counted — including late ones — so after the
+// cluster drains, CopiesSent == Acks+Busy+NodeDown+Errors and
+// Puts == Quorums+Failed.
+type PutCounters struct {
+	Puts       uint64 // user-level puts issued
+	CopiesSent uint64 // replica copies sent (base + extras)
+	Acks       uint64
+	Busy       uint64 // EBUSY fast rejections
+	NodeDown   uint64 // crashed-replica refusals
+	Errors     uint64 // WAL write failures (EIO)
+	Quorums    uint64 // puts that assembled W acks
+	Failed     uint64 // puts that exhausted every option short of W
+	// WastedWrites counts executed acks/errors from EXTRA copies (timeout
+	// replacements, hedges, MittOS failovers) that landed after the put's
+	// terminal verdict — durable work the client never waited for. Base
+	// replica copies are replication, never waste.
+	WastedWrites uint64
+}
+
+func (pc *PutCounters) count(err error) {
+	switch {
+	case err == nil:
+		pc.Acks++
+	case core.IsBusy(err):
+		pc.Busy++
+	case errors.Is(err, ErrNodeDown):
+		pc.NodeDown++
+	default:
+		pc.Errors++
+	}
+}
+
+// quorumW resolves a strategy's W knob: 0 means a majority of the
+// replication factor (W = R/2+1, the Riak/Cassandra QUORUM default).
+func quorumW(c *Cluster, w int) int {
+	if w > 0 {
+		return w
+	}
+	return c.R/2 + 1
+}
+
+// putTerminalObserve feeds the client-visible quorum-assembly latency into
+// the key's primary-replica span histograms (the put path's quorum stage).
+func putTerminalObserve(c *Cluster, primary int, lat time.Duration) {
+	c.Nodes[primary].ObservePutQuorum(lat)
+}
+
+// BasePut is vanilla quorum replication: send one copy to each of the key's
+// R replicas with no SLO, ack the user at the Wth reply, wait out stragglers
+// silently. The straggler tail IS the user tail whenever W replies include a
+// contended replica.
+type BasePut struct {
+	C *Cluster
+	// W is the ack quorum; 0 means majority (R/2+1).
+	W int
+
+	PutCounters
+}
+
+// Name implements PutStrategy.
+func (s *BasePut) Name() string { return "Base" }
+
+// Put implements PutStrategy.
+func (s *BasePut) Put(key int64, onDone func(PutResult)) {
+	s.Puts++
+	start := s.C.Eng.Now()
+	replicas := s.C.ReplicasFor(key)
+	q := &quorumState{w: quorumW(s.C, s.W)}
+	q.add(len(replicas))
+	s.CopiesSent += uint64(len(replicas))
+	reply := func(err error) {
+		s.count(err)
+		switch q.report(err) {
+		case quorumReached:
+			s.Quorums++
+			lat := s.C.Eng.Now().Sub(start)
+			putTerminalObserve(s.C, replicas[0], lat)
+			onDone(PutResult{Latency: lat, Acks: q.acks, Copies: q.copies})
+		case quorumPending:
+			if q.pending() == 0 {
+				// Everything replied and we are short of W: no extras in
+				// this strategy, so the put fails.
+				q.fail()
+				s.Failed++
+				onDone(PutResult{Latency: s.C.Eng.Now().Sub(start),
+					Acks: q.acks, Copies: q.copies, Err: ErrQuorumFailed})
+			}
+		}
+	}
+	for _, r := range replicas {
+		s.C.PutDurableCall(r, key, 0, reply)
+	}
+}
+
+// ringCandidates walks the consistent-hash ring past the key's replica set,
+// handing out each remaining node index once — the Dynamo-style sloppy-
+// quorum handoff targets replacements, hedges, and failovers write to.
+type ringCandidates struct {
+	c    *Cluster
+	base int // the key's primary replica
+	next int // next ring offset to hand out (starts past the replica set)
+}
+
+func newRingCandidates(c *Cluster, primary int) ringCandidates {
+	return ringCandidates{c: c, base: primary, next: c.R}
+}
+
+// take returns the next unused live node on the ring, or -1 when the ring is
+// exhausted. Crashed nodes are skipped (a handoff to a dead node is an RTT
+// spent on a refusal).
+func (rc *ringCandidates) take() int {
+	for rc.next < len(rc.c.Nodes) {
+		n := (rc.base + rc.next) % len(rc.c.Nodes)
+		rc.next++
+		if !rc.c.Nodes[n].Down() {
+			return n
+		}
+	}
+	return -1
+}
+
+// TimeoutPut is the "AppTO" write: quorum-replicate with no SLO and, after a
+// conservative timeout, hand the still-missing acks off to the next nodes on
+// the ring (there is nothing to cancel — the stragglers' WAL appends are
+// group-committed and will land regardless, which is exactly why their late
+// acks show up as wasted writes). A crashed replica's refusal triggers the
+// handoff immediately instead of burning the timeout.
+type TimeoutPut struct {
+	C  *Cluster
+	TO time.Duration
+	// W is the ack quorum; 0 means majority (R/2+1).
+	W int
+
+	PutCounters
+	Retries uint64
+}
+
+// Name implements PutStrategy.
+func (s *TimeoutPut) Name() string { return "AppTO" }
+
+// Put implements PutStrategy.
+func (s *TimeoutPut) Put(key int64, onDone func(PutResult)) {
+	s.Puts++
+	start := s.C.Eng.Now()
+	replicas := s.C.ReplicasFor(key)
+	q := &quorumState{w: quorumW(s.C, s.W)}
+	cands := newRingCandidates(s.C, replicas[0])
+	var timer *sim.Event
+	var send func(node int, extra bool)
+	terminal := func(err error) {
+		if timer != nil {
+			timer.Cancel()
+		}
+		lat := s.C.Eng.Now().Sub(start)
+		if err == nil {
+			s.Quorums++
+			putTerminalObserve(s.C, replicas[0], lat)
+		} else {
+			s.Failed++
+		}
+		onDone(PutResult{Latency: lat, Acks: q.acks, Copies: q.copies, Err: err})
+	}
+	reply := func(extra bool, err error) {
+		s.count(err)
+		switch q.report(err) {
+		case quorumReached:
+			terminal(nil)
+		case quorumLate:
+			if extra && wasted(err) {
+				s.WastedWrites++ // the handoff copy landed after the verdict
+			}
+		case quorumPending:
+			if errors.Is(err, ErrNodeDown) {
+				// Crashed replica: its refusal came back in one RTT; hand
+				// off now rather than waiting out TO.
+				if n := cands.take(); n >= 0 {
+					s.Retries++
+					send(n, true)
+					return
+				}
+			}
+			if q.pending() == 0 {
+				q.fail()
+				terminal(ErrQuorumFailed)
+			}
+		}
+	}
+	send = func(node int, extra bool) {
+		q.add(1)
+		s.CopiesSent++
+		s.C.PutDurableCall(node, key, 0, func(err error) { reply(extra, err) })
+	}
+	timer = s.C.Eng.Schedule(s.TO, func() {
+		if q.done {
+			return
+		}
+		// Hand the missing acks off to the ring; the abandoned stragglers
+		// keep running (no revocation on the write path).
+		need := q.w - q.acks
+		sent := false
+		for i := 0; i < need; i++ {
+			n := cands.take()
+			if n < 0 {
+				break
+			}
+			sent = true
+			send(n, true)
+		}
+		if sent {
+			s.Retries++
+		}
+	})
+	for _, r := range replicas {
+		send(r, false)
+	}
+}
+
+// HedgedPut is the Dean & Barroso hedge applied to writes: quorum-replicate
+// with no SLO and, once the put has been outstanding past the expected p95,
+// proactively duplicate the missing acks onto the next ring nodes. The
+// losing copies are pure write amplification (WastedWrites); a crashed
+// replica's refusal hedges immediately.
+type HedgedPut struct {
+	C          *Cluster
+	HedgeAfter time.Duration
+	// W is the ack quorum; 0 means majority (R/2+1).
+	W int
+
+	PutCounters
+	Hedges uint64
+}
+
+// Name implements PutStrategy.
+func (s *HedgedPut) Name() string { return "Hedged" }
+
+// Put implements PutStrategy.
+func (s *HedgedPut) Put(key int64, onDone func(PutResult)) {
+	s.Puts++
+	start := s.C.Eng.Now()
+	replicas := s.C.ReplicasFor(key)
+	q := &quorumState{w: quorumW(s.C, s.W)}
+	cands := newRingCandidates(s.C, replicas[0])
+	var timer *sim.Event
+	var send func(node int, extra bool)
+	terminal := func(err error) {
+		timer.Cancel()
+		lat := s.C.Eng.Now().Sub(start)
+		if err == nil {
+			s.Quorums++
+			putTerminalObserve(s.C, replicas[0], lat)
+		} else {
+			s.Failed++
+		}
+		onDone(PutResult{Latency: lat, Acks: q.acks, Copies: q.copies, Err: err})
+	}
+	reply := func(extra bool, err error) {
+		s.count(err)
+		switch q.report(err) {
+		case quorumReached:
+			terminal(nil)
+		case quorumLate:
+			if extra && wasted(err) {
+				s.WastedWrites++ // the hedge lost the race
+			}
+		case quorumPending:
+			if errors.Is(err, ErrNodeDown) {
+				if n := cands.take(); n >= 0 {
+					send(n, true)
+					return
+				}
+			}
+			if q.pending() == 0 {
+				q.fail()
+				terminal(ErrQuorumFailed)
+			}
+		}
+	}
+	send = func(node int, extra bool) {
+		q.add(1)
+		s.CopiesSent++
+		s.C.PutDurableCall(node, key, 0, func(err error) { reply(extra, err) })
+	}
+	timer = s.C.Eng.Schedule(s.HedgeAfter, func() {
+		if q.done {
+			return
+		}
+		need := q.w - q.acks
+		sent := false
+		for i := 0; i < need; i++ {
+			n := cands.take()
+			if n < 0 {
+				break
+			}
+			sent = true
+			send(n, true)
+		}
+		if sent {
+			s.Hedges++
+		}
+	})
+	for _, r := range replicas {
+		send(r, false)
+	}
+}
+
+// MittOSPut is the paper's contribution on the write path: every copy
+// carries the deadline SLO, so a contended replica's WAL admission answers
+// EBUSY in one RTT instead of holding the quorum hostage; the client fails
+// the copy over to the next ring node instantly (still with the deadline).
+// When the ring is exhausted and the quorum is still short, the last-ditch
+// pass re-sends the missing acks to rejecting replicas with the deadline
+// disabled — §5's "cancel the SLO on the final try" no-error guarantee —
+// picking the least-busy rejectors first when UseWaitHint exposes the
+// predicted-wait hints (§7.8.1/§8.1).
+type MittOSPut struct {
+	C        *Cluster
+	Deadline time.Duration
+	// W is the ack quorum; 0 means majority (R/2+1).
+	W int
+	// UseWaitHint ranks last-ditch targets by their EBUSY predicted-wait
+	// hints instead of rejection order.
+	UseWaitHint bool
+
+	PutCounters
+	Failovers uint64
+	LastDitch uint64
+}
+
+// Name implements PutStrategy.
+func (s *MittOSPut) Name() string { return "MittOS" }
+
+// Put implements PutStrategy.
+func (s *MittOSPut) Put(key int64, onDone func(PutResult)) {
+	s.Puts++
+	start := s.C.Eng.Now()
+	replicas := s.C.ReplicasFor(key)
+	q := &quorumState{w: quorumW(s.C, s.W)}
+	cands := newRingCandidates(s.C, replicas[0])
+	// Rejecting nodes and their predicted waits, in rejection order — the
+	// last-ditch candidate pool.
+	type reject struct {
+		node int
+		wait time.Duration
+	}
+	var rejects []reject
+	terminal := func(err error) {
+		lat := s.C.Eng.Now().Sub(start)
+		if err == nil {
+			s.Quorums++
+			putTerminalObserve(s.C, replicas[0], lat)
+		} else {
+			s.Failed++
+		}
+		onDone(PutResult{Latency: lat, Acks: q.acks, Copies: q.copies, Err: err})
+	}
+	var send func(node int, deadline time.Duration, extra bool)
+	lastDitch := func() bool {
+		// Re-target rejectors with the deadline disabled; they executed
+		// nothing for the rejected copy, so a retry duplicates no work.
+		need := q.w - q.acks - q.pending()
+		sent := false
+		for ; need > 0 && len(rejects) > 0; need-- {
+			best := 0
+			if s.UseWaitHint {
+				for j := 1; j < len(rejects); j++ {
+					if rejects[j].wait < rejects[best].wait {
+						best = j
+					}
+				}
+			}
+			n := rejects[best].node
+			rejects[best] = rejects[len(rejects)-1]
+			rejects = rejects[:len(rejects)-1]
+			if s.C.Nodes[n].Down() {
+				continue
+			}
+			sent = true
+			s.LastDitch++
+			send(n, 0, true)
+		}
+		return sent || q.pending() > 0
+	}
+	reply := func(node int, extra bool, err error) {
+		s.count(err)
+		switch q.report(err) {
+		case quorumReached:
+			terminal(nil)
+		case quorumLate:
+			if extra && wasted(err) {
+				s.WastedWrites++ // the failover landed after the verdict
+			}
+		case quorumPending:
+			if core.IsBusy(err) {
+				wait := time.Duration(0)
+				if be, ok := err.(*core.BusyError); ok {
+					wait = be.PredictedWait
+				}
+				rejects = append(rejects, reject{node: node, wait: wait})
+			}
+			if core.IsBusy(err) || errors.Is(err, ErrNodeDown) {
+				// Instant failover: the refusal cost one RTT, not a queue
+				// wait. The replacement still carries the deadline.
+				if n := cands.take(); n >= 0 {
+					s.Failovers++
+					send(n, s.Deadline, true)
+					return
+				}
+			}
+			if q.w-q.acks > q.pending() && lastDitch() {
+				return // last-ditch copies (or stragglers) still in flight
+			}
+			if q.pending() == 0 {
+				q.fail()
+				terminal(ErrQuorumFailed)
+			}
+		}
+	}
+	send = func(node int, deadline time.Duration, extra bool) {
+		q.add(1)
+		s.CopiesSent++
+		s.C.PutDurableCall(node, key, deadline, func(err error) { reply(node, extra, err) })
+	}
+	for _, r := range replicas {
+		send(r, s.Deadline, false)
+	}
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"testing"
+
+	"mittos/internal/blockio"
+	"mittos/internal/core"
+)
+
+// FuzzQuorumPut drives quorumState — the W-of-N ack assembly under every put
+// strategy — with a byte-program of copy sends and ack/EBUSY/crash/EIO
+// replies, checking it against a naive reference model after every step:
+//
+//   - exactly one terminal: quorumReached fires at the Wth ack and never
+//     again; once done (reached or failed) every further reply is classified
+//     quorumLate;
+//   - the tallies never leak: acks+busy+down+errs always equals the replies
+//     fed in, and pending() is exactly copies minus replies;
+//   - a failure terminal is only ever legal when the outstanding set cannot
+//     reach W, and replies arriving after it stay late.
+func FuzzQuorumPut(f *testing.F) {
+	f.Add(uint8(2), uint8(3), []byte{0, 0, 1, 2, 0})
+	f.Add(uint8(1), uint8(1), []byte{3, 4, 0})
+	f.Add(uint8(3), uint8(5), []byte{1, 1, 4, 0, 4, 0, 4, 0})
+	f.Add(uint8(2), uint8(3), []byte{2, 2, 2, 4, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, wB, copiesB uint8, prog []byte) {
+		w := int(wB)%5 + 1
+		copies := int(copiesB)%8 + 1
+		if len(prog) > 512 {
+			prog = prog[:512]
+		}
+
+		q := &quorumState{w: w}
+		q.add(copies)
+
+		// Reference model: plain counters over the same reply stream.
+		var acks, busy, down, errs, replies int
+		reached, failed := false, false
+
+		replyErrs := []error{
+			nil,                               // ack
+			blockio.ErrBusy,                   // EBUSY fast reject
+			&core.BusyError{PredictedWait: 1}, // EBUSY with wait hint
+			ErrNodeDown,                       // crashed replica
+			blockio.ErrIO,                     // WAL write failure
+		}
+
+		check := func(step int) {
+			t.Helper()
+			if q.acks != acks || q.busy != busy || q.down != down || q.errs != errs {
+				t.Fatalf("step %d: tallies (a%d b%d d%d e%d) vs model (a%d b%d d%d e%d)",
+					step, q.acks, q.busy, q.down, q.errs, acks, busy, down, errs)
+			}
+			if got, want := q.pending(), copies-replies; got != want {
+				t.Fatalf("step %d: pending %d, want copies %d - replies %d = %d",
+					step, got, copies, replies, want)
+			}
+			if q.done != (reached || failed) {
+				t.Fatalf("step %d: done=%v, model reached=%v failed=%v", step, q.done, reached, failed)
+			}
+		}
+		check(-1)
+
+		for i, b := range prog {
+			if op := int(b) % 8; op == 7 {
+				// A strategy sending an extra copy (replacement, hedge,
+				// failover) — legal at any point before or after the verdict.
+				q.add(1)
+				copies++
+				check(i)
+				continue
+			} else if op == 6 {
+				// The failure terminal: a strategy may only call fail when it
+				// is out of options — nothing pending and short of W.
+				if reached || failed || copies-replies != 0 || acks >= w {
+					continue
+				}
+				q.fail()
+				failed = true
+				check(i)
+				continue
+			}
+			if replies == copies {
+				continue // nothing outstanding to reply
+			}
+			err := replyErrs[int(b)%len(replyErrs)]
+			late := reached || failed
+			verdict := q.report(err)
+			replies++
+			switch {
+			case err == nil:
+				acks++
+			case core.IsBusy(err):
+				busy++
+			case err == ErrNodeDown:
+				down++
+			default:
+				errs++
+			}
+			switch {
+			case late:
+				if verdict != quorumLate {
+					t.Fatalf("step %d: reply after terminal classified %d, want quorumLate", i, verdict)
+				}
+			case err == nil && acks == w:
+				if verdict != quorumReached {
+					t.Fatalf("step %d: Wth ack (w=%d) classified %d, want quorumReached", i, w, verdict)
+				}
+				reached = true
+			default:
+				if verdict != quorumPending {
+					t.Fatalf("step %d: verdict %d, want quorumPending (acks %d/%d)", i, verdict, acks, w)
+				}
+			}
+			check(i)
+		}
+
+		// Drain every outstanding copy with acks: the books must close and
+		// no second terminal may fire.
+		for replies < copies {
+			late := reached || failed
+			verdict := q.report(nil)
+			replies++
+			acks++
+			if late && verdict == quorumReached {
+				t.Fatal("drain: second quorumReached terminal")
+			}
+			if !late && acks >= w && verdict != quorumReached {
+				t.Fatalf("drain: Wth ack classified %d", verdict)
+			}
+			if !late && acks >= w {
+				reached = true
+			}
+			check(-2)
+		}
+		if q.acks+q.busy+q.down+q.errs != q.copies {
+			t.Fatalf("after drain: a%d+b%d+d%d+e%d != copies %d",
+				q.acks, q.busy, q.down, q.errs, q.copies)
+		}
+	})
+}

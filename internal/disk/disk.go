@@ -300,7 +300,10 @@ func (d *Disk) next() (*blockio.Request, bool) {
 	if len(d.queue) == 0 {
 		if len(d.destage) > 0 {
 			w := d.destage[0]
-			d.destage = d.destage[1:]
+			// Pop by copy-down, not re-slicing: the buffer is bounded by
+			// WriteBufferSlots and keeping its capacity makes the
+			// steady-state write path allocation-free.
+			d.destage = d.destage[:copy(d.destage, d.destage[1:])]
 			d.scratch = blockio.Request{Op: blockio.Write, Offset: w.offset, Size: w.size}
 			return &d.scratch, true
 		}

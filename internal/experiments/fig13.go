@@ -104,11 +104,10 @@ func fig13Run(f *fleet, opt Options, deadline *time.Duration, _ interface{}) *st
 		tick := f.eng.NewTicker(opt.Interval, func() {
 			op := wl.Next()
 			if op.Kind == ycsb.OpInsert {
-				// Writes go to the key's primary replica (Riak put path).
+				// Writes go to the key's primary replica (Riak put path),
+				// through the traced/pooled one-way put plumbing.
 				primary := f.c.ReplicasFor(op.Key)[0]
-				f.c.Net.Send(func() {
-					f.c.Nodes[primary].ServePut(op.Key%opt.Keys, func(error) {})
-				})
+				f.c.PutOneWay(primary, op.Key%opt.Keys)
 				return
 			}
 			start := f.eng.Now()

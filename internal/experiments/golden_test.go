@@ -102,3 +102,21 @@ func TestGoldenMetricsInvariant(t *testing.T) {
 		t.Fatal("fig4 with Metrics on attached no snapshots")
 	}
 }
+
+// TestGoldenYCSBMixMetricsInvariant is the write-path twin: ycsbmix with full
+// span tracing must render byte-identically to its golden — the put-stage
+// histograms and span capture never perturb the simulation.
+func TestGoldenYCSBMixMetricsInvariant(t *testing.T) {
+	res, err := Run("ycsbmix", RunConfig{Quick: true, Seed: 1, Workers: *goldenWorkers,
+		Metrics: true, TraceIOs: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		t.Skip("golden written by TestGolden")
+	}
+	checkGolden(t, "ycsbmix", res.String())
+	if len(res.Metrics) == 0 {
+		t.Fatal("ycsbmix with Metrics on attached no snapshots")
+	}
+}

@@ -66,10 +66,8 @@ func Writes(opt Options) *Result {
 				key := wl.NextKey()
 				primary := f.c.ReplicasFor(key)[0]
 				start := f.eng.Now()
-				f.c.Net.Send(func() {
-					f.c.Nodes[primary].ServePut(key, func(error) {
-						f.c.Net.Send(func() { io.Add(f.eng.Now().Sub(start)) })
-					})
+				f.c.PutCall(primary, key, 0, func(error) {
+					io.Add(f.eng.Now().Sub(start))
 				})
 			})
 			ticks = append(ticks, tick)

@@ -91,6 +91,7 @@ var runners = map[string]func(RunConfig) *Result{
 	"allinone": func(c RunConfig) *Result { return AllInOne(c.options()) },
 	"writes":   func(c RunConfig) *Result { return Writes(c.options()) },
 	"failslow": func(c RunConfig) *Result { return Failslow(c.options()) },
+	"ycsbmix":  func(c RunConfig) *Result { return YCSBMix(c.options()) },
 }
 
 // IDs lists the registered experiment ids, sorted.

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"mittos/internal/cluster"
 	"mittos/internal/metrics"
 )
 
@@ -114,6 +115,52 @@ func checkSpanInvariants(t *testing.T, sn *metrics.Snapshot) {
 	}
 	if total := completed + rejected + revoked + inflight; total != uint64(len(sn.Spans)) {
 		t.Errorf("%s: span verdicts %d don't cover %d spans", sn.Leg, total, len(sn.Spans))
+	}
+}
+
+// TestPutSpanInvariants runs mixed read/write MittOS legs with full span
+// tracing and audits the write path: WAL group-commit IOs obey the same
+// exactly-once / stage-monotonicity / justified-rejection span rules as
+// reads, and the quorum accounting closes — after the drain every copy sent
+// has exactly one classified reply and every user put exactly one terminal.
+func TestPutSpanInvariants(t *testing.T) {
+	for _, wl := range ycsbMixWorkloads {
+		wl := wl
+		t.Run(wl.name, func(t *testing.T) {
+			opt := QuickOptions()
+			opt.Duration = 4 * time.Second
+			opt.Metrics = true
+			opt.TraceIOs = -1
+			f := newFleet(opt, fleetDisk, true, "putspans-"+wl.name)
+			f.addEC2DiskNoise(opt)
+			strat := &cluster.MittOSStrategy{C: f.c, Deadline: 20 * time.Millisecond, UseWaitHint: true}
+			ps := &cluster.MittOSPut{C: f.c, Deadline: 5 * time.Millisecond, UseWaitHint: true}
+			clients := f.startMixedClients(opt, strat, ps, wl.config(opt.Keys), wl.rmw)
+			f.eng.RunFor(opt.Duration)
+			for _, cl := range clients {
+				cl.Stop()
+			}
+			f.stopNoise()
+			f.eng.RunFor(5 * time.Second)
+
+			checkSpanInvariants(t, f.snapshot("putspans/"+wl.name))
+
+			pc := ps.PutCounters
+			if pc.Puts == 0 || pc.CopiesSent == 0 {
+				t.Fatalf("leg issued no puts (puts=%d copies=%d)", pc.Puts, pc.CopiesSent)
+			}
+			if got := pc.Acks + pc.Busy + pc.NodeDown + pc.Errors; got != pc.CopiesSent {
+				t.Errorf("quorum accounting leaks: acks %d + busy %d + down %d + errs %d = %d, want copies sent %d",
+					pc.Acks, pc.Busy, pc.NodeDown, pc.Errors, got, pc.CopiesSent)
+			}
+			if got := pc.Quorums + pc.Failed; got != pc.Puts {
+				t.Errorf("put terminals not exactly-once: quorums %d + failed %d = %d, want puts %d",
+					pc.Quorums, pc.Failed, got, pc.Puts)
+			}
+			if pc.NodeDown != 0 {
+				t.Errorf("no node crashed, yet %d copies saw ErrNodeDown", pc.NodeDown)
+			}
+		})
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"mittos/internal/blockio"
 	"mittos/internal/core"
+	"mittos/internal/metrics"
 	"mittos/internal/sim"
 )
 
@@ -45,6 +46,13 @@ type Config struct {
 	// the mapped block and page-fault on misses, instead of read().
 	// Requires a MittCache target (set via UseMmap).
 	Mmap bool
+	// StallBytes is the background-IO high-water mark above which SLO puts
+	// see flush/compaction backpressure: once the outstanding background
+	// bytes (WAL groups, flush chunks, compaction churn) exceed it, the
+	// predicted drain time is exposed as the put's predicted wait and puts
+	// whose deadline it breaks are fast-rejected before the memtable
+	// mutates. 0 disables the check.
+	StallBytes int64
 }
 
 // DefaultConfig sizes the engine for a region of the given extent.
@@ -59,6 +67,7 @@ func DefaultConfig(base, size int64) Config {
 		Proc:        1,
 		Class:       blockio.ClassBestEffort,
 		Priority:    4,
+		StallBytes:  1 << 20,
 	}
 }
 
@@ -109,7 +118,27 @@ type Store struct {
 	// map are at their preloaded base version 0.
 	versions map[int64]uint64
 
+	// SLO put path: the group-commit queue of deadline-carrying puts
+	// awaiting a WAL append, the in-flight-group latch, and the group
+	// context freelist. One WAL group IO is outstanding at a time — the
+	// classic single-writer group commit.
+	walPend   []putWaiter
+	walBusy   bool
+	groupFree []*walGroup
+
+	// Backpressure accounting: outstanding background bytes and an EWMA of
+	// the observed background service rate (ns/byte), measured from
+	// completed background IOs. Their product predicts the drain time a
+	// stalled put would wait out.
+	bgBytes       int64
+	ewmaNsPerByte float64
+
+	// rec, when non-nil, records the put-path stage histograms
+	// (wal-queue / wal-service / mem-ack) under the owning node's recorder.
+	rec *metrics.Recorder
+
 	gets, puts, flushes, compactions uint64
+	walGroups, putRetries            uint64
 }
 
 // New builds a store over an SLO-aware storage target. The IDGen is shared
@@ -145,10 +174,26 @@ func (s *Store) UseMmap(mc *core.MittCache) {
 // Mmap reports whether the store reads via the mmap path.
 func (s *Store) Mmap() bool { return s.cfg.Mmap && s.mcache != nil }
 
+// SetRecorder wires the put-path stage histograms (wal-queue, wal-service,
+// mem-ack) to the owning node's recorder. A nil recorder (the default) keeps
+// every stage observation a no-op.
+func (s *Store) SetRecorder(rec *metrics.Recorder) { s.rec = rec }
+
 // Stats returns operation counters.
 func (s *Store) Stats() (gets, puts, flushes, compactions uint64) {
 	return s.gets, s.puts, s.flushes, s.compactions
 }
+
+// WalGroups reports how many group-commit WAL IOs the store has issued.
+func (s *Store) WalGroups() uint64 { return s.walGroups }
+
+// PutRetries reports SLO puts re-queued into a fresh WAL group after their
+// group was rejected on behalf of a tighter member deadline.
+func (s *Store) PutRetries() uint64 { return s.putRetries }
+
+// BackgroundBytes reports the outstanding background-write backlog — the
+// flush/compaction pressure the SLO put path exposes as predicted wait.
+func (s *Store) BackgroundBytes() int64 { return s.bgBytes }
 
 // Runs returns the current number of immutable runs.
 func (s *Store) Runs() int { return len(s.runs) }
@@ -220,7 +265,35 @@ func (w *bgWrite) done(error) {
 	s, req := w.s, w.req
 	w.req = nil
 	s.bgFree = append(s.bgFree, w)
+	s.noteBgDone(req)
 	req.Release()
+}
+
+// noteBgDone retires one background IO from the backpressure accounting and
+// folds its observed service rate into the drain-time EWMA. Called before
+// the request is released, while its timestamps are still valid.
+func (s *Store) noteBgDone(req *blockio.Request) {
+	s.bgBytes -= int64(req.Size)
+	lat := req.CompleteTime.Sub(req.SubmitTime)
+	if lat <= 0 || req.Size <= 0 {
+		return
+	}
+	sample := float64(lat) / float64(req.Size)
+	if s.ewmaNsPerByte == 0 {
+		s.ewmaNsPerByte = sample
+		return
+	}
+	s.ewmaNsPerByte = 0.8*s.ewmaNsPerByte + 0.2*sample
+}
+
+// predictPutStall estimates the flush/compaction backpressure an SLO put
+// faces: zero while the background backlog is under the high-water mark,
+// else the predicted time to drain it at the observed service rate.
+func (s *Store) predictPutStall() time.Duration {
+	if s.cfg.StallBytes <= 0 || s.bgBytes <= s.cfg.StallBytes || s.ewmaNsPerByte == 0 {
+		return 0
+	}
+	return time.Duration(float64(s.bgBytes) * s.ewmaNsPerByte)
 }
 
 // submitBackground issues one pooled fire-and-forget write/read.
@@ -237,6 +310,7 @@ func (s *Store) submitBackground(op blockio.Op, off int64, size int, class block
 		w.doneFn = w.done
 	}
 	w.req = req
+	s.bgBytes += int64(size)
 	s.target.SubmitSLO(req, w.doneFn)
 }
 
@@ -343,12 +417,217 @@ func (s *Store) Put(key int64, onDone func(error)) {
 	s.afterMem(nil, onDone)
 }
 
+// putWaiter is one SLO put queued for the next group-commit WAL append.
+type putWaiter struct {
+	key      int64
+	deadline time.Duration
+	enq      sim.Time
+	onDone   func(error)
+	// retried marks a put already re-queued once after its group was
+	// rejected on behalf of a tighter member deadline.
+	retried bool
+}
+
+// walGroup is one in-flight group-commit WAL IO and the puts riding it; the
+// completion callback is bound once so the steady path allocates nothing.
+type walGroup struct {
+	s       *Store
+	req     *blockio.Request
+	members []putWaiter
+	doneFn  func(error) // pre-bound (*walGroup).done
+}
+
+func (s *Store) getGroup() *walGroup {
+	var g *walGroup
+	if n := len(s.groupFree); n > 0 {
+		g = s.groupFree[n-1]
+		s.groupFree = s.groupFree[:n-1]
+	} else {
+		g = &walGroup{s: s}
+		g.doneFn = g.done
+	}
+	return g
+}
+
+// PutSLO is the deadline-carrying put (§3's SLO-aware interface applied to
+// writes). A zero deadline is exactly Put: vanilla fire-and-forget WAL plus
+// memtable ack. With a deadline the put becomes a durable group-commit
+// write (PutDurable) whose WAL admission can fast-reject it.
+func (s *Store) PutSLO(key int64, deadline time.Duration, onDone func(error)) {
+	if deadline <= 0 {
+		s.Put(key, onDone)
+		return
+	}
+	s.PutDurable(key, deadline, onDone)
+}
+
+// PutDurable is the write-path SLO subsystem's entry point: the put is
+// acked only after its WAL append is durable. Concurrent puts batch into
+// one group-commit WAL IO admitted through the node's Mitt* target; the
+// group carries the tightest member deadline, EBUSY from the WAL admission
+// surfaces as a fast reject BEFORE the memtable mutates, and flush/
+// compaction backpressure is exposed as predicted wait. A zero deadline
+// means durable-but-no-SLO: the put rides the group commit but is never
+// rejected (quorum replication's vanilla baseline). onDone receives nil on
+// ack, a busy error (possibly *core.BusyError with the predicted wait) on
+// rejection, or blockio.ErrIO when the WAL write itself failed.
+func (s *Store) PutDurable(key int64, deadline time.Duration, onDone func(error)) {
+	s.puts++
+	if deadline > 0 {
+		if stall := s.predictPutStall(); stall > deadline {
+			// Engine-level backpressure the OS cannot see: the background
+			// backlog would outlast the deadline, so reject in memory — no
+			// IO is submitted and the memtable stays untouched.
+			s.afterMem(&core.BusyError{PredictedWait: stall}, onDone)
+			return
+		}
+	}
+	s.walPend = append(s.walPend, putWaiter{
+		key: key, deadline: deadline, enq: s.eng.Now(), onDone: onDone,
+	})
+	if !s.walBusy {
+		s.flushWalGroup()
+	}
+}
+
+// flushWalGroup batches every pending put into one WAL append (clamped to
+// the contiguous tail of the log ring) and submits it with the group's
+// tightest deadline through the SLO-aware target.
+func (s *Store) flushWalGroup() {
+	if len(s.walPend) == 0 {
+		return
+	}
+	k := len(s.walPend)
+	if rem := walBlocks - int(s.walPos%walBlocks); k > rem {
+		k = rem
+	}
+	g := s.getGroup()
+	g.members = append(g.members[:0], s.walPend[:k]...)
+	n := copy(s.walPend, s.walPend[k:])
+	for i := n; i < len(s.walPend); i++ {
+		s.walPend[i] = putWaiter{}
+	}
+	s.walPend = s.walPend[:n]
+
+	// The group's deadline is the tightest member SLO; members without one
+	// (deadline 0, durable-but-vanilla) never tighten it, and a group of
+	// only those carries no deadline at all — plain admission passthrough.
+	minDL := time.Duration(0)
+	oldest := g.members[0].enq
+	now := s.eng.Now()
+	for i := range g.members {
+		m := &g.members[i]
+		if m.deadline > 0 && (minDL == 0 || m.deadline < minDL) {
+			minDL = m.deadline
+		}
+		if m.enq < oldest {
+			oldest = m.enq
+		}
+		s.rec.Observe(metrics.RNode, metrics.HPutWalQueue, blockio.Write, now.Sub(m.enq))
+	}
+
+	req := s.reqs.Get()
+	req.ID, req.Op, req.Offset, req.Size = s.ids.Next(), blockio.Write, s.walOffsetN(k), k*s.cfg.BlockSize
+	req.Proc, req.Class, req.Priority = s.cfg.Proc, s.cfg.Class, s.cfg.Priority
+	req.Deadline = minDL
+	req.QueuedTime = oldest
+	g.req = req
+	s.walBusy = true
+	s.walGroups++
+	s.bgBytes += int64(req.Size)
+	s.target.SubmitSLO(req, g.doneFn)
+}
+
+// done is the group's single completion terminal: on success every member's
+// key is applied to the memtable and acked at memory latency; on EBUSY no
+// memtable state moves — members whose own deadline still fits the predicted
+// wait are re-queued once into a fresh group, the rest hear the rejection;
+// on EIO every member hears the write failure. Either way the next pending
+// group is flushed.
+func (g *walGroup) done(err error) {
+	s, req := g.s, g.req
+	g.req = nil
+	busy := core.IsBusy(err)
+	s.bgBytes -= int64(req.Size)
+	if !busy {
+		lat := req.CompleteTime.Sub(req.SubmitTime)
+		if lat > 0 && req.Size > 0 {
+			sample := float64(lat) / float64(req.Size)
+			if s.ewmaNsPerByte == 0 {
+				s.ewmaNsPerByte = sample
+			} else {
+				s.ewmaNsPerByte = 0.8*s.ewmaNsPerByte + 0.2*sample
+			}
+		}
+		if err == nil {
+			s.rec.Observe(metrics.RNode, metrics.HPutWalService, blockio.Write, req.CompleteTime.Sub(req.SubmitTime))
+		}
+	}
+	req.Release()
+
+	var predWait time.Duration = -1
+	if busy {
+		var be *core.BusyError
+		if errors.As(err, &be) {
+			predWait = be.PredictedWait
+		}
+	}
+	now := s.eng.Now()
+	for i := range g.members {
+		m := &g.members[i]
+		switch {
+		case err == nil:
+			// WAL durable: mutate the memtable and ack at memory latency.
+			s.memtable[m.key] = true
+			s.versions[m.key]++
+			if len(s.memtable) >= s.cfg.MemtableCap {
+				s.flush()
+			}
+			s.rec.Observe(metrics.RNode, metrics.HPutMemAck, blockio.Write, now.Sub(m.enq))
+			s.afterMem(nil, m.onDone)
+		case busy && (m.deadline <= 0 ||
+			(!m.retried && predWait >= 0 && m.deadline >= predWait)):
+			// The group was rejected on behalf of a tighter member deadline.
+			// Members with no SLO of their own (deadline 0) always ride the
+			// next group — they can never hear EBUSY — and members whose own
+			// deadline still fits the predicted wait ride it once instead of
+			// a false rejection. Each EBUSY round thus sheds the too-tight
+			// members, so within two rounds only deadline-0 members remain
+			// and the group submits as plain passthrough.
+			s.putRetries++
+			s.walPend = append(s.walPend, putWaiter{
+				key: m.key, deadline: m.deadline, enq: m.enq,
+				onDone: m.onDone, retried: true,
+			})
+		default:
+			// Fast reject (or WAL write failure): the memtable never
+			// mutated, the caller hears the verdict now — the EBUSY
+			// syscall round trip was already charged by the admission
+			// layer.
+			m.onDone(err)
+		}
+		m.onDone = nil
+	}
+	g.members = g.members[:0]
+	s.groupFree = append(s.groupFree, g)
+	s.walBusy = false
+	if len(s.walPend) > 0 {
+		s.flushWalGroup()
+	}
+}
+
+// walBlocks sizes the log ring at the region tail.
+const walBlocks = 1024
+
 // walOffset cycles a small log extent at the region tail.
-func (s *Store) walOffset() int64 {
-	const walBlocks = 1024
+func (s *Store) walOffset() int64 { return s.walOffsetN(1) }
+
+// walOffsetN reserves n consecutive log blocks (the caller clamps n to the
+// ring remainder so a group never wraps) and returns the first's offset.
+func (s *Store) walOffsetN(n int) int64 {
 	off := s.cfg.RegionBase + s.cfg.RegionSize - int64(walBlocks*s.cfg.BlockSize) +
 		(s.walPos%walBlocks)*int64(s.cfg.BlockSize)
-	s.walPos++
+	s.walPos += int64(n)
 	return off
 }
 

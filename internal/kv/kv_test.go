@@ -1,6 +1,7 @@
 package kv
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -269,5 +270,167 @@ func TestMmapPathColdFaultTolerated(t *testing.T) {
 	off, _ := store.KeyOffset(3)
 	if !cache.Resident(off, 4096) {
 		t.Fatal("fault did not populate the mapping")
+	}
+}
+
+// scriptTarget is a deterministic core.Target for put-path unit tests: each
+// SLO-carrying submit pops the next scripted verdict; deadline-0 submits
+// always execute (the Target contract: no deadline, no admission check).
+// Every IO completes after a fixed service time in virtual time.
+type scriptTarget struct {
+	eng     *sim.Engine
+	script  []error // verdicts for deadline-carrying submits, in order
+	svc     time.Duration
+	submits int // total submits
+	sloSubs int // deadline-carrying submits
+}
+
+func (f *scriptTarget) SubmitSLO(req *blockio.Request, onDone func(error)) {
+	f.submits++
+	var err error
+	if req.Deadline > 0 {
+		if f.sloSubs < len(f.script) {
+			err = f.script[f.sloSubs]
+		}
+		f.sloSubs++
+		if err != nil {
+			onDone(err)
+			return
+		}
+	}
+	req.SubmitTime = f.eng.Now()
+	f.eng.After(f.svc, func() {
+		req.CompleteTime = f.eng.Now()
+		onDone(nil)
+	})
+}
+
+func newScriptRig(script ...error) (*sim.Engine, *Store, *scriptTarget) {
+	eng := sim.NewEngine()
+	ft := &scriptTarget{eng: eng, script: script, svc: time.Millisecond}
+	var ids blockio.IDGen
+	store := New(eng, DefaultConfig(0, 100<<30), ft, &ids)
+	return eng, store, ft
+}
+
+func TestPutDurableGroupCommitBatches(t *testing.T) {
+	eng, store, ft := newScriptRig()
+	acks := 0
+	store.PutDurable(0, 0, func(e error) {
+		if e != nil {
+			t.Fatalf("put 0 = %v", e)
+		}
+		acks++
+	})
+	// While the first WAL append is in flight, four more puts arrive; they
+	// must share one group-commit IO, not get four appends.
+	for k := int64(1); k <= 4; k++ {
+		store.PutDurable(k, 0, func(e error) {
+			if e != nil {
+				t.Fatalf("put = %v", e)
+			}
+			acks++
+		})
+	}
+	eng.Run()
+	if acks != 5 {
+		t.Fatalf("acked %d puts, want 5", acks)
+	}
+	if got := store.WalGroups(); got != 2 {
+		t.Fatalf("WAL groups = %d, want 2 (leader + one batch)", got)
+	}
+	if ft.submits != 2 {
+		t.Fatalf("target saw %d submits, want 2", ft.submits)
+	}
+	for k := int64(0); k <= 4; k++ {
+		hit := false
+		store.Get(k, 0, func(e error) { hit = e == nil })
+		eng.Run()
+		if !hit {
+			t.Fatalf("key %d missing after durable ack", k)
+		}
+	}
+}
+
+func TestPutGroupRejectionSparesFittingMembers(t *testing.T) {
+	// One group, three deadlines: tight (1ms < predicted wait), loose
+	// (fits), and none. On the group EBUSY only the tight member may hear
+	// it; the others ride the next group — the never-false-reject rule.
+	// Script entries are consumed by deadline-carrying groups only: the
+	// deadline-0 leader group passes through unscripted.
+	eng, store, _ := newScriptRig(
+		&core.BusyError{PredictedWait: 5 * time.Millisecond}, // {tight, loose, zero}
+		nil, // retry group {loose, zero}
+	)
+	store.PutDurable(100, 0, func(error) {}) // occupies the WAL; batches the rest
+	var errTight, errLoose, errZero error = blockio.ErrBusy, blockio.ErrBusy, blockio.ErrBusy
+	store.PutDurable(101, time.Millisecond, func(e error) { errTight = e })
+	store.PutDurable(102, 10*time.Millisecond, func(e error) { errLoose = e })
+	store.PutDurable(103, 0, func(e error) { errZero = e })
+	eng.Run()
+	if !core.IsBusy(errTight) {
+		t.Fatalf("tight put = %v, want EBUSY", errTight)
+	}
+	var be *core.BusyError
+	if !errors.As(errTight, &be) || be.PredictedWait != 5*time.Millisecond {
+		t.Fatalf("tight put lost the wait hint: %v", errTight)
+	}
+	if errLoose != nil {
+		t.Fatalf("loose put = %v; deadline fit the predicted wait, rejecting it is a false reject", errLoose)
+	}
+	if errZero != nil {
+		t.Fatalf("no-SLO put = %v; deadline-0 puts must never hear EBUSY", errZero)
+	}
+	if got := store.PutRetries(); got != 2 {
+		t.Fatalf("put retries = %d, want 2 (loose + zero re-enqueued)", got)
+	}
+	// The rejected put must have left no state behind.
+	var errGet error
+	store.Get(101, 0, func(e error) { errGet = e })
+	eng.Run()
+	if errGet != ErrNotFound {
+		t.Fatalf("rejected put mutated the store: Get = %v, want ErrNotFound", errGet)
+	}
+}
+
+func TestPutBackpressureRejectsBeforeSubmit(t *testing.T) {
+	// Flush/compaction backlog past the high-water mark surfaces as a
+	// predicted-wait rejection in memory: no WAL IO is even submitted.
+	eng, store, ft := newScriptRig()
+	store.PutDurable(0, 0, func(error) {})
+	eng.Run() // seeds the drain-rate EWMA
+	// Pile up > StallBytes of background writes without letting any drain.
+	for k := int64(1); k <= 300; k++ {
+		store.Put(k, func(error) {})
+	}
+	if store.BackgroundBytes() <= DefaultConfig(0, 100<<30).StallBytes {
+		t.Fatalf("backlog %d bytes under the stall mark; test setup broken", store.BackgroundBytes())
+	}
+	subs := ft.submits
+	var errTight error
+	store.PutDurable(1000, time.Millisecond, func(e error) { errTight = e })
+	var be *core.BusyError
+	if !errors.As(errTight, &be) && errTight != nil {
+		t.Fatalf("backpressured put = %v", errTight)
+	}
+	eng.Run()
+	if !errors.As(errTight, &be) || be.PredictedWait <= time.Millisecond {
+		t.Fatalf("backpressured put = %v, want BusyError with wait > deadline", errTight)
+	}
+	if ft.submits != subs {
+		t.Fatal("rejected put still submitted a WAL IO")
+	}
+	var errGet error
+	store.Get(1000, 0, func(e error) { errGet = e })
+	eng.Run()
+	if errGet != ErrNotFound {
+		t.Fatalf("rejected put mutated the store: Get = %v", errGet)
+	}
+	// The same backlog must not touch a no-SLO durable put.
+	var errZero error = blockio.ErrBusy
+	store.PutDurable(1001, 0, func(e error) { errZero = e })
+	eng.Run()
+	if errZero != nil {
+		t.Fatalf("no-SLO put under backpressure = %v, want nil", errZero)
 	}
 }

@@ -112,11 +112,19 @@ const (
 	HDevice                        // device residency: device enter → completion
 	HPredictedWait                 // predicted queueing wait at each admission decision
 	HPredictErr                    // |actual − predicted| wait of completed admitted IOs (§7.6)
+	// Put-path stages (SLO-aware writes): group-commit queueing above the
+	// stack, WAL group service, enqueue→memtable-ack per put, and the
+	// user-visible quorum latency of replicated puts.
+	HPutWalQueue
+	HPutWalService
+	HPutMemAck
+	HPutQuorum
 	numHistKinds
 )
 
 var histKindNames = [numHistKinds]string{
 	"latency", "queue-wait", "device", "predicted-wait", "predict-err",
+	"put-wal-queue", "put-wal-service", "put-mem-ack", "put-quorum",
 }
 
 // String names the histogram kind.
@@ -458,6 +466,16 @@ func (r *Recorder) Rejected(res Resource, req *blockio.Request, predicted time.D
 		}
 		sp.RejectLate = late
 	}
+}
+
+// Observe records one duration in an arbitrary (resource, kind, op)
+// histogram — the hook for stage latencies measured above the block layer,
+// like the put path's wal-queue/mem-ack/quorum stages.
+func (r *Recorder) Observe(res Resource, k HistKind, op blockio.Op, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.set.hists[res][k][opIndex(op)].Observe(d)
 }
 
 // ShadowBusy records a shadow-mode busy verdict (§7.6): the IO proceeds,

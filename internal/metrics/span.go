@@ -24,6 +24,11 @@ type Span struct {
 
 	DeadlineNs int64 `json:"deadline_ns"` // 0 = no SLO
 
+	// WalQueueNs is the group-commit queueing the oldest batched put spent
+	// above the stack before this WAL IO was submitted (0 for IOs that were
+	// never batch-queued) — the put path's wal-queue stage.
+	WalQueueNs int64 `json:"wal_queue_ns,omitempty"`
+
 	SubmitNs     int64 `json:"submit_ns"`
 	SchedEnterNs int64 `json:"sched_enter_ns"`
 	SchedExitNs  int64 `json:"sched_exit_ns"`
@@ -94,6 +99,9 @@ func (r *Recorder) IOBegin(req *blockio.Request) {
 		SubmitNs:     int64(s.eng.Now()),
 		SchedEnterNs: -1, SchedExitNs: -1, DevEnterNs: -1, DevStartNs: -1,
 		EndNs: -1, PredWaitNs: -1, PredSvcNs: -1, ActualWaitNs: -1,
+	}
+	if req.QueuedTime > 0 {
+		sp.WalQueueNs = int64(s.eng.Now().Sub(req.QueuedTime))
 	}
 	s.spans = append(s.spans, sp)
 	s.spanIdx[req] = sp

@@ -1,0 +1,104 @@
+package ycsb
+
+import (
+	"testing"
+
+	"mittos/internal/sim"
+)
+
+// FuzzYCSBWorkload drives Workload.Next across fuzzed configs (key-space
+// size, read/insert fractions, distribution, seed) and checks the generator's
+// contract:
+//
+//   - determinism: two workloads built from the same config and seed produce
+//     identical op streams;
+//   - key bounds: reads/updates stay inside the loaded key space (which only
+//     inserts grow), inserts hand out fresh keys in order, and no key is
+//     ever negative;
+//   - mix edges: ReadFraction 1 yields only reads, InsertFraction >= 1
+//     yields no updates (the legacy all-insert shape), InsertFraction 0
+//     yields no inserts;
+//   - for the uniform distribution, the exact stream is replayed by an
+//     independent reference model making the same RNG draws.
+func FuzzYCSBWorkload(f *testing.F) {
+	f.Add(int64(1), int64(100), uint8(128), uint8(0), uint8(0), uint16(200))
+	f.Add(int64(7), int64(3), uint8(255), uint8(255), uint8(1), uint16(64))
+	f.Add(int64(42), int64(100000), uint8(0), uint8(64), uint8(2), uint16(500))
+	f.Add(int64(-9), int64(1), uint8(13), uint8(200), uint8(1), uint16(1000))
+
+	f.Fuzz(func(t *testing.T, seed, records int64, readB, insB, distB uint8, nOps uint16) {
+		if records <= 0 {
+			records = -records + 1
+		}
+		if records > 1<<40 {
+			records %= 1 << 40
+		}
+		cfg := DefaultConfig(records)
+		cfg.ReadFraction = float64(readB) / 255
+		cfg.InsertFraction = float64(insB) / 255
+		cfg.Dist = Distribution(int(distB) % 3)
+		n := int(nOps)%2048 + 1
+
+		w := New(cfg, sim.NewRNG(seed, "fuzz-ycsb"))
+		twin := New(cfg, sim.NewRNG(seed, "fuzz-ycsb"))
+
+		// The uniform reference model mirrors Next's documented draw order
+		// on its own identically-seeded stream: read coin, then either a
+		// uniform key, an insert (one coin, no key draw when InsertFraction
+		// is saturated), or an insert coin plus a uniform key.
+		ref := sim.NewRNG(seed, "fuzz-ycsb")
+		refInserted := records
+		refNext := func() Op {
+			if ref.Bool(cfg.ReadFraction) {
+				return Op{Kind: OpRead, Key: ref.Int63n(records)}
+			}
+			if cfg.InsertFraction >= 1 || ref.Bool(cfg.InsertFraction) {
+				refInserted++
+				return Op{Kind: OpInsert, Key: refInserted - 1}
+			}
+			return Op{Kind: OpUpdate, Key: ref.Int63n(records)}
+		}
+
+		inserted := records
+		for i := 0; i < n; i++ {
+			op := w.Next()
+			if got := twin.Next(); got != op {
+				t.Fatalf("op %d: stream diverged: %+v vs twin %+v", i, op, got)
+			}
+			if cfg.Dist == Uniform {
+				if want := refNext(); op != want {
+					t.Fatalf("op %d: %+v, reference model wants %+v", i, op, want)
+				}
+			}
+			if op.Key < 0 {
+				t.Fatalf("op %d: negative key %d", i, op.Key)
+			}
+			switch op.Kind {
+			case OpInsert:
+				if op.Key != inserted {
+					t.Fatalf("op %d: insert key %d, want next fresh key %d", i, op.Key, inserted)
+				}
+				inserted++
+				if cfg.ReadFraction >= 1 {
+					t.Fatalf("op %d: insert from a read-only mix", i)
+				}
+				if cfg.InsertFraction <= 0 {
+					t.Fatalf("op %d: insert with InsertFraction 0", i)
+				}
+			case OpUpdate:
+				if cfg.InsertFraction >= 1 {
+					t.Fatalf("op %d: update from an all-insert mix", i)
+				}
+				if op.Key >= inserted {
+					t.Fatalf("op %d: update key %d outside loaded space [0,%d)", i, op.Key, inserted)
+				}
+			case OpRead:
+				if op.Key >= inserted {
+					t.Fatalf("op %d: read key %d outside loaded space [0,%d)", i, op.Key, inserted)
+				}
+			default:
+				t.Fatalf("op %d: unknown kind %v", i, op.Kind)
+			}
+		}
+	})
+}

@@ -41,7 +41,24 @@ type OpKind int
 const (
 	OpRead OpKind = iota
 	OpInsert
+	// OpUpdate overwrites an existing key drawn from the request
+	// distribution — the write half of YCSB A/B/F style mixes.
+	OpUpdate
 )
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
 
 // Op is one generated operation.
 type Op struct {
@@ -63,11 +80,18 @@ type Config struct {
 	Dist Distribution
 	// ZipfTheta overrides the zipfian skew when > 0.
 	ZipfTheta float64
+	// InsertFraction is the fraction of write operations that insert fresh
+	// keys; the rest are updates of existing keys drawn from the request
+	// distribution. 1.0 (the DefaultConfig value) makes every write an
+	// insert — the legacy behavior; 0.0 is the pure update mix of YCSB
+	// workloads A/B/F.
+	InsertFraction float64
 }
 
 // DefaultConfig is the paper's workload: 1KB reads over a large key space.
 func DefaultConfig(records int64) Config {
-	return Config{Records: records, ValueSize: 1024, ReadFraction: 1.0, Dist: Uniform}
+	return Config{Records: records, ValueSize: 1024, ReadFraction: 1.0,
+		Dist: Uniform, InsertFraction: 1.0}
 }
 
 // Workload produces operations deterministically from its RNG stream.
@@ -100,13 +124,18 @@ func New(cfg Config, rng *sim.RNG) *Workload {
 // Config returns the workload configuration.
 func (w *Workload) Config() Config { return w.cfg }
 
-// Next produces the next operation.
+// Next produces the next operation. The InsertFraction >= 1 short circuit
+// keeps all-insert workloads (the DefaultConfig shape) drawing exactly one
+// coin per write, so pre-existing RNG streams replay bit-identically.
 func (w *Workload) Next() Op {
 	if w.rng.Bool(w.cfg.ReadFraction) {
 		return Op{Kind: OpRead, Key: w.nextKey()}
 	}
-	w.inserted++
-	return Op{Kind: OpInsert, Key: w.inserted - 1}
+	if w.cfg.InsertFraction >= 1 || w.rng.Bool(w.cfg.InsertFraction) {
+		w.inserted++
+		return Op{Kind: OpInsert, Key: w.inserted - 1}
+	}
+	return Op{Kind: OpUpdate, Key: w.nextKey()}
 }
 
 // NextKey produces a key per the request distribution.
