@@ -5,8 +5,36 @@ import (
 	"time"
 
 	"mittos/internal/blockio"
+	"mittos/internal/cluster"
+	"mittos/internal/core"
+	"mittos/internal/disk"
 	"mittos/internal/kv"
+	"mittos/internal/netsim"
+	"mittos/internal/sim"
+	"mittos/internal/ycsb"
 )
+
+// allocDiskProfile is computed once; profiling is deterministic and only
+// the Mitt put pin needs it.
+var allocDiskProfile = disk.ProfileTwin(disk.DefaultConfig(),
+	42, disk.ProfilerOptions{Buckets: 32, Tries: 6, ProbeSize: 4096})
+
+// newAllocCluster builds a minimal 3-node replicated cluster for the put
+// issue-path pins, mirroring the experiment fleet shape.
+func newAllocCluster(name string, mitt bool) (*sim.Engine, *cluster.Cluster) {
+	eng := sim.NewEngine()
+	net := netsim.New(eng, netsim.DefaultConfig(), sim.NewRNG(61, name+"-net"))
+	tmpl := cluster.NodeConfig{
+		Device:      cluster.DeviceDisk,
+		DiskConfig:  disk.DefaultConfig(),
+		UseCFQ:      true,
+		Mitt:        mitt,
+		MittOptions: core.DefaultOptions(),
+		Keys:        10000,
+		DiskProfile: allocDiskProfile,
+	}
+	return eng, cluster.NewCluster(eng, net, 3, 3, tmpl, sim.NewRNG(62, name))
+}
 
 // TestAllocBudgets pins the steady-state allocation budgets of the two
 // hottest paths. These are hard budgets, not aspirations: a regression
@@ -112,6 +140,66 @@ func TestAllocBudgets(t *testing.T) {
 		})
 		if avg != 0 {
 			t.Fatalf("accepted durable put allocates %.1f objects per op; budget is 0", avg)
+		}
+	})
+	t.Run("YCSBNext", func(t *testing.T) {
+		// Op generation is pure RNG arithmetic over a value-typed Op; the
+		// mixed zipfian config exercises the read, insert, and update
+		// branches plus the skewed key draw.
+		cfg := ycsb.DefaultConfig(100000)
+		cfg.ReadFraction = 0.5
+		cfg.InsertFraction = 0.5
+		cfg.Dist = ycsb.Zipfian
+		w := ycsb.New(cfg, sim.NewRNG(9, "alloc-ycsb"))
+		for i := 0; i < 64; i++ {
+			_ = w.Next()
+			_ = w.NextKey()
+		}
+		avg := testing.AllocsPerRun(200, func() {
+			_ = w.Next()
+			_ = w.NextKey()
+		})
+		if avg != 0 {
+			t.Fatalf("YCSB op generation allocates %.1f objects per op; budget is 0", avg)
+		}
+	})
+	t.Run("BasePutIssue", func(t *testing.T) {
+		// The full replicated-put round trip on the vanilla stack: op and
+		// quorum scratch from the cluster pools, three serve contexts, WAL
+		// commit, acks, and recycling — the steady-state write driver.
+		eng, c := newAllocCluster("alloc-baseput", false)
+		ps := &cluster.BasePut{C: c}
+		done := func(cluster.PutResult) {}
+		put := func() {
+			ps.Put(7, done)
+			eng.Run()
+		}
+		for i := 0; i < 64; i++ { // warm every pool on the path
+			put()
+		}
+		avg := testing.AllocsPerRun(200, put)
+		if avg != 0 {
+			t.Fatalf("BasePut issue path allocates %.1f objects per op; budget is 0", avg)
+		}
+	})
+	t.Run("MittOSPutIssue", func(t *testing.T) {
+		// Same round trip through the SLO-aware strategy: wait-hint probe,
+		// admission on each replica, quorum bookkeeping, and the accepted
+		// completion. On an idle fleet every copy is admitted, so this pins
+		// the common no-rejection case.
+		eng, c := newAllocCluster("alloc-mittput", true)
+		ps := &cluster.MittOSPut{C: c, Deadline: time.Second, UseWaitHint: true}
+		done := func(cluster.PutResult) {}
+		put := func() {
+			ps.Put(7, done)
+			eng.Run()
+		}
+		for i := 0; i < 64; i++ { // warm every pool on the path
+			put()
+		}
+		avg := testing.AllocsPerRun(200, put)
+		if avg != 0 {
+			t.Fatalf("MittOSPut issue path allocates %.1f objects per op; budget is 0", avg)
 		}
 	})
 }

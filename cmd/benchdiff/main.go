@@ -4,18 +4,29 @@
 //
 // Usage:
 //
-//	benchdiff [-ns-threshold 25] old.json new.json
+//	benchdiff [-ns-threshold 25] [-bytes-threshold 25] [-gc-threshold 100] old.json new.json
 //
 // For every benchmark present in the baseline, the gate fails when:
 //
 //   - ns/op regresses by more than -ns-threshold percent (default 25%,
 //     loose enough for shared CI machines but tight enough to catch a
 //     complexity-class slip), or
+//   - bytes/op regresses by more than -bytes-threshold percent (default
+//     25%, same slack rules as ns/op: percent-threshold on nonzero
+//     baselines), or any increase at all on a zero-bytes baseline (a
+//     pinned allocation-free path), or
 //   - allocs/op regresses: any increase for zero-alloc baselines (those
 //     paths are pinned and deterministic), and any increase beyond 0.1%
 //     for experiment-scale baselines (iteration count amortizes one-time
 //     warmup allocations differently run to run, shifting the count by a
 //     few parts in ten thousand), or
+//   - GC pause per op regresses by more than -gc-threshold percent
+//     (default 100% — pause totals are the noisiest of the measures),
+//     gated only where the baseline recorded a material pause (at least
+//     1µs/op: experiment-scale benchmarks). Old snapshots without the GC
+//     fields, benchmarks that never trigger a collection, and
+//     nanosecond-scale paths whose amortized pause is measurement noise
+//     are not gated. Or
 //   - the benchmark disappeared from the new snapshot (coverage loss).
 //
 // Benchmarks only present in the new snapshot pass (they extend coverage;
@@ -29,12 +40,23 @@ import (
 	"os"
 )
 
+// materialPauseNsPerOp is the floor below which the GC-pause gate stays
+// unarmed: a sub-microsecond amortized pause means the benchmark barely
+// collects at all, and the ratio of two such numbers is noise over noise.
+const materialPauseNsPerOp = 1000
+
 type benchResult struct {
 	Name        string  `json:"name"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// GC fields are zero in snapshots written before they existed; the
+	// pause gate only arms when the baseline recorded a material value.
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	NumGC          uint32  `json:"num_gc"`
+	GCPauseNs      uint64  `json:"gc_pause_ns"`
+	GCPauseNsPerOp float64 `json:"gc_pause_ns_per_op"`
 }
 
 func load(path string) (map[string]benchResult, []string, error) {
@@ -60,9 +82,11 @@ func load(path string) (map[string]benchResult, []string, error) {
 
 func main() {
 	nsThreshold := flag.Float64("ns-threshold", 25, "max allowed ns/op regression in percent")
+	bytesThreshold := flag.Float64("bytes-threshold", 25, "max allowed bytes/op regression in percent (zero-bytes baselines allow no increase)")
+	gcThreshold := flag.Float64("gc-threshold", 100, "max allowed GC-pause-per-op regression in percent, where the baseline recorded a material (>=1µs/op) pause")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-ns-threshold pct] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-ns-threshold pct] [-bytes-threshold pct] [-gc-threshold pct] old.json new.json")
 		os.Exit(2)
 	}
 	oldSet, order, err := load(flag.Arg(0))
@@ -77,8 +101,8 @@ func main() {
 	}
 
 	failed := false
-	fmt.Printf("%-24s %14s %14s %8s %10s %10s\n",
-		"benchmark", "old ns/op", "new ns/op", "Δns", "old allocs", "new allocs")
+	fmt.Printf("%-24s %14s %14s %8s %14s %8s %10s %10s %12s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns", "new B/op", "ΔB", "old allocs", "new allocs", "Δgc-pause")
 	for _, name := range order {
 		o := oldSet[name]
 		n, ok := newSet[name]
@@ -91,17 +115,34 @@ func main() {
 		if o.NsPerOp > 0 {
 			deltaPct = 100 * (n.NsPerOp - o.NsPerOp) / o.NsPerOp
 		}
+		bytesPct := 0.0
+		if o.BytesPerOp > 0 {
+			bytesPct = 100 * float64(n.BytesPerOp-o.BytesPerOp) / float64(o.BytesPerOp)
+		}
+		gcPct := 0.0
+		if o.GCPauseNsPerOp >= materialPauseNsPerOp {
+			gcPct = 100 * (n.GCPauseNsPerOp - o.GCPauseNsPerOp) / o.GCPauseNsPerOp
+		}
 		verdict := ""
 		if deltaPct > *nsThreshold {
 			verdict = "  FAIL ns/op"
+			failed = true
+		}
+		if bytesPct > *bytesThreshold || (o.BytesPerOp == 0 && n.BytesPerOp > 0) {
+			verdict += "  FAIL bytes/op"
 			failed = true
 		}
 		if n.AllocsPerOp > o.AllocsPerOp+o.AllocsPerOp/1000 {
 			verdict += "  FAIL allocs/op"
 			failed = true
 		}
-		fmt.Printf("%-24s %14.1f %14.1f %+7.1f%% %10d %10d%s\n",
-			name, o.NsPerOp, n.NsPerOp, deltaPct, o.AllocsPerOp, n.AllocsPerOp, verdict)
+		if o.GCPauseNsPerOp >= materialPauseNsPerOp && gcPct > *gcThreshold {
+			verdict += "  FAIL gc-pause/op"
+			failed = true
+		}
+		fmt.Printf("%-24s %14.1f %14.1f %+7.1f%% %14d %+7.1f%% %10d %10d %+11.1f%%%s\n",
+			name, o.NsPerOp, n.NsPerOp, deltaPct, n.BytesPerOp, bytesPct,
+			o.AllocsPerOp, n.AllocsPerOp, gcPct, verdict)
 	}
 	if failed {
 		fmt.Println("\nbenchdiff: regression detected")

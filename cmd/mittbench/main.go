@@ -129,6 +129,8 @@ func main() {
 			defer func() { <-sem }()
 			defer close(done[i])
 			start := time.Now()
+			var msBefore, msAfter runtime.MemStats
+			runtime.ReadMemStats(&msBefore)
 			res, err := mittos.RunExperimentConfig(id, mittos.ExperimentConfig{
 				Quick: !*full, Seed: *seed, Workers: workers,
 				Metrics: *metricsOn, TraceIOs: *traceIOs, Faults: *faultsFlag,
@@ -137,6 +139,7 @@ func main() {
 				outs[i].err = err
 				return
 			}
+			runtime.ReadMemStats(&msAfter)
 			var b strings.Builder
 			fmt.Fprintln(&b, res)
 			if *plot && len(res.Series) > 0 {
@@ -145,7 +148,16 @@ func main() {
 			if *metricsOn {
 				writeMetrics(&b, res)
 			}
-			fmt.Fprintf(&b, "(regenerated %s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+			// GC stats ride the timing line — the one line already excluded
+			// from the "identical bytes" determinism contract. (With -j > 1
+			// experiments overlap, so the deltas attribute concurrent
+			// allocation to whoever was running; still the right order of
+			// magnitude for spotting an experiment-scale GC storm.)
+			fmt.Fprintf(&b, "(regenerated %s in %v; heap %s, %d GCs, %v GC pause)\n\n",
+				id, time.Since(start).Round(time.Millisecond),
+				formatBytes(msAfter.HeapAlloc),
+				msAfter.NumGC-msBefore.NumGC,
+				time.Duration(msAfter.PauseTotalNs-msBefore.PauseTotalNs).Round(10*time.Microsecond))
 			outs[i].text = b.String()
 			outs[i].metrics = res.Metrics
 			if *csv != "" {
@@ -212,13 +224,38 @@ func startProfiles(cpu, mem string) func() {
 // benchSink defeats dead-code elimination in the SeekCost benchmark.
 var benchSink time.Duration
 
+// formatBytes renders a byte count with a binary-unit suffix.
+func formatBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
 // benchResult is one headline benchmark's record in the -bench-json dump.
+// The GC fields come from runtime.ReadMemStats deltas taken around the
+// testing.Benchmark call: NumGC and GCPauseNs cover every trial run the
+// harness made (N grows geometrically, so the final run dominates), and
+// GCPauseNsPerOp divides the total pause by the final iteration count —
+// an upper bound on the per-op pause cost, steady enough to gate on.
+// HeapAllocBytes is the live heap right after the benchmark, with the
+// preceding benchmarks' garbage already collected: what the benchmark's
+// working set (pools, arenas, profiles) permanently retains.
 type benchResult struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name           string  `json:"name"`
+	Iterations     int     `json:"iterations"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	NumGC          uint32  `json:"num_gc"`
+	GCPauseNs      uint64  `json:"gc_pause_ns"`
+	GCPauseNsPerOp float64 `json:"gc_pause_ns_per_op"`
 }
 
 // runBenchJSON executes the headline benchmarks in-process (the same bodies
@@ -230,16 +267,26 @@ func runBenchJSON(path string) error {
 		// Settle the previous benchmark's garbage so each measurement
 		// starts from a quiet heap instead of inheriting GC debt.
 		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		r := testing.Benchmark(fn)
-		results = append(results, benchResult{
-			Name:        name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-		})
-		fmt.Printf("%-24s %12.1f ns/op %12d B/op %8d allocs/op\n",
-			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		runtime.ReadMemStats(&after)
+		res := benchResult{
+			Name:           name,
+			Iterations:     r.N,
+			NsPerOp:        float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:     r.AllocedBytesPerOp(),
+			AllocsPerOp:    r.AllocsPerOp(),
+			HeapAllocBytes: after.HeapAlloc,
+			NumGC:          after.NumGC - before.NumGC,
+			GCPauseNs:      after.PauseTotalNs - before.PauseTotalNs,
+		}
+		if r.N > 0 {
+			res.GCPauseNsPerOp = float64(res.GCPauseNs) / float64(r.N)
+		}
+		results = append(results, res)
+		fmt.Printf("%-24s %12.1f ns/op %12d B/op %8d allocs/op %6d GCs %10.1f GC-pause-ns/op\n",
+			name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.NumGC, res.GCPauseNsPerOp)
 	}
 
 	add("Fig4", func(b *testing.B) {

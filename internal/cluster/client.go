@@ -29,6 +29,12 @@ type ClientConfig struct {
 	// request count so steady-state recording never reallocates (0 keeps a
 	// small default).
 	ExpectedOps int
+	// Bufs, when non-nil, is a shared sample-buffer pool the latency
+	// samples draw their backing arrays from. An experiment arena passes
+	// one pool across legs and steals the buffers back (ReclaimBufs) at
+	// teardown, so per-client latency recording stops costing a fresh
+	// ExpectedOps-sized array every leg. Nil allocates normally.
+	Bufs *stats.BufPool
 }
 
 // DefaultClientConfig matches the §7.2 runs: one get per user request.
@@ -150,12 +156,23 @@ func NewClient(eng *sim.Engine, cfg ClientConfig, strat Strategy,
 	}
 	cl := &Client{
 		eng: eng, cfg: cfg, strat: strat, wl: wl, rng: rng,
-		UserLatencies: stats.NewSample(ops),
-		IOLatencies:   stats.NewSample(ops * cfg.ScaleFactor),
-		PutLatencies:  stats.NewSample(ops),
+		UserLatencies: newSample(cfg.Bufs, ops),
+		IOLatencies:   newSample(cfg.Bufs, ops*cfg.ScaleFactor),
+		// Read-only clients never record a put; SetPutStrategy sizes this
+		// for real when the client actually issues writes.
+		PutLatencies: stats.NewSample(0),
 	}
 	cl.tickFn = cl.tick
 	return cl
+}
+
+// newSample draws a sample's backing buffer from the shared pool when one is
+// configured, else allocates it.
+func newSample(bufs *stats.BufPool, capacity int) *stats.Sample {
+	if bufs != nil {
+		return stats.NewSampleBuf(bufs.Get(capacity))
+	}
+	return stats.NewSample(capacity)
 }
 
 // SetPutStrategy switches the client to mixed issuing: each tick draws
@@ -168,6 +185,27 @@ func (cl *Client) SetPutStrategy(ps PutStrategy, rmw bool) {
 	}
 	cl.putStrat = ps
 	cl.rmw = rmw
+	// Now that the client is known to write, give PutLatencies its real
+	// pre-sizing from the expected op count (the put share is bounded by the
+	// total user ops), pooled like the other two samples.
+	ops := cl.cfg.ExpectedOps
+	if ops <= 0 {
+		ops = 4096
+	}
+	cl.PutLatencies = newSample(cl.cfg.Bufs, ops)
+}
+
+// ReclaimBufs hands the samples' backing buffers back to the shared pool.
+// Call only at leg teardown, after every consumer has merged or copied the
+// latencies it needs: the samples are empty afterwards. No-op without a
+// configured pool.
+func (cl *Client) ReclaimBufs() {
+	if cl.cfg.Bufs == nil {
+		return
+	}
+	cl.cfg.Bufs.Put(cl.UserLatencies.TakeBuf())
+	cl.cfg.Bufs.Put(cl.IOLatencies.TakeBuf())
+	cl.cfg.Bufs.Put(cl.PutLatencies.TakeBuf())
 }
 
 // Start begins issuing requests.

@@ -29,6 +29,15 @@ import (
 // call until Revive.
 var ErrNodeDown = errors.New("cluster: node down")
 
+// ErrRevoked resolves the serve callback of a get whose cancelled IO was
+// dropped from a queue before reaching the device: the server will never
+// answer (the client revoked the request itself), so the callback chain is
+// terminated synchronously instead of left dangling — which is what lets
+// pooled client-side per-op contexts be reclaimed instead of leaking on
+// every timed-out-then-dropped attempt. It never reaches users; strategies
+// treat it as "attempt resolved silently": no reply hop, no wasted IO.
+var ErrRevoked = errors.New("cluster: request revoked")
+
 // DeviceKind selects a node's storage medium.
 type DeviceKind int
 
@@ -72,6 +81,54 @@ type NodeConfig struct {
 	// every layer of the node's storage stack and wraps its entry points
 	// with the per-IO span boundary. Nil (the default) costs nothing.
 	Metrics *metrics.Set
+	// Pools, when non-nil, is the shared freelist bundle the node (and the
+	// cluster built from the same template) draws its per-op contexts from.
+	// An experiment arena passes one Pools across consecutive legs so a new
+	// fleet starts with every pool warm; nil gets a private bundle.
+	Pools *Pools
+	// SSDPool, when non-nil, recycles SSD devices across fleets: an SSD
+	// node takes a reset device from the pool instead of building the
+	// multi-megabyte FTL arrays from scratch. The owner reclaims devices at
+	// teardown with SSDPool.Put(node.SSD).
+	SSDPool *ssd.Pool
+}
+
+// Pools bundles every per-op freelist of a node fleet: serve contexts,
+// revocation handles, replica-call contexts, and the block-layer request
+// pool the KV stores draw from. Contexts rebind their owner (node or
+// cluster) at acquire time, so one bundle can serve any number of fleets —
+// sequentially, never concurrently — and an experiment arena can carry a
+// warm bundle across legs instead of re-growing every pool from zero.
+type Pools struct {
+	getCtxs  []*getCtx
+	putCtxs  []*putCtx
+	handles  []*ServeHandle
+	calls    []*callCtx
+	putCalls []*putCallCtx
+	// Client-side strategy op contexts. These live here rather than on the
+	// strategy structs because experiments build a fresh strategy per leg:
+	// pooling per strategy would start every leg cold AND lose any op a
+	// wedged IO stranded past the leg's drain window. The ops rebind their
+	// owning strategy at acquire, exactly like the serve contexts above.
+	baseOps     []*baseOp
+	timeoutOps  []*timeoutOp
+	timeoutAtts []*timeoutAttempt
+	cloneOps    []*cloneOp
+	hedgedOps   []*hedgedOp
+	mittOps     []*mittOp
+	// Put-strategy twins.
+	basePutOps    []*basePutOp
+	timeoutPutOps []*timeoutPutOp
+	hedgedPutOps  []*hedgedPutOp
+	mittPutOps    []*mittPutOp
+	mittPutCopies []*mittPutCopy
+	// Reqs is the shared block-IO request pool; nodes point their KV
+	// stores and page caches at it. (Requests recycle into the pool that
+	// created them, so the bundle must outlive every fleet using it.)
+	Reqs blockio.Pool
+	// Pages is the shared page-cache slab; cached nodes draw their
+	// resident-set page structs from it.
+	Pages oscache.PageSlab
 }
 
 // TargetDevice adapts a core.Target to blockio.Device, so components that
@@ -197,10 +254,10 @@ type Node struct {
 
 	cfg NodeConfig
 
-	// Per-op freelists: serve contexts and revocation handles.
-	ctxFree    []*getCtx
-	putFree    []*putCtx
-	handleFree []*ServeHandle
+	// pools holds the per-op freelists (serve contexts, revocation
+	// handles); shared across the fleet — and across legs — when the config
+	// injected a bundle.
+	pools *Pools
 
 	// Crash fault state: while down, new calls are refused with
 	// ErrNodeDown. liveHead/liveTail is the intrusive list of in-flight
@@ -217,17 +274,23 @@ type Node struct {
 }
 
 // liveEntry is the intrusive live-list node embedded in every in-flight
-// serve context (get or put); abortFn is bound once at context allocation so
-// Crash can tear down a mixed list without type switches or allocations.
+// serve context (get or put); abortFn and reclaimFn are bound once at
+// context allocation so Crash and ReclaimStranded can tear down a mixed
+// list without type switches or allocations.
 type liveEntry struct {
 	linked     bool
 	prev, next *liveEntry
 	abortFn    func()
+	reclaimFn  func()
 }
 
 // NewNode builds a node on the engine. rng seeds the device model.
 func NewNode(eng *sim.Engine, cfg NodeConfig, rng *sim.RNG) *Node {
 	n := &Node{Index: cfg.Index, eng: eng, cfg: cfg}
+	n.pools = cfg.Pools
+	if n.pools == nil {
+		n.pools = &Pools{}
+	}
 	rec := cfg.Metrics.Node(cfg.Index) // nil when metrics are off
 	n.rec = rec
 
@@ -262,7 +325,11 @@ func NewNode(eng *sim.Engine, cfg NodeConfig, rng *sim.RNG) *Node {
 			}
 		}
 	case DeviceSSD:
-		n.SSD = ssd.New(eng, cfg.SSDConfig)
+		if cfg.SSDPool != nil {
+			n.SSD = cfg.SSDPool.Get(eng, cfg.SSDConfig)
+		} else {
+			n.SSD = ssd.New(eng, cfg.SSDConfig)
+		}
 		n.SSD.SetRecorder(rec)
 		capacity = cfg.SSDConfig.LogicalBytes()
 		if cfg.Mitt {
@@ -281,6 +348,8 @@ func NewNode(eng *sim.Engine, cfg NodeConfig, rng *sim.RNG) *Node {
 	if cfg.CachePages > 0 {
 		ccfg := oscache.DefaultConfig()
 		ccfg.CapacityPages = cfg.CachePages
+		ccfg.Slab = &n.pools.Pages
+		ccfg.Reqs = &n.pools.Reqs
 		// The cache's background traffic (read-through, write-back,
 		// prefetch) enters through the block layer so MittOS accounts it.
 		n.Cache = oscache.New(eng, ccfg, n.BlockLayer)
@@ -304,6 +373,7 @@ func NewNode(eng *sim.Engine, cfg NodeConfig, rng *sim.RNG) *Node {
 	region := capacity * 9 / 10
 	kcfg := kv.DefaultConfig(0, region)
 	kcfg.Proc = 1 // the NoSQL server process
+	kcfg.Reqs = &n.pools.Reqs
 	n.Store = kv.New(eng, kcfg, target, &n.IDs)
 	n.Store.SetRecorder(rec)
 	if cfg.Mmap && n.MittCache != nil {
@@ -364,6 +434,25 @@ func (n *Node) Crash() {
 // Revive brings a crashed node back. Its stores and devices kept their
 // state (fail-stop, not data loss), so it resumes serving immediately.
 func (n *Node) Revive() { n.down = false }
+
+// ReclaimStranded force-reclaims every still-linked serve context: the
+// aborted gets and puts whose pending callback never fired because the IO it
+// was waiting on is wedged (a post-dispatch cancellation can strand a CFQ
+// quantum) or its event was discarded. Call only at experiment-leg teardown,
+// after the engine has drained and before Engine.Reset discards the
+// remaining events — at that point no callback can ever touch these
+// contexts again, so handing them back to the (shared) pools is safe.
+// Returns the number of contexts reclaimed.
+func (n *Node) ReclaimStranded() int {
+	count := 0
+	for e := n.liveHead; e != nil; {
+		next := e.next
+		e.reclaimFn()
+		e = next
+		count++
+	}
+	return count
+}
 
 func (n *Node) link(e *liveEntry) {
 	e.linked = true
@@ -440,17 +529,18 @@ func (h *ServeHandle) deref() {
 	}
 	n := h.n
 	h.req, h.canceled, h.gen = nil, false, 0
-	n.handleFree = append(n.handleFree, h)
+	n.pools.handles = append(n.pools.handles, h)
 }
 
 func (n *Node) getHandle() *ServeHandle {
 	var h *ServeHandle
-	if ln := len(n.handleFree); ln > 0 {
-		h = n.handleFree[ln-1]
-		n.handleFree = n.handleFree[:ln-1]
+	if ln := len(n.pools.handles); ln > 0 {
+		h = n.pools.handles[ln-1]
+		n.pools.handles = n.pools.handles[:ln-1]
 	} else {
-		h = &ServeHandle{n: n}
+		h = &ServeHandle{}
 	}
+	h.n = n // pooled across the fleet: rebind the owner
 	h.refs = 2
 	return h
 }
@@ -485,17 +575,19 @@ type getCtx struct {
 
 func (n *Node) getGetCtx() *getCtx {
 	var ctx *getCtx
-	if ln := len(n.ctxFree); ln > 0 {
-		ctx = n.ctxFree[ln-1]
-		n.ctxFree = n.ctxFree[:ln-1]
+	if ln := len(n.pools.getCtxs); ln > 0 {
+		ctx = n.pools.getCtxs[ln-1]
+		n.pools.getCtxs = n.pools.getCtxs[:ln-1]
 	} else {
-		ctx = &getCtx{n: n}
+		ctx = &getCtx{}
 		ctx.workFn = ctx.work
 		ctx.kvFn = ctx.kv
 		ctx.respFn = ctx.resp
 		ctx.dropFn = ctx.drop
 		ctx.live.abortFn = ctx.abort
+		ctx.live.reclaimFn = ctx.reclaim
 	}
+	ctx.n = n // pooled across the fleet: rebind the owner
 	return ctx
 }
 
@@ -503,14 +595,18 @@ func (n *Node) freeGetCtx(ctx *getCtx) {
 	n.unlink(&ctx.live)
 	ctx.aborted = false
 	ctx.onDone, ctx.h, ctx.req, ctx.err = nil, nil, nil, nil
-	n.ctxFree = append(n.ctxFree, ctx)
+	n.pools.getCtxs = append(n.pools.getCtxs, ctx)
 }
 
 // abort is Crash's per-get teardown: the caller hears ErrNodeDown now; the
 // get's IO is revoked if still queued; the context itself is reclaimed
-// later, by whichever pending callback fires next (work/kv/resp/drop).
+// later, by whichever pending callback fires next (work/kv/resp/drop). The
+// entry stays on the live list until that reclaim so ReclaimStranded can
+// harvest contexts whose callback never comes.
 func (ctx *getCtx) abort() {
-	ctx.n.unlink(&ctx.live)
+	if ctx.aborted {
+		return
+	}
 	ctx.aborted = true
 	onDone := ctx.onDone
 	ctx.onDone = nil
@@ -520,16 +616,24 @@ func (ctx *getCtx) abort() {
 	onDone(ErrNodeDown)
 }
 
-// reclaim is the terminal for an aborted get: the verdict already went out
-// at crash time, so only the per-get state comes back to the pools.
+// reclaim is the terminal for an aborted get — the verdict already went out
+// at crash time — and for ReclaimStranded's teardown harvest of a wedged
+// one, which still owes its caller a verdict: that caller's op context (and
+// the whole reply chain above it) is pooled, and without a resolution it
+// would be stranded right along with the serve context. The verdict is
+// ErrRevoked, delivered synchronously after the context is back in the
+// pools, mirroring drop().
 func (ctx *getCtx) reclaim() {
-	n, req, h := ctx.n, ctx.req, ctx.h
+	n, req, h, onDone := ctx.n, ctx.req, ctx.h, ctx.onDone
 	n.freeGetCtx(ctx)
 	if req != nil {
 		req.Release()
 	}
 	if h != nil {
 		h.deref()
+	}
+	if onDone != nil {
+		onDone(ErrRevoked)
 	}
 }
 
@@ -599,14 +703,21 @@ func (ctx *getCtx) deliver(err error) {
 }
 
 // drop is the get's revocation terminal: the scheduler or device discarded
-// the cancelled IO, so no verdict will ever be delivered (span verdict
-// "revoked"); reclaim the per-get state.
+// the cancelled IO, so no completion will ever be delivered (span verdict
+// "revoked"). The per-get state is reclaimed and — unless a crash already
+// aborted the get, which delivered ErrNodeDown and nilled onDone — the serve
+// callback is resolved synchronously with ErrRevoked. The delivery is
+// deliberately hop-free: a revoked get sends no reply message, so it must
+// not draw network latency or post events.
 func (ctx *getCtx) drop(req *blockio.Request) {
-	n, h := ctx.n, ctx.h
+	n, h, onDone := ctx.n, ctx.h, ctx.onDone
 	n.freeGetCtx(ctx)
 	req.Release()
 	if h != nil {
 		h.deref()
+	}
+	if onDone != nil {
+		onDone(ErrRevoked)
 	}
 }
 
@@ -673,16 +784,18 @@ type putCtx struct {
 
 func (n *Node) getPutCtx() *putCtx {
 	var ctx *putCtx
-	if ln := len(n.putFree); ln > 0 {
-		ctx = n.putFree[ln-1]
-		n.putFree = n.putFree[:ln-1]
+	if ln := len(n.pools.putCtxs); ln > 0 {
+		ctx = n.pools.putCtxs[ln-1]
+		n.pools.putCtxs = n.pools.putCtxs[:ln-1]
 	} else {
-		ctx = &putCtx{n: n}
+		ctx = &putCtx{}
 		ctx.workFn = ctx.work
 		ctx.kvFn = ctx.kv
 		ctx.respFn = ctx.resp
 		ctx.live.abortFn = ctx.abort
+		ctx.live.reclaimFn = ctx.reclaim
 	}
+	ctx.n = n // pooled across the fleet: rebind the owner
 	return ctx
 }
 
@@ -690,21 +803,33 @@ func (n *Node) freePutCtx(ctx *putCtx) {
 	n.unlink(&ctx.live)
 	ctx.aborted = false
 	ctx.onDone, ctx.err = nil, nil
-	n.putFree = append(n.putFree, ctx)
+	n.pools.putCtxs = append(n.pools.putCtxs, ctx)
 }
 
 // abort is Crash's per-put teardown: the caller hears ErrNodeDown now (the
 // ack is lost); whether the write survives depends on how far its WAL group
-// got. The context is reclaimed by whichever pending callback fires next.
+// got. The context is reclaimed by whichever pending callback fires next;
+// like an aborted get, it stays on the live list until then.
 func (ctx *putCtx) abort() {
-	ctx.n.unlink(&ctx.live)
+	if ctx.aborted {
+		return
+	}
 	ctx.aborted = true
 	onDone := ctx.onDone
 	ctx.onDone = nil
 	onDone(ErrNodeDown)
 }
 
-func (ctx *putCtx) reclaim() { ctx.n.freePutCtx(ctx) }
+// reclaim mirrors getCtx.reclaim: aborted puts already delivered their
+// verdict, but a stranded one harvested at teardown still owes its quorum an
+// answer — ErrRevoked, so the pooled put op above resolves and recycles.
+func (ctx *putCtx) reclaim() {
+	onDone := ctx.onDone
+	ctx.n.freePutCtx(ctx)
+	if onDone != nil {
+		onDone(ErrRevoked)
+	}
+}
 
 func (ctx *putCtx) work() {
 	if ctx.aborted {
@@ -806,8 +931,7 @@ type Cluster struct {
 	Nodes []*Node
 	R     int
 
-	callFree    []*callCtx
-	putCallFree []*putCallCtx
+	pools *Pools
 }
 
 // callCtx is a pooled replica call: request hop → serve → response hop.
@@ -832,6 +956,14 @@ func (ctx *callCtx) send() {
 
 func (ctx *callCtx) serve(err error) {
 	ctx.err = err
+	if errors.Is(err, ErrRevoked) {
+		// Teardown harvest of a stranded serve context: the engine is about
+		// to be reset, so a reply hop would never land. Resolve in place.
+		// Mid-run serves never answer ErrRevoked through a call context —
+		// revocation is only raised against ServeGetCancelable callers.
+		ctx.reply()
+		return
+	}
 	ctx.c.Net.Send(ctx.replyFn)
 }
 
@@ -839,7 +971,7 @@ func (ctx *callCtx) reply() {
 	c, onDone, err := ctx.c, ctx.onDone, ctx.err
 	ctx.onDone = nil
 	ctx.err = nil
-	c.callFree = append(c.callFree, ctx)
+	c.pools.calls = append(c.pools.calls, ctx)
 	onDone(err)
 }
 
@@ -847,15 +979,16 @@ func (ctx *callCtx) reply() {
 // result after the response hop; the shared plumbing under every strategy.
 func (c *Cluster) ReplicaCall(node int, key int64, deadline time.Duration, onDone func(error)) {
 	var ctx *callCtx
-	if n := len(c.callFree); n > 0 {
-		ctx = c.callFree[n-1]
-		c.callFree = c.callFree[:n-1]
+	if n := len(c.pools.calls); n > 0 {
+		ctx = c.pools.calls[n-1]
+		c.pools.calls = c.pools.calls[:n-1]
 	} else {
-		ctx = &callCtx{c: c}
+		ctx = &callCtx{}
 		ctx.sendFn = ctx.send
 		ctx.serveFn = ctx.serve
 		ctx.replyFn = ctx.reply
 	}
+	ctx.c = c // pooled across fleets: rebind the owner
 	ctx.node, ctx.key, ctx.deadline, ctx.onDone = node, key, deadline, onDone
 	c.Net.Send(ctx.sendFn)
 }
@@ -889,31 +1022,37 @@ func (ctx *putCallCtx) serve(err error) {
 	if ctx.oneway {
 		c := ctx.c
 		ctx.onDone, ctx.err = nil, nil
-		c.putCallFree = append(c.putCallFree, ctx)
+		c.pools.putCalls = append(c.pools.putCalls, ctx)
 		return
 	}
 	ctx.err = err
+	if errors.Is(err, ErrRevoked) {
+		// Teardown harvest: resolve in place, as in callCtx.serve.
+		ctx.reply()
+		return
+	}
 	ctx.c.Net.Send(ctx.replyFn)
 }
 
 func (ctx *putCallCtx) reply() {
 	c, onDone, err := ctx.c, ctx.onDone, ctx.err
 	ctx.onDone, ctx.err = nil, nil
-	c.putCallFree = append(c.putCallFree, ctx)
+	c.pools.putCalls = append(c.pools.putCalls, ctx)
 	onDone(err)
 }
 
 func (c *Cluster) getPutCall() *putCallCtx {
 	var ctx *putCallCtx
-	if n := len(c.putCallFree); n > 0 {
-		ctx = c.putCallFree[n-1]
-		c.putCallFree = c.putCallFree[:n-1]
+	if n := len(c.pools.putCalls); n > 0 {
+		ctx = c.pools.putCalls[n-1]
+		c.pools.putCalls = c.pools.putCalls[:n-1]
 	} else {
-		ctx = &putCallCtx{c: c}
+		ctx = &putCallCtx{}
 		ctx.sendFn = ctx.send
 		ctx.serveFn = ctx.serve
 		ctx.replyFn = ctx.reply
 	}
+	ctx.c = c // pooled across fleets: rebind the owner
 	return ctx
 }
 
@@ -953,7 +1092,10 @@ func NewCluster(eng *sim.Engine, net *netsim.Network, n, replication int,
 	if n <= 0 || replication <= 0 || replication > n {
 		panic("cluster: invalid size/replication")
 	}
-	c := &Cluster{Eng: eng, Net: net, R: replication}
+	c := &Cluster{Eng: eng, Net: net, R: replication, pools: tmpl.Pools}
+	if c.pools == nil {
+		c.pools = &Pools{}
+	}
 	for i := 0; i < n; i++ {
 		cfg := tmpl
 		cfg.Index = i
@@ -964,15 +1106,22 @@ func NewCluster(eng *sim.Engine, net *netsim.Network, n, replication int,
 
 // ReplicasFor returns the R node indexes holding a key, primary first.
 func (c *Cluster) ReplicasFor(key int64) []int {
-	out := make([]int, c.R)
+	return c.ReplicasInto(key, make([]int, 0, c.R))
+}
+
+// ReplicasInto appends the R node indexes holding a key (primary first) to
+// buf[:0] and returns it — the allocation-free ReplicasFor the pooled
+// per-op strategy contexts use for their replica scratch.
+func (c *Cluster) ReplicasInto(key int64, buf []int) []int {
+	buf = buf[:0]
 	h := key % int64(len(c.Nodes))
 	if h < 0 {
 		h += int64(len(c.Nodes))
 	}
 	for i := 0; i < c.R; i++ {
-		out[i] = int(h+int64(i)) % len(c.Nodes)
+		buf = append(buf, int(h+int64(i))%len(c.Nodes))
 	}
-	return out
+	return buf
 }
 
 // CPUPool models a node machine's cores: colocated server processes share

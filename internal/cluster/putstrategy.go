@@ -48,7 +48,7 @@ const (
 // once it is out of copies to send. Every copy targets a distinct node, so
 // ack counting needs no per-node dedup. The type is deliberately free of
 // cluster plumbing: the FuzzQuorumPut harness drives it directly against a
-// reference model.
+// reference model, and the pooled per-put op contexts embed it by value.
 type quorumState struct {
 	w      int
 	copies int // copies sent
@@ -154,39 +154,80 @@ type BasePut struct {
 	PutCounters
 }
 
+// basePutOp is the pooled per-put context: the quorum state is embedded by
+// value and every copy shares one pre-bound reply callback, so a
+// steady-state put allocates nothing. Like every strategy op it pools on
+// the cluster's shared Pools bundle and rebinds its owner at acquire.
+// refs keeps the op alive until the
+// straggler replies after the verdict have been tallied.
+type basePutOp struct {
+	s        *BasePut
+	start    sim.Time
+	onDone   func(PutResult)
+	q        quorumState
+	refs     int
+	replyFn  func(error) // pre-bound op.reply
+	replicas []int
+}
+
 // Name implements PutStrategy.
 func (s *BasePut) Name() string { return "Base" }
 
 // Put implements PutStrategy.
 func (s *BasePut) Put(key int64, onDone func(PutResult)) {
 	s.Puts++
-	start := s.C.Eng.Now()
-	replicas := s.C.ReplicasFor(key)
-	q := &quorumState{w: quorumW(s.C, s.W)}
-	q.add(len(replicas))
-	s.CopiesSent += uint64(len(replicas))
-	reply := func(err error) {
-		s.count(err)
-		switch q.report(err) {
-		case quorumReached:
-			s.Quorums++
-			lat := s.C.Eng.Now().Sub(start)
-			putTerminalObserve(s.C, replicas[0], lat)
-			onDone(PutResult{Latency: lat, Acks: q.acks, Copies: q.copies})
-		case quorumPending:
-			if q.pending() == 0 {
-				// Everything replied and we are short of W: no extras in
-				// this strategy, so the put fails.
-				q.fail()
-				s.Failed++
-				onDone(PutResult{Latency: s.C.Eng.Now().Sub(start),
-					Acks: q.acks, Copies: q.copies, Err: ErrQuorumFailed})
-			}
+	var op *basePutOp
+	p := s.C.pools
+	if n := len(p.basePutOps); n > 0 {
+		op = p.basePutOps[n-1]
+		p.basePutOps = p.basePutOps[:n-1]
+	} else {
+		op = &basePutOp{}
+		op.replyFn = op.reply
+	}
+	op.s = s // pooled across fleets: rebind the owner
+	op.start = s.C.Eng.Now()
+	op.onDone = onDone
+	op.q = quorumState{w: quorumW(s.C, s.W)}
+	op.replicas = s.C.ReplicasInto(key, op.replicas)
+	op.q.add(len(op.replicas))
+	op.refs = len(op.replicas)
+	s.CopiesSent += uint64(len(op.replicas))
+	for _, r := range op.replicas {
+		s.C.PutDurableCall(r, key, 0, op.replyFn)
+	}
+}
+
+func (op *basePutOp) deref() {
+	op.refs--
+	if op.refs > 0 {
+		return
+	}
+	s := op.s
+	op.onDone = nil
+	s.C.pools.basePutOps = append(s.C.pools.basePutOps, op)
+}
+
+func (op *basePutOp) reply(err error) {
+	s := op.s
+	s.count(err)
+	switch op.q.report(err) {
+	case quorumReached:
+		s.Quorums++
+		lat := s.C.Eng.Now().Sub(op.start)
+		putTerminalObserve(s.C, op.replicas[0], lat)
+		op.onDone(PutResult{Latency: lat, Acks: op.q.acks, Copies: op.q.copies})
+	case quorumPending:
+		if op.q.pending() == 0 {
+			// Everything replied and we are short of W: no extras in
+			// this strategy, so the put fails.
+			op.q.fail()
+			s.Failed++
+			op.onDone(PutResult{Latency: s.C.Eng.Now().Sub(op.start),
+				Acks: op.q.acks, Copies: op.q.copies, Err: ErrQuorumFailed})
 		}
 	}
-	for _, r := range replicas {
-		s.C.PutDurableCall(r, key, 0, reply)
-	}
+	op.deref()
 }
 
 // ringCandidates walks the consistent-hash ring past the key's replica set,
@@ -232,84 +273,142 @@ type TimeoutPut struct {
 	Retries uint64
 }
 
+// timeoutPutOp is the pooled per-put context. Base and handoff copies get
+// distinct pre-bound reply callbacks so the wasted-write accounting can
+// tell them apart without a per-copy closure. The handoff timer is an
+// engine-owned recycled event that cannot be cancelled; it holds a
+// reference and stays quiet when it finds the quorum already decided.
+type timeoutPutOp struct {
+	s        *TimeoutPut
+	key      int64
+	start    sim.Time
+	onDone   func(PutResult)
+	q        quorumState
+	cands    ringCandidates
+	refs     int
+	baseFn   func(error) // pre-bound op.replyBase
+	extraFn  func(error) // pre-bound op.replyExtra
+	timerFn  func()      // pre-bound op.timerFire
+	replicas []int
+}
+
 // Name implements PutStrategy.
 func (s *TimeoutPut) Name() string { return "AppTO" }
 
 // Put implements PutStrategy.
 func (s *TimeoutPut) Put(key int64, onDone func(PutResult)) {
 	s.Puts++
-	start := s.C.Eng.Now()
-	replicas := s.C.ReplicasFor(key)
-	q := &quorumState{w: quorumW(s.C, s.W)}
-	cands := newRingCandidates(s.C, replicas[0])
-	var timer *sim.Event
-	var send func(node int, extra bool)
-	terminal := func(err error) {
-		if timer != nil {
-			timer.Cancel()
-		}
-		lat := s.C.Eng.Now().Sub(start)
-		if err == nil {
-			s.Quorums++
-			putTerminalObserve(s.C, replicas[0], lat)
-		} else {
-			s.Failed++
-		}
-		onDone(PutResult{Latency: lat, Acks: q.acks, Copies: q.copies, Err: err})
+	var op *timeoutPutOp
+	p := s.C.pools
+	if n := len(p.timeoutPutOps); n > 0 {
+		op = p.timeoutPutOps[n-1]
+		p.timeoutPutOps = p.timeoutPutOps[:n-1]
+	} else {
+		op = &timeoutPutOp{}
+		op.baseFn = op.replyBase
+		op.extraFn = op.replyExtra
+		op.timerFn = op.timerFire
 	}
-	reply := func(extra bool, err error) {
-		s.count(err)
-		switch q.report(err) {
-		case quorumReached:
-			terminal(nil)
-		case quorumLate:
-			if extra && wasted(err) {
-				s.WastedWrites++ // the handoff copy landed after the verdict
-			}
-		case quorumPending:
-			if errors.Is(err, ErrNodeDown) {
-				// Crashed replica: its refusal came back in one RTT; hand
-				// off now rather than waiting out TO.
-				if n := cands.take(); n >= 0 {
-					s.Retries++
-					send(n, true)
-					return
-				}
-			}
-			if q.pending() == 0 {
-				q.fail()
-				terminal(ErrQuorumFailed)
+	op.s = s // pooled across fleets: rebind the owner
+	op.key = key
+	op.start = s.C.Eng.Now()
+	op.onDone = onDone
+	op.q = quorumState{w: quorumW(s.C, s.W)}
+	op.replicas = s.C.ReplicasInto(key, op.replicas)
+	op.cands = newRingCandidates(s.C, op.replicas[0])
+	op.refs = 1 // the handoff timer
+	s.C.Eng.After(s.TO, op.timerFn)
+	for _, r := range op.replicas {
+		op.send(r, false)
+	}
+}
+
+func (op *timeoutPutOp) send(node int, extra bool) {
+	s := op.s
+	op.q.add(1)
+	op.refs++
+	s.CopiesSent++
+	fn := op.baseFn
+	if extra {
+		fn = op.extraFn
+	}
+	s.C.PutDurableCall(node, op.key, 0, fn)
+}
+
+func (op *timeoutPutOp) deref() {
+	op.refs--
+	if op.refs > 0 {
+		return
+	}
+	s := op.s
+	op.onDone = nil
+	s.C.pools.timeoutPutOps = append(s.C.pools.timeoutPutOps, op)
+}
+
+func (op *timeoutPutOp) terminal(err error) {
+	s := op.s
+	lat := s.C.Eng.Now().Sub(op.start)
+	if err == nil {
+		s.Quorums++
+		putTerminalObserve(s.C, op.replicas[0], lat)
+	} else {
+		s.Failed++
+	}
+	op.onDone(PutResult{Latency: lat, Acks: op.q.acks, Copies: op.q.copies, Err: err})
+}
+
+func (op *timeoutPutOp) replyBase(err error) { op.reply(false, err) }
+
+func (op *timeoutPutOp) replyExtra(err error) { op.reply(true, err) }
+
+func (op *timeoutPutOp) reply(extra bool, err error) {
+	s := op.s
+	s.count(err)
+	switch op.q.report(err) {
+	case quorumReached:
+		op.terminal(nil)
+	case quorumLate:
+		if extra && wasted(err) {
+			s.WastedWrites++ // the handoff copy landed after the verdict
+		}
+	case quorumPending:
+		if errors.Is(err, ErrNodeDown) {
+			// Crashed replica: its refusal came back in one RTT; hand
+			// off now rather than waiting out TO.
+			if n := op.cands.take(); n >= 0 {
+				s.Retries++
+				op.send(n, true)
+				break
 			}
 		}
-	}
-	send = func(node int, extra bool) {
-		q.add(1)
-		s.CopiesSent++
-		s.C.PutDurableCall(node, key, 0, func(err error) { reply(extra, err) })
-	}
-	timer = s.C.Eng.Schedule(s.TO, func() {
-		if q.done {
-			return
+		if op.q.pending() == 0 {
+			op.q.fail()
+			op.terminal(ErrQuorumFailed)
 		}
+	}
+	op.deref()
+}
+
+func (op *timeoutPutOp) timerFire() {
+	s := op.s
+	if !op.q.done {
 		// Hand the missing acks off to the ring; the abandoned stragglers
 		// keep running (no revocation on the write path).
-		need := q.w - q.acks
+		need := op.q.w - op.q.acks
 		sent := false
 		for i := 0; i < need; i++ {
-			n := cands.take()
+			n := op.cands.take()
 			if n < 0 {
 				break
 			}
 			sent = true
-			send(n, true)
+			op.send(n, true)
 		}
 		if sent {
 			s.Retries++
 		}
-	})
-	for _, r := range replicas {
-		send(r, false)
 	}
+	op.deref()
 }
 
 // HedgedPut is the Dean & Barroso hedge applied to writes: quorum-replicate
@@ -327,77 +426,135 @@ type HedgedPut struct {
 	Hedges uint64
 }
 
+// hedgedPutOp is the pooled per-put context, structurally the same as
+// timeoutPutOp: the hedge timer holds a reference and no-ops after the
+// verdict, and base vs hedge copies use distinct pre-bound callbacks.
+type hedgedPutOp struct {
+	s        *HedgedPut
+	key      int64
+	start    sim.Time
+	onDone   func(PutResult)
+	q        quorumState
+	cands    ringCandidates
+	refs     int
+	baseFn   func(error) // pre-bound op.replyBase
+	extraFn  func(error) // pre-bound op.replyExtra
+	timerFn  func()      // pre-bound op.timerFire
+	replicas []int
+}
+
 // Name implements PutStrategy.
 func (s *HedgedPut) Name() string { return "Hedged" }
 
 // Put implements PutStrategy.
 func (s *HedgedPut) Put(key int64, onDone func(PutResult)) {
 	s.Puts++
-	start := s.C.Eng.Now()
-	replicas := s.C.ReplicasFor(key)
-	q := &quorumState{w: quorumW(s.C, s.W)}
-	cands := newRingCandidates(s.C, replicas[0])
-	var timer *sim.Event
-	var send func(node int, extra bool)
-	terminal := func(err error) {
-		timer.Cancel()
-		lat := s.C.Eng.Now().Sub(start)
-		if err == nil {
-			s.Quorums++
-			putTerminalObserve(s.C, replicas[0], lat)
-		} else {
-			s.Failed++
-		}
-		onDone(PutResult{Latency: lat, Acks: q.acks, Copies: q.copies, Err: err})
+	var op *hedgedPutOp
+	p := s.C.pools
+	if n := len(p.hedgedPutOps); n > 0 {
+		op = p.hedgedPutOps[n-1]
+		p.hedgedPutOps = p.hedgedPutOps[:n-1]
+	} else {
+		op = &hedgedPutOp{}
+		op.baseFn = op.replyBase
+		op.extraFn = op.replyExtra
+		op.timerFn = op.timerFire
 	}
-	reply := func(extra bool, err error) {
-		s.count(err)
-		switch q.report(err) {
-		case quorumReached:
-			terminal(nil)
-		case quorumLate:
-			if extra && wasted(err) {
-				s.WastedWrites++ // the hedge lost the race
-			}
-		case quorumPending:
-			if errors.Is(err, ErrNodeDown) {
-				if n := cands.take(); n >= 0 {
-					send(n, true)
-					return
-				}
-			}
-			if q.pending() == 0 {
-				q.fail()
-				terminal(ErrQuorumFailed)
+	op.s = s // pooled across fleets: rebind the owner
+	op.key = key
+	op.start = s.C.Eng.Now()
+	op.onDone = onDone
+	op.q = quorumState{w: quorumW(s.C, s.W)}
+	op.replicas = s.C.ReplicasInto(key, op.replicas)
+	op.cands = newRingCandidates(s.C, op.replicas[0])
+	op.refs = 1 // the hedge timer
+	s.C.Eng.After(s.HedgeAfter, op.timerFn)
+	for _, r := range op.replicas {
+		op.send(r, false)
+	}
+}
+
+func (op *hedgedPutOp) send(node int, extra bool) {
+	s := op.s
+	op.q.add(1)
+	op.refs++
+	s.CopiesSent++
+	fn := op.baseFn
+	if extra {
+		fn = op.extraFn
+	}
+	s.C.PutDurableCall(node, op.key, 0, fn)
+}
+
+func (op *hedgedPutOp) deref() {
+	op.refs--
+	if op.refs > 0 {
+		return
+	}
+	s := op.s
+	op.onDone = nil
+	s.C.pools.hedgedPutOps = append(s.C.pools.hedgedPutOps, op)
+}
+
+func (op *hedgedPutOp) terminal(err error) {
+	s := op.s
+	lat := s.C.Eng.Now().Sub(op.start)
+	if err == nil {
+		s.Quorums++
+		putTerminalObserve(s.C, op.replicas[0], lat)
+	} else {
+		s.Failed++
+	}
+	op.onDone(PutResult{Latency: lat, Acks: op.q.acks, Copies: op.q.copies, Err: err})
+}
+
+func (op *hedgedPutOp) replyBase(err error) { op.reply(false, err) }
+
+func (op *hedgedPutOp) replyExtra(err error) { op.reply(true, err) }
+
+func (op *hedgedPutOp) reply(extra bool, err error) {
+	s := op.s
+	s.count(err)
+	switch op.q.report(err) {
+	case quorumReached:
+		op.terminal(nil)
+	case quorumLate:
+		if extra && wasted(err) {
+			s.WastedWrites++ // the hedge lost the race
+		}
+	case quorumPending:
+		if errors.Is(err, ErrNodeDown) {
+			if n := op.cands.take(); n >= 0 {
+				op.send(n, true)
+				break
 			}
 		}
-	}
-	send = func(node int, extra bool) {
-		q.add(1)
-		s.CopiesSent++
-		s.C.PutDurableCall(node, key, 0, func(err error) { reply(extra, err) })
-	}
-	timer = s.C.Eng.Schedule(s.HedgeAfter, func() {
-		if q.done {
-			return
+		if op.q.pending() == 0 {
+			op.q.fail()
+			op.terminal(ErrQuorumFailed)
 		}
-		need := q.w - q.acks
+	}
+	op.deref()
+}
+
+func (op *hedgedPutOp) timerFire() {
+	s := op.s
+	if !op.q.done {
+		need := op.q.w - op.q.acks
 		sent := false
 		for i := 0; i < need; i++ {
-			n := cands.take()
+			n := op.cands.take()
 			if n < 0 {
 				break
 			}
 			sent = true
-			send(n, true)
+			op.send(n, true)
 		}
 		if sent {
 			s.Hedges++
 		}
-	})
-	for _, r := range replicas {
-		send(r, false)
 	}
+	op.deref()
 }
 
 // MittOSPut is the paper's contribution on the write path: every copy
@@ -423,101 +580,180 @@ type MittOSPut struct {
 	LastDitch uint64
 }
 
+// putReject is a rejecting node and its predicted wait, in rejection order —
+// the last-ditch candidate pool.
+type putReject struct {
+	node int
+	wait time.Duration
+}
+
+// mittPutOp is the pooled per-put context; the rejects scratch is reused
+// across puts.
+type mittPutOp struct {
+	s        *MittOSPut
+	key      int64
+	start    sim.Time
+	onDone   func(PutResult)
+	q        quorumState
+	cands    ringCandidates
+	refs     int
+	replicas []int
+	rejects  []putReject
+}
+
+// mittPutCopy is the pooled per-copy context: unlike the other put
+// strategies, a MittOS reply needs to know which node it came from (the
+// rejects pool records it), so each in-flight copy carries one of these
+// instead of a closure.
+type mittPutCopy struct {
+	s     *MittOSPut
+	op    *mittPutOp
+	node  int
+	extra bool
+	fn    func(error) // pre-bound cp.reply
+}
+
 // Name implements PutStrategy.
 func (s *MittOSPut) Name() string { return "MittOS" }
 
 // Put implements PutStrategy.
 func (s *MittOSPut) Put(key int64, onDone func(PutResult)) {
 	s.Puts++
-	start := s.C.Eng.Now()
-	replicas := s.C.ReplicasFor(key)
-	q := &quorumState{w: quorumW(s.C, s.W)}
-	cands := newRingCandidates(s.C, replicas[0])
-	// Rejecting nodes and their predicted waits, in rejection order — the
-	// last-ditch candidate pool.
-	type reject struct {
-		node int
-		wait time.Duration
+	var op *mittPutOp
+	p := s.C.pools
+	if n := len(p.mittPutOps); n > 0 {
+		op = p.mittPutOps[n-1]
+		p.mittPutOps = p.mittPutOps[:n-1]
+	} else {
+		op = &mittPutOp{}
 	}
-	var rejects []reject
-	terminal := func(err error) {
-		lat := s.C.Eng.Now().Sub(start)
-		if err == nil {
-			s.Quorums++
-			putTerminalObserve(s.C, replicas[0], lat)
-		} else {
-			s.Failed++
-		}
-		onDone(PutResult{Latency: lat, Acks: q.acks, Copies: q.copies, Err: err})
+	op.s = s // pooled across fleets: rebind the owner
+	op.key = key
+	op.start = s.C.Eng.Now()
+	op.onDone = onDone
+	op.q = quorumState{w: quorumW(s.C, s.W)}
+	op.replicas = s.C.ReplicasInto(key, op.replicas)
+	op.cands = newRingCandidates(s.C, op.replicas[0])
+	op.rejects = op.rejects[:0]
+	for _, r := range op.replicas {
+		op.send(r, s.Deadline, false)
 	}
-	var send func(node int, deadline time.Duration, extra bool)
-	lastDitch := func() bool {
-		// Re-target rejectors with the deadline disabled; they executed
-		// nothing for the rejected copy, so a retry duplicates no work.
-		need := q.w - q.acks - q.pending()
-		sent := false
-		for ; need > 0 && len(rejects) > 0; need-- {
-			best := 0
-			if s.UseWaitHint {
-				for j := 1; j < len(rejects); j++ {
-					if rejects[j].wait < rejects[best].wait {
-						best = j
-					}
+}
+
+func (op *mittPutOp) send(node int, deadline time.Duration, extra bool) {
+	s := op.s
+	op.q.add(1)
+	op.refs++
+	s.CopiesSent++
+	var cp *mittPutCopy
+	p := s.C.pools
+	if n := len(p.mittPutCopies); n > 0 {
+		cp = p.mittPutCopies[n-1]
+		p.mittPutCopies = p.mittPutCopies[:n-1]
+	} else {
+		cp = &mittPutCopy{}
+		cp.fn = cp.reply
+	}
+	cp.s = s // pooled across fleets: rebind the owner
+	cp.op, cp.node, cp.extra = op, node, extra
+	s.C.PutDurableCall(node, op.key, deadline, cp.fn)
+}
+
+func (cp *mittPutCopy) reply(err error) {
+	s, op, node, extra := cp.s, cp.op, cp.node, cp.extra
+	cp.op = nil
+	s.C.pools.mittPutCopies = append(s.C.pools.mittPutCopies, cp)
+	op.reply(node, extra, err)
+}
+
+func (op *mittPutOp) deref() {
+	op.refs--
+	if op.refs > 0 {
+		return
+	}
+	s := op.s
+	op.onDone = nil
+	s.C.pools.mittPutOps = append(s.C.pools.mittPutOps, op)
+}
+
+func (op *mittPutOp) terminal(err error) {
+	s := op.s
+	lat := s.C.Eng.Now().Sub(op.start)
+	if err == nil {
+		s.Quorums++
+		putTerminalObserve(s.C, op.replicas[0], lat)
+	} else {
+		s.Failed++
+	}
+	op.onDone(PutResult{Latency: lat, Acks: op.q.acks, Copies: op.q.copies, Err: err})
+}
+
+// lastDitch re-targets rejectors with the deadline disabled; they executed
+// nothing for the rejected copy, so a retry duplicates no work.
+func (op *mittPutOp) lastDitch() bool {
+	s := op.s
+	need := op.q.w - op.q.acks - op.q.pending()
+	sent := false
+	for ; need > 0 && len(op.rejects) > 0; need-- {
+		best := 0
+		if s.UseWaitHint {
+			for j := 1; j < len(op.rejects); j++ {
+				if op.rejects[j].wait < op.rejects[best].wait {
+					best = j
 				}
 			}
-			n := rejects[best].node
-			rejects[best] = rejects[len(rejects)-1]
-			rejects = rejects[:len(rejects)-1]
-			if s.C.Nodes[n].Down() {
-				continue
-			}
-			sent = true
-			s.LastDitch++
-			send(n, 0, true)
 		}
-		return sent || q.pending() > 0
+		n := op.rejects[best].node
+		op.rejects[best] = op.rejects[len(op.rejects)-1]
+		op.rejects = op.rejects[:len(op.rejects)-1]
+		if s.C.Nodes[n].Down() {
+			continue
+		}
+		sent = true
+		s.LastDitch++
+		op.send(n, 0, true)
 	}
-	reply := func(node int, extra bool, err error) {
-		s.count(err)
-		switch q.report(err) {
-		case quorumReached:
-			terminal(nil)
-		case quorumLate:
-			if extra && wasted(err) {
-				s.WastedWrites++ // the failover landed after the verdict
+	return sent || op.q.pending() > 0
+}
+
+func (op *mittPutOp) reply(node int, extra bool, err error) {
+	s := op.s
+	s.count(err)
+	switch op.q.report(err) {
+	case quorumReached:
+		op.terminal(nil)
+	case quorumLate:
+		if extra && wasted(err) {
+			s.WastedWrites++ // the failover landed after the verdict
+		}
+	case quorumPending:
+		if core.IsBusy(err) {
+			wait := time.Duration(0)
+			if be, ok := err.(*core.BusyError); ok {
+				wait = be.PredictedWait
 			}
-		case quorumPending:
-			if core.IsBusy(err) {
-				wait := time.Duration(0)
-				if be, ok := err.(*core.BusyError); ok {
-					wait = be.PredictedWait
-				}
-				rejects = append(rejects, reject{node: node, wait: wait})
-			}
-			if core.IsBusy(err) || errors.Is(err, ErrNodeDown) {
-				// Instant failover: the refusal cost one RTT, not a queue
-				// wait. The replacement still carries the deadline.
-				if n := cands.take(); n >= 0 {
-					s.Failovers++
-					send(n, s.Deadline, true)
-					return
-				}
-			}
-			if q.w-q.acks > q.pending() && lastDitch() {
-				return // last-ditch copies (or stragglers) still in flight
-			}
-			if q.pending() == 0 {
-				q.fail()
-				terminal(ErrQuorumFailed)
+			op.rejects = append(op.rejects, putReject{node: node, wait: wait})
+		}
+		if core.IsBusy(err) || errors.Is(err, ErrNodeDown) {
+			// Instant failover: the refusal cost one RTT, not a queue
+			// wait. The replacement still carries the deadline.
+			if n := op.cands.take(); n >= 0 {
+				s.Failovers++
+				op.send(n, s.Deadline, true)
+				break
 			}
 		}
+		if errors.Is(err, ErrRevoked) {
+			// Teardown harvest of a stranded copy: the engine is being
+			// reset, so sending last-ditch copies would only strand more
+			// contexts. Fall through to the pending check.
+		} else if op.q.w-op.q.acks > op.q.pending() && op.lastDitch() {
+			break // last-ditch copies (or stragglers) still in flight
+		}
+		if op.q.pending() == 0 {
+			op.q.fail()
+			op.terminal(ErrQuorumFailed)
+		}
 	}
-	send = func(node int, deadline time.Duration, extra bool) {
-		q.add(1)
-		s.CopiesSent++
-		s.C.PutDurableCall(node, key, deadline, func(err error) { reply(node, extra, err) })
-	}
-	for _, r := range replicas {
-		send(r, s.Deadline, false)
-	}
+	op.deref()
 }

@@ -10,10 +10,11 @@ import (
 )
 
 // wasted reports whether a late (already-superseded) reply represents an IO
-// the cluster actually executed and threw away. Fast refusals — EBUSY and
-// node-down — never reached a device, so they are not waste.
+// the cluster actually executed and threw away. Fast refusals — EBUSY,
+// node-down, and revoked-before-dispatch — never reached a device, so they
+// are not waste.
 func wasted(err error) bool {
-	return !core.IsBusy(err) && !errors.Is(err, ErrNodeDown)
+	return !core.IsBusy(err) && !errors.Is(err, ErrNodeDown) && !errors.Is(err, ErrRevoked)
 }
 
 // GetResult reports one finished user-level get.
@@ -46,16 +47,45 @@ type BaseStrategy struct {
 	C *Cluster
 }
 
+// baseOp is the pooled per-get context: one reply callback bound once, so a
+// steady-state get allocates nothing. Ops pool on the cluster's shared
+// Pools bundle (not the strategy — strategies are per-leg) and rebind their
+// owner at acquire.
+type baseOp struct {
+	s        *BaseStrategy
+	start    sim.Time
+	onDone   func(GetResult)
+	replyFn  func(error) // pre-bound op.reply
+	replicas []int
+}
+
 // Name implements Strategy.
 func (s *BaseStrategy) Name() string { return "Base" }
 
 // Get implements Strategy.
 func (s *BaseStrategy) Get(key int64, onDone func(GetResult)) {
-	start := s.C.Eng.Now()
-	replicas := s.C.ReplicasFor(key)
-	replicaCall(s.C, replicas[0], key, 0, func(err error) {
-		onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: 1, Err: err})
-	})
+	var op *baseOp
+	p := s.C.pools
+	if n := len(p.baseOps); n > 0 {
+		op = p.baseOps[n-1]
+		p.baseOps = p.baseOps[:n-1]
+	} else {
+		op = &baseOp{}
+		op.replyFn = op.reply
+	}
+	op.s = s // pooled across fleets: rebind the owner
+	op.start = s.C.Eng.Now()
+	op.onDone = onDone
+	op.replicas = s.C.ReplicasInto(key, op.replicas)
+	replicaCall(s.C, op.replicas[0], key, 0, op.replyFn)
+}
+
+func (op *baseOp) reply(err error) {
+	s, onDone := op.s, op.onDone
+	lat := s.C.Eng.Now().Sub(op.start)
+	op.onDone = nil
+	s.C.pools.baseOps = append(s.C.pools.baseOps, op)
+	onDone(GetResult{Latency: lat, Tries: 1, Err: err})
 }
 
 // TimeoutStrategy is the "AppTO" comparison: cancel and retry on the next
@@ -75,70 +105,180 @@ type TimeoutStrategy struct {
 	WastedIOs uint64
 }
 
+// timeoutOp is the pooled per-get context. Each retry round is a separate
+// pooled timeoutAttempt, because a superseded attempt's callbacks (a late
+// completion, or the drop of its revoked IO) can still be in flight while
+// the next round runs; the op is reclaimed when its last attempt resolves.
+type timeoutOp struct {
+	s        *TimeoutStrategy
+	key      int64
+	start    sim.Time
+	onDone   func(GetResult)
+	refs     int // live attempts holding this op
+	replicas []int
+}
+
+// timeoutAttempt is one retry round: request hop, serve callback, response
+// hop, and (except on the final round) the retry timer. The timer is an
+// engine-owned recycled event that cannot be cancelled, so it holds a
+// reference and no-ops when it finds the attempt already resolved.
+type timeoutAttempt struct {
+	s    *TimeoutStrategy
+	op   *timeoutOp
+	idx  int
+	done bool
+	h    *ServeHandle
+	err  error
+	refs int // pending callbacks: the hop/serve/reply chain plus the timer
+
+	sendFn  func()      // pre-bound a.send: request hop
+	serveFn func(error) // pre-bound a.serve: serve completion
+	replyFn func()      // pre-bound a.reply: response hop
+	timerFn func()      // pre-bound a.timerFire: retry timer
+}
+
 // Name implements Strategy.
 func (s *TimeoutStrategy) Name() string { return "AppTO" }
 
 // Get implements Strategy.
 func (s *TimeoutStrategy) Get(key int64, onDone func(GetResult)) {
-	start := s.C.Eng.Now()
-	replicas := s.C.ReplicasFor(key)
-	var attempt func(i int)
-	attempt = func(i int) {
-		last := i == len(replicas)-1
-		done := false
-		var h *ServeHandle
-		var timer *sim.Event
-		if !last {
-			timer = s.C.Eng.Schedule(s.TO, func() {
-				if done {
-					return
-				}
-				done = true
-				s.Retries++
-				// Abandon the attempt AND revoke its IO (the fix: the old
-				// code retried without cancelling, leaving the stale IO to
-				// compete with every later attempt for the device).
-				if h != nil {
-					h.Cancel()
-					h.Done()
-					h = nil
-				}
-				attempt(i + 1)
-			})
-		}
-		s.C.Net.Send(func() {
-			if done {
-				return // timed out before the request hop even landed
-			}
-			h = s.C.Nodes[replicas[i]].ServeGetCancelable(key, 0, func(err error) {
-				s.C.Net.Send(func() {
-					if done {
-						if wasted(err) {
-							s.WastedIOs++ // revoked too late: the IO ran
-						}
-						return
-					}
-					done = true
-					if timer != nil {
-						timer.Cancel()
-					}
-					if h != nil {
-						h.Done()
-						h = nil
-					}
-					if errors.Is(err, ErrNodeDown) && !last {
-						// Crashed replica: its refusal came back in one
-						// RTT; retry now rather than waiting out TO.
-						s.Retries++
-						attempt(i + 1)
-						return
-					}
-					onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: i + 1, Err: err})
-				})
-			})
-		})
+	var op *timeoutOp
+	p := s.C.pools
+	if n := len(p.timeoutOps); n > 0 {
+		op = p.timeoutOps[n-1]
+		p.timeoutOps = p.timeoutOps[:n-1]
+	} else {
+		op = &timeoutOp{}
 	}
-	attempt(0)
+	op.s = s // pooled across fleets: rebind the owner
+	op.key = key
+	op.start = s.C.Eng.Now()
+	op.onDone = onDone
+	op.replicas = s.C.ReplicasInto(key, op.replicas)
+	op.attempt(0)
+}
+
+func (op *timeoutOp) attempt(i int) {
+	s := op.s
+	var a *timeoutAttempt
+	p := s.C.pools
+	if n := len(p.timeoutAtts); n > 0 {
+		a = p.timeoutAtts[n-1]
+		p.timeoutAtts = p.timeoutAtts[:n-1]
+	} else {
+		a = &timeoutAttempt{}
+		a.sendFn = a.send
+		a.serveFn = a.serve
+		a.replyFn = a.reply
+		a.timerFn = a.timerFire
+	}
+	a.s = s // pooled across fleets: rebind the owner
+	a.op, a.idx = op, i
+	op.refs++
+	if i < len(op.replicas)-1 {
+		a.refs = 2 // the callback chain plus the retry timer
+		s.C.Eng.After(s.TO, a.timerFn)
+	} else {
+		a.refs = 1 // final try: the timeout is disabled (§7.2)
+	}
+	s.C.Net.Send(a.sendFn)
+}
+
+func (op *timeoutOp) deref() {
+	op.refs--
+	if op.refs > 0 {
+		return
+	}
+	s := op.s
+	op.onDone = nil
+	s.C.pools.timeoutOps = append(s.C.pools.timeoutOps, op)
+}
+
+func (a *timeoutAttempt) deref() {
+	a.refs--
+	if a.refs > 0 {
+		return
+	}
+	s, op := a.s, a.op
+	a.op, a.h, a.err = nil, nil, nil
+	a.done = false
+	s.C.pools.timeoutAtts = append(s.C.pools.timeoutAtts, a)
+	op.deref()
+}
+
+// send is the request hop landing at the replica.
+func (a *timeoutAttempt) send() {
+	if a.done {
+		// Timed out before the request hop even landed: nothing was served.
+		a.deref()
+		return
+	}
+	op := a.op
+	a.h = a.s.C.Nodes[op.replicas[a.idx]].ServeGetCancelable(op.key, 0, a.serveFn)
+}
+
+func (a *timeoutAttempt) serve(err error) {
+	if errors.Is(err, ErrRevoked) {
+		// The revocation dropped the IO before it ran: the abandoned
+		// attempt resolves silently — no reply hop, no wasted IO. A
+		// mid-run revocation already Cancel+Done'd the handle in timerFire;
+		// the handle is still held only when the teardown harvest revokes a
+		// stranded attempt, and must go back to the pool with it.
+		if a.h != nil {
+			a.h.Done()
+			a.h = nil
+		}
+		a.deref()
+		return
+	}
+	a.err = err
+	a.s.C.Net.Send(a.replyFn)
+}
+
+// reply is the response hop landing back at the client.
+func (a *timeoutAttempt) reply() {
+	s, op, err := a.s, a.op, a.err
+	if a.done {
+		if wasted(err) {
+			s.WastedIOs++ // revoked too late: the IO ran
+		}
+		a.deref()
+		return
+	}
+	a.done = true
+	if a.h != nil {
+		a.h.Done()
+		a.h = nil
+	}
+	if errors.Is(err, ErrNodeDown) && a.idx < len(op.replicas)-1 {
+		// Crashed replica: its refusal came back in one RTT; retry now
+		// rather than waiting out TO.
+		s.Retries++
+		op.attempt(a.idx + 1)
+		a.deref()
+		return
+	}
+	res := GetResult{Latency: s.C.Eng.Now().Sub(op.start), Tries: a.idx + 1, Err: err}
+	onDone := op.onDone
+	a.deref()
+	onDone(res)
+}
+
+func (a *timeoutAttempt) timerFire() {
+	s, op := a.s, a.op
+	if !a.done {
+		a.done = true
+		s.Retries++
+		// Abandon the attempt AND revoke its IO, so the stale IO does not
+		// compete with every later attempt for the device.
+		if a.h != nil {
+			a.h.Cancel()
+			a.h.Done()
+			a.h = nil
+		}
+		op.attempt(a.idx + 1)
+	}
+	a.deref()
 }
 
 // CloneStrategy duplicates every request to two random replicas and takes
@@ -154,35 +294,59 @@ type CloneStrategy struct {
 	live []int // selection scratch, reused across gets
 }
 
+// cloneOp is the pooled per-get context: both copies share one reply
+// callback; refs keeps the op alive until the losing copy's late reply has
+// been counted.
+type cloneOp struct {
+	s        *CloneStrategy
+	start    sim.Time
+	onDone   func(GetResult)
+	won      bool
+	pending  int
+	tries    int
+	refs     int
+	replyFn  func(error) // pre-bound op.reply
+	replicas []int
+}
+
 // Name implements Strategy.
 func (s *CloneStrategy) Name() string { return "Clone" }
 
 // Get implements Strategy.
 func (s *CloneStrategy) Get(key int64, onDone func(GetResult)) {
-	start := s.C.Eng.Now()
-	replicas := s.C.ReplicasFor(key)
+	var op *cloneOp
+	p := s.C.pools
+	if n := len(p.cloneOps); n > 0 {
+		op = p.cloneOps[n-1]
+		p.cloneOps = p.cloneOps[:n-1]
+	} else {
+		op = &cloneOp{}
+		op.replyFn = op.reply
+	}
+	op.s = s // pooled across fleets: rebind the owner
+	op.start = s.C.Eng.Now()
+	op.onDone = onDone
+	op.replicas = s.C.ReplicasInto(key, op.replicas)
 	// Select among live replicas only; cloning to a crashed node would
 	// just burn an RTT on a refusal. With every node up this filter is
 	// the identity and the random draws are unchanged.
 	s.live = s.live[:0]
-	for _, r := range replicas {
+	for _, r := range op.replicas {
 		if !s.C.Nodes[r].Down() {
 			s.live = append(s.live, r)
 		}
 	}
 	if len(s.live) == 0 {
 		// Whole replica set down: fail fast via the primary's refusal.
-		replicaCall(s.C, replicas[0], key, 0, func(err error) {
-			onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: 1, Err: err})
-		})
+		op.tries, op.pending, op.refs = 1, 1, 1
+		replicaCall(s.C, op.replicas[0], key, 0, op.replyFn)
 		return
 	}
 	if len(s.live) == 1 {
 		// One survivor: a clone pair is impossible (the old code's
 		// RNG.Intn(0) panic); send a single copy.
-		replicaCall(s.C, s.live[0], key, 0, func(err error) {
-			onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: 1, Err: err})
-		})
+		op.tries, op.pending, op.refs = 1, 1, 1
+		replicaCall(s.C, s.live[0], key, 0, op.replyFn)
 		return
 	}
 	// Two distinct random replicas out of the live choices.
@@ -191,24 +355,41 @@ func (s *CloneStrategy) Get(key int64, onDone func(GetResult)) {
 	if j >= i {
 		j++
 	}
-	won := false
-	pending := 2
-	reply := func(err error) {
-		if won {
-			if wasted(err) {
-				s.WastedIOs++ // the losing copy's IO ran to completion
-			}
-			return
-		}
-		pending--
-		if errors.Is(err, ErrNodeDown) && pending > 0 {
-			return // that node crashed mid-flight; the sibling decides
-		}
-		won = true
-		onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: 2, Err: err})
+	op.tries, op.pending, op.refs = 2, 2, 2
+	replicaCall(s.C, s.live[i], key, 0, op.replyFn)
+	replicaCall(s.C, s.live[j], key, 0, op.replyFn)
+}
+
+func (op *cloneOp) deref() {
+	op.refs--
+	if op.refs > 0 {
+		return
 	}
-	replicaCall(s.C, s.live[i], key, 0, reply)
-	replicaCall(s.C, s.live[j], key, 0, reply)
+	s := op.s
+	op.onDone = nil
+	op.won = false
+	s.C.pools.cloneOps = append(s.C.pools.cloneOps, op)
+}
+
+func (op *cloneOp) reply(err error) {
+	s := op.s
+	if op.won {
+		if wasted(err) {
+			s.WastedIOs++ // the losing copy's IO ran to completion
+		}
+		op.deref()
+		return
+	}
+	op.pending--
+	if errors.Is(err, ErrNodeDown) && op.pending > 0 {
+		op.deref()
+		return // that node crashed mid-flight; the sibling decides
+	}
+	op.won = true
+	res := GetResult{Latency: s.C.Eng.Now().Sub(op.start), Tries: op.tries, Err: err}
+	onDone := op.onDone
+	op.deref()
+	onDone(res)
 }
 
 // HedgedStrategy sends a secondary request only after the first has been
@@ -225,58 +406,108 @@ type HedgedStrategy struct {
 	WastedIOs uint64
 }
 
+// hedgedOp is the pooled per-get context. The hedge timer is an
+// engine-owned recycled event that cannot be cancelled; it holds a
+// reference and stays quiet when it finds the get already hedged or won.
+type hedgedOp struct {
+	s        *HedgedStrategy
+	key      int64
+	start    sim.Time
+	onDone   func(GetResult)
+	won      bool
+	sent     int // copies issued so far; the winner reports this as Tries
+	pending  int // copies still awaiting a reply
+	refs     int
+	replyFn  func(error) // pre-bound op.reply
+	timerFn  func()      // pre-bound op.timerFire
+	replicas []int
+}
+
 // Name implements Strategy.
 func (s *HedgedStrategy) Name() string { return "Hedged" }
 
 // Get implements Strategy.
 func (s *HedgedStrategy) Get(key int64, onDone func(GetResult)) {
-	start := s.C.Eng.Now()
-	replicas := s.C.ReplicasFor(key)
-	won := false
-	sent := 1    // copies issued so far; the winner reports this as Tries
-	pending := 1 // copies still awaiting a reply
-	var timer *sim.Event
-	var reply func(error)
-	hedge := func() {
-		sent = 2
-		pending++
-		replicaCall(s.C, replicas[1], key, 0, reply)
+	var op *hedgedOp
+	p := s.C.pools
+	if n := len(p.hedgedOps); n > 0 {
+		op = p.hedgedOps[n-1]
+		p.hedgedOps = p.hedgedOps[:n-1]
+	} else {
+		op = &hedgedOp{}
+		op.replyFn = op.reply
+		op.timerFn = op.timerFire
 	}
-	reply = func(err error) {
-		if won {
-			if wasted(err) {
-				s.WastedIOs++ // the losing copy's IO ran to completion
-			}
-			return
-		}
-		pending--
-		if errors.Is(err, ErrNodeDown) {
-			if sent == 1 {
-				// Primary crashed: don't wait out HedgeAfter, go to the
-				// secondary now. The timer must not fire a third copy.
-				timer.Cancel()
-				hedge()
-				return
-			}
-			if pending > 0 {
-				return // the other copy may still answer
-			}
-		}
-		won = true
-		timer.Cancel()
-		// The fix: a primary that completes after the hedge fired used to
-		// report Tries: 1, hiding the duplicated IO from the per-try
-		// accounting. The winner reports how many copies were issued.
-		onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: sent, Err: err})
-	}
-	timer = s.C.Eng.Schedule(s.HedgeAfter, func() {
-		if won || sent > 1 {
-			return
-		}
+	op.s = s // pooled across fleets: rebind the owner
+	op.key = key
+	op.start = s.C.Eng.Now()
+	op.onDone = onDone
+	op.sent, op.pending = 1, 1
+	op.refs = 2 // the primary's reply plus the hedge timer
+	op.replicas = s.C.ReplicasInto(key, op.replicas)
+	s.C.Eng.After(s.HedgeAfter, op.timerFn)
+	replicaCall(s.C, op.replicas[0], key, 0, op.replyFn)
+}
+
+func (op *hedgedOp) hedge() {
+	op.sent = 2
+	op.pending++
+	op.refs++
+	replicaCall(op.s.C, op.replicas[1], op.key, 0, op.replyFn)
+}
+
+func (op *hedgedOp) timerFire() {
+	s := op.s
+	if !op.won && op.sent == 1 {
 		s.Hedges++
-		hedge()
-	})
-	replicaCall(s.C, replicas[0], key, 0, reply)
+		op.hedge()
+	}
+	op.deref()
+}
+
+func (op *hedgedOp) deref() {
+	op.refs--
+	if op.refs > 0 {
+		return
+	}
+	s := op.s
+	op.onDone = nil
+	op.won = false
+	s.C.pools.hedgedOps = append(s.C.pools.hedgedOps, op)
+}
+
+func (op *hedgedOp) reply(err error) {
+	s := op.s
+	if op.won {
+		if wasted(err) {
+			s.WastedIOs++ // the losing copy's IO ran to completion
+		}
+		op.deref()
+		return
+	}
+	op.pending--
+	if errors.Is(err, ErrNodeDown) {
+		if op.sent == 1 {
+			// Primary crashed: don't wait out HedgeAfter, go to the
+			// secondary now. The timer finds sent == 2 and stays quiet, so
+			// no third copy ever goes out.
+			op.hedge()
+			op.deref()
+			return
+		}
+		if op.pending > 0 {
+			op.deref()
+			return // the other copy may still answer
+		}
+	}
+	op.won = true
+	// A primary that completes after the hedge fired must not report
+	// Tries: 1, hiding the duplicated IO from the per-try accounting. The
+	// winner reports how many copies were issued.
+	res := GetResult{Latency: s.C.Eng.Now().Sub(op.start), Tries: op.sent, Err: err}
+	onDone := op.onDone
+	op.deref()
+	onDone(res)
 }
 
 // SnitchStrategy keeps an EWMA of each replica's recent latency and always
@@ -286,7 +517,8 @@ type SnitchStrategy struct {
 	// Alpha is the EWMA weight of new samples.
 	Alpha float64
 
-	ewma map[int]float64
+	ewma     map[int]float64
+	replicas []int // scratch, reused across gets
 }
 
 // Name implements Strategy.
@@ -301,10 +533,10 @@ func (s *SnitchStrategy) Get(key int64, onDone func(GetResult)) {
 		s.Alpha = 0.3
 	}
 	start := s.C.Eng.Now()
-	replicas := s.C.ReplicasFor(key)
-	best := replicas[0]
+	s.replicas = s.C.ReplicasInto(key, s.replicas)
+	best := s.replicas[0]
 	bestScore := math.MaxFloat64
-	for _, r := range replicas {
+	for _, r := range s.replicas {
 		if s.C.Nodes[r].Down() {
 			continue // a crashed replica's fast refusals would look "fast"
 		}
@@ -338,11 +570,12 @@ type C3Strategy struct {
 	C     *Cluster
 	Alpha float64
 
-	lat   map[int]float64  // EWMA response latency per replica
-	qEst  map[int]float64  // server-reported queue size (stale feedback)
-	qAt   map[int]sim.Time // when that feedback was received
-	out   map[int]int      // client-local concurrency compensation
-	decay time.Duration    // feedback aging constant (C3's rate control)
+	lat      map[int]float64  // EWMA response latency per replica
+	qEst     map[int]float64  // server-reported queue size (stale feedback)
+	qAt      map[int]sim.Time // when that feedback was received
+	out      map[int]int      // client-local concurrency compensation
+	decay    time.Duration    // feedback aging constant (C3's rate control)
+	replicas []int            // scratch, reused across gets
 }
 
 // Name implements Strategy.
@@ -363,10 +596,10 @@ func (s *C3Strategy) Get(key int64, onDone func(GetResult)) {
 		s.decay = 2 * time.Second
 	}
 	start := s.C.Eng.Now()
-	replicas := s.C.ReplicasFor(key)
-	best := replicas[0]
+	s.replicas = s.C.ReplicasInto(key, s.replicas)
+	best := s.replicas[0]
 	bestScore := math.MaxFloat64
-	for _, r := range replicas {
+	for _, r := range s.replicas {
 		if s.C.Nodes[r].Down() {
 			continue // crashed replicas drop out of the ranking
 		}
@@ -426,77 +659,129 @@ type MittOSStrategy struct {
 	LastDitch uint64
 }
 
+// mittOp is the pooled per-get context: attempts are strictly sequential
+// (at most one replica call outstanding), so one context with pre-bound
+// callbacks and per-op replica/wait scratch covers the whole failover chain.
+type mittOp struct {
+	s        *MittOSStrategy
+	key      int64
+	start    sim.Time
+	onDone   func(GetResult)
+	idx      int
+	err      error       // the refusal carried across a RetryOverhead delay
+	replyFn  func(error) // pre-bound op.reply
+	lastFn   func(error) // pre-bound op.lastDitchReply
+	nextFn   func()      // pre-bound op.next: post-refusal failover step
+	replicas []int
+	waits    []time.Duration
+}
+
 // Name implements Strategy.
 func (s *MittOSStrategy) Name() string { return "MittOS" }
 
 // Get implements Strategy.
 func (s *MittOSStrategy) Get(key int64, onDone func(GetResult)) {
-	start := s.C.Eng.Now()
-	replicas := s.C.ReplicasFor(key)
-	waits := make([]time.Duration, len(replicas))
-	var attempt func(i int)
-	attempt = func(i int) {
-		last := i == len(replicas)-1
-		deadline := s.Deadline
-		if last && !s.UseWaitHint {
-			deadline = 0 // 3rd try disables the deadline (§5)
-		}
-		replicaCall(s.C, replicas[i], key, deadline, func(err error) {
-			down := errors.Is(err, ErrNodeDown)
-			if core.IsBusy(err) || down {
-				if be, ok := err.(*core.BusyError); ok {
-					waits[i] = be.PredictedWait
-				} else if down {
-					// A crashed replica is "busy forever": never the
-					// least-busy pick below.
-					waits[i] = time.Duration(math.MaxInt64)
-				}
-				s.Failovers++
-				next := func() {
-					if !last {
-						attempt(i + 1)
-						return
-					}
-					if down && !s.UseWaitHint {
-						// The deadline was already disabled on this final
-						// try; a crash leaves nothing to fail over to.
-						onDone(GetResult{Latency: s.C.Eng.Now().Sub(start),
-							Tries: i + 1, Err: err})
-						return
-					}
-					// All replicas rejected under the wait-hint
-					// extension: go to the least busy one with the
-					// deadline disabled, skipping crashed nodes.
-					s.LastDitch++
-					best := -1
-					for j := range waits {
-						if s.C.Nodes[replicas[j]].Down() {
-							continue
-						}
-						if best < 0 || waits[j] < waits[best] {
-							best = j
-						}
-					}
-					if best < 0 {
-						// The whole replica set is down.
-						onDone(GetResult{Latency: s.C.Eng.Now().Sub(start),
-							Tries: len(replicas), Err: err})
-						return
-					}
-					replicaCall(s.C, replicas[best], key, 0, func(err error) {
-						onDone(GetResult{Latency: s.C.Eng.Now().Sub(start),
-							Tries: len(replicas) + 1, Err: err})
-					})
-				}
-				if s.RetryOverhead > 0 {
-					s.C.Eng.After(s.RetryOverhead, next)
-				} else {
-					next()
-				}
-				return
-			}
-			onDone(GetResult{Latency: s.C.Eng.Now().Sub(start), Tries: i + 1, Err: err})
-		})
+	var op *mittOp
+	p := s.C.pools
+	if n := len(p.mittOps); n > 0 {
+		op = p.mittOps[n-1]
+		p.mittOps = p.mittOps[:n-1]
+	} else {
+		op = &mittOp{}
+		op.replyFn = op.reply
+		op.lastFn = op.lastDitchReply
+		op.nextFn = op.next
 	}
-	attempt(0)
+	op.s = s // pooled across fleets: rebind the owner
+	op.key = key
+	op.start = s.C.Eng.Now()
+	op.onDone = onDone
+	op.idx = 0
+	op.replicas = s.C.ReplicasInto(key, op.replicas)
+	op.waits = op.waits[:0]
+	for range op.replicas {
+		op.waits = append(op.waits, 0)
+	}
+	op.attempt()
+}
+
+func (op *mittOp) attempt() {
+	s := op.s
+	deadline := s.Deadline
+	if op.idx == len(op.replicas)-1 && !s.UseWaitHint {
+		deadline = 0 // 3rd try disables the deadline (§5)
+	}
+	replicaCall(s.C, op.replicas[op.idx], op.key, deadline, op.replyFn)
+}
+
+func (op *mittOp) reply(err error) {
+	s := op.s
+	down := errors.Is(err, ErrNodeDown)
+	if core.IsBusy(err) || down {
+		if be, ok := err.(*core.BusyError); ok {
+			op.waits[op.idx] = be.PredictedWait
+		} else if down {
+			// A crashed replica is "busy forever": never the least-busy
+			// pick below.
+			op.waits[op.idx] = time.Duration(math.MaxInt64)
+		}
+		s.Failovers++
+		op.err = err
+		if s.RetryOverhead > 0 {
+			s.C.Eng.After(s.RetryOverhead, op.nextFn)
+			return
+		}
+		op.next()
+		return
+	}
+	op.deliver(op.idx+1, err)
+}
+
+// next is the failover step after a refusal (EBUSY or node-down), possibly
+// delayed by RetryOverhead.
+func (op *mittOp) next() {
+	s := op.s
+	if op.idx < len(op.replicas)-1 {
+		op.idx++
+		op.attempt()
+		return
+	}
+	err := op.err
+	if errors.Is(err, ErrNodeDown) && !s.UseWaitHint {
+		// The deadline was already disabled on this final try; a crash
+		// leaves nothing to fail over to.
+		op.deliver(op.idx+1, err)
+		return
+	}
+	// All replicas rejected under the wait-hint extension: go to the
+	// least busy one with the deadline disabled, skipping crashed nodes.
+	s.LastDitch++
+	best := -1
+	for j := range op.waits {
+		if s.C.Nodes[op.replicas[j]].Down() {
+			continue
+		}
+		if best < 0 || op.waits[j] < op.waits[best] {
+			best = j
+		}
+	}
+	if best < 0 {
+		// The whole replica set is down.
+		op.deliver(len(op.replicas), err)
+		return
+	}
+	replicaCall(s.C, op.replicas[best], op.key, 0, op.lastFn)
+}
+
+func (op *mittOp) lastDitchReply(err error) {
+	op.deliver(len(op.replicas)+1, err)
+}
+
+func (op *mittOp) deliver(tries int, err error) {
+	s := op.s
+	res := GetResult{Latency: s.C.Eng.Now().Sub(op.start), Tries: tries, Err: err}
+	onDone := op.onDone
+	op.onDone, op.err = nil, nil
+	s.C.pools.mittOps = append(s.C.pools.mittOps, op)
+	onDone(res)
 }

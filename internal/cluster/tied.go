@@ -116,6 +116,11 @@ func (s *TiedStrategy) Get(key int64, onDone func(GetResult)) {
 			}
 			pending++
 			handles[idx] = s.C.Nodes[node].ServeGetCancelable(key, 0, func(err error) {
+				if errors.Is(err, ErrRevoked) {
+					// The winner's cancel dropped this IO before it ran;
+					// there is no reply to race.
+					return
+				}
 				s.C.Net.Send(func() { finish(idx, tries)(err) })
 			})
 		})

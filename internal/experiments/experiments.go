@@ -173,6 +173,7 @@ type fleet struct {
 	c       *cluster.Cluster
 	noise   []*noise.Bursty
 	metrics *metrics.Set // non-nil only when Options.Metrics is set
+	arena   *legArena    // non-nil when the fleet draws from a leg arena
 }
 
 // snapshot captures the fleet's metrics under the leg label, or nil when
@@ -193,16 +194,21 @@ const (
 	fleetSSD
 )
 
-// newFleet builds a fresh fleet. Each strategy run gets its own fleet with
-// the same seed, so strategies face identical noise timelines — the paper's
-// "apply EC2 noise distributions to our testbed" methodology (§7.2).
+// newFleet builds a fresh fleet on a cold heap. Each strategy run gets its
+// own fleet with the same seed, so strategies face identical noise timelines
+// — the paper's "apply EC2 noise distributions to our testbed" methodology
+// (§7.2). Legs running under runLegs should prefer legArena.newFleet, which
+// recycles the engine and every pooled resource between legs.
 func newFleet(opt Options, kind fleetKind, mitt bool, seedSalt string) *fleet {
-	return newFleetOn(sim.NewEngine(), opt, kind, mitt, seedSalt)
+	return newFleetOn(nil, sim.NewEngine(), opt, kind, mitt, seedSalt)
 }
 
 // newFleetOn builds a fleet on an existing engine — used when several
-// tiers must demonstrably co-exist in one deployment (§7.8.5).
-func newFleetOn(eng *sim.Engine, opt Options, kind fleetKind, mitt bool, seedSalt string) *fleet {
+// tiers must demonstrably co-exist in one deployment (§7.8.5) and by the
+// arena path. A non-nil arena supplies the shared serve-context/request
+// pools, the SSD device pool, and the sample-buffer pool, and registers the
+// fleet for teardown at arena reset.
+func newFleetOn(a *legArena, eng *sim.Engine, opt Options, kind fleetKind, mitt bool, seedSalt string) *fleet {
 	root := sim.NewRNG(opt.Seed, "fleet-"+seedSalt)
 	net := netsim.New(eng, netsim.DefaultConfig(), root.Fork("net"))
 	var ms *metrics.Set
@@ -215,6 +221,10 @@ func newFleetOn(eng *sim.Engine, opt Options, kind fleetKind, mitt bool, seedSal
 		Keys:        opt.Keys,
 		DiskProfile: sharedDiskProfile,
 		Metrics:     ms,
+	}
+	if a != nil {
+		tmpl.Pools = a.pools
+		tmpl.SSDPool = a.ssds
 	}
 	switch kind {
 	case fleetDisk:
@@ -242,7 +252,11 @@ func newFleetOn(eng *sim.Engine, opt Options, kind fleetKind, mitt bool, seedSal
 	// NOTE: the node RNG stream is derived from opt.Seed only (not the
 	// salt) so Mitt and non-Mitt fleets share device randomness.
 	c := cluster.NewCluster(eng, net, opt.Nodes, 3, tmpl, sim.NewRNG(opt.Seed, "nodes"))
-	return &fleet{eng: eng, net: net, c: c, metrics: ms}
+	f := &fleet{eng: eng, net: net, c: c, metrics: ms, arena: a}
+	if a != nil {
+		a.fleets = append(a.fleets, f)
+	}
+	return f
 }
 
 // addEC2DiskNoise attaches a per-node bursty neighbor calibrated per §6.
@@ -283,12 +297,18 @@ func (f *fleet) startClients(opt Options, strat cluster.Strategy, scaleFactor in
 	if opt.Interval > 0 {
 		ccfg.ExpectedOps = int(opt.Duration/opt.Interval) + 1
 	}
+	if f.arena != nil {
+		ccfg.Bufs = f.arena.bufs
+	}
 	var clients []*cluster.Client
 	for i := 0; i < opt.Clients; i++ {
 		wl := ycsb.New(ycsb.DefaultConfig(opt.Keys), sim.NewRNG(opt.Seed, fmt.Sprintf("wl-%d", i)))
 		cl := cluster.NewClient(f.eng, ccfg, strat, wl, sim.NewRNG(opt.Seed, fmt.Sprintf("cl-%d", i)))
 		cl.Start()
 		clients = append(clients, cl)
+	}
+	if f.arena != nil {
+		f.arena.adoptClients(clients)
 	}
 	return clients
 }
@@ -330,8 +350,8 @@ func (f *fleet) runClients(opt Options, strat cluster.Strategy, scaleFactor int)
 // single runLegs stage so the dependency on it is an explicit barrier.
 func baselineP95(opt Options, kind fleetKind, withNoise bool) (time.Duration, *stats.Sample) {
 	var io *stats.Sample
-	runLegs(opt.Workers, legs{func() {
-		f := newFleet(opt, kind, false, "baseline")
+	runLegs(opt.Workers, legs{func(a *legArena) {
+		f := a.newFleet(opt, kind, false, "baseline")
 		if withNoise {
 			switch kind {
 			case fleetSSD:

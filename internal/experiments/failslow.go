@@ -119,8 +119,8 @@ func Failslow(opt Options) *Result {
 	var ls legs
 	for i, r := range runs {
 		i, r := i, r
-		ls.add(func() {
-			f := newFleet(opt, fleetDisk, r.mitt, "failslow-"+r.name)
+		ls.add(func(a *legArena) {
+			f := a.newFleet(opt, fleetDisk, r.mitt, "failslow-"+r.name)
 			ad := cluster.NewFaultAdapter(f.c, sim.NewRNG(opt.Seed, "faults-"+r.name))
 			sched.Start(f.eng, ad)
 			strat := r.mk(f.c)

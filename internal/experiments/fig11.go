@@ -22,8 +22,8 @@ func Fig11(opt Options) *Result {
 
 	// Stage 1: baseline under the mix sets the knobs.
 	var baseIO *stats.Sample
-	runLegs(opt.Workers, legs{func() {
-		fb := newFleet(opt, fleetDisk, false, "fig11-base")
+	runLegs(opt.Workers, legs{func(a *legArena) {
+		fb := a.newFleet(opt, fleetDisk, false, "fig11-base")
 		addWorkloadMix(fb, opt)
 		baseIO, _ = fb.runClients(opt, &cluster.BaseStrategy{C: fb.c}, 1)
 	}})
@@ -34,13 +34,13 @@ func Fig11(opt Options) *Result {
 	// Stage 2: Hedged and MittCFQ fleets are independent given p95.
 	var hedged, mitt *stats.Sample
 	runLegs(opt.Workers, legs{
-		func() {
-			fh := newFleet(opt, fleetDisk, false, "fig11-hedged")
+		func(a *legArena) {
+			fh := a.newFleet(opt, fleetDisk, false, "fig11-hedged")
 			addWorkloadMix(fh, opt)
 			hedged, _ = fh.runClients(opt, &cluster.HedgedStrategy{C: fh.c, HedgeAfter: p95}, 1)
 		},
-		func() {
-			fm := newFleet(opt, fleetDisk, true, "fig11-mitt")
+		func(a *legArena) {
+			fm := a.newFleet(opt, fleetDisk, true, "fig11-mitt")
 			addWorkloadMix(fm, opt)
 			mitt, _ = fm.runClients(opt, &cluster.MittOSStrategy{C: fm.c, Deadline: p95}, 1)
 		},

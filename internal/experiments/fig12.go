@@ -42,8 +42,8 @@ func Fig12(opt Options) *Result {
 	var ls legs
 	for i, reg := range regimes {
 		i, reg := i, reg
-		ls.add(func() {
-			f := newFleet(opt, fleetDisk, false, "fig12-"+reg.name)
+		ls.add(func(a *legArena) {
+			f := a.newFleet(opt, fleetDisk, false, "fig12-"+reg.name)
 			stop := reg.noise(f)
 			strat := &cluster.C3Strategy{C: f.c}
 			io, _ := f.runClients(opt, strat, 1)
@@ -64,8 +64,8 @@ func Fig12(opt Options) *Result {
 		p95 = 15 * time.Millisecond
 	}
 	var mitt *stats.Sample
-	runLegs(opt.Workers, legs{func() {
-		fm := newFleet(opt, fleetDisk, true, "fig12-mitt")
+	runLegs(opt.Workers, legs{func(a *legArena) {
+		fm := a.newFleet(opt, fleetDisk, true, "fig12-mitt")
 		stop := addRotating(fm, opt, time.Second)
 		mitt, _ = fm.runClients(opt, &cluster.MittOSStrategy{C: fm.c, Deadline: p95}, 1)
 		stop()

@@ -47,8 +47,8 @@ func Fig13(opt Options) *Fig13Result {
 
 	// Stage 1: the Base run sets the deadline.
 	var baseIO *stats.Sample
-	runLegs(ropt.Workers, legs{func() {
-		fb := newFleet(ropt, fleetDisk, false, "fig13-base")
+	runLegs(ropt.Workers, legs{func(a *legArena) {
+		fb := a.newFleet(ropt, fleetDisk, false, "fig13-base")
 		fb.addEC2DiskNoise(ropt)
 		baseIO = fig13Run(fb, ropt, nil, nil)
 	}})
@@ -59,8 +59,8 @@ func Fig13(opt Options) *Fig13Result {
 	// Stage 2: the MittCFQ run (with its panel-(b) timeline probe).
 	var mittIO *stats.Sample
 	var timeline []Fig13Timeline
-	runLegs(ropt.Workers, legs{func() {
-		fm := newFleet(ropt, fleetDisk, true, "fig13-mitt")
+	runLegs(ropt.Workers, legs{func(a *legArena) {
+		fm := a.newFleet(ropt, fleetDisk, true, "fig13-mitt")
 		fm.addEC2DiskNoise(ropt)
 		watch := fm.c.Nodes[0]
 		fm.eng.NewTicker(250*time.Millisecond, func() {

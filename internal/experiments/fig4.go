@@ -105,11 +105,11 @@ func Fig4(opt Fig4Options) *Result {
 	for pi, panel := range panels {
 		for vi, variant := range variants {
 			pi, vi, panel, variant := pi, vi, panel, variant
-			ls.add(func() {
+			ls.add(func(a *legArena) {
 				fopt := Options{Seed: opt.Seed, Nodes: 3, Clients: 2,
 					Duration: opt.Duration, Interval: opt.Interval, Keys: opt.Keys,
 					Metrics: opt.Metrics, TraceIOs: opt.TraceIOs}
-				f := newFleet(fopt, panel.kind, variant == "MittOS", panel.name+variant)
+				f := a.newFleet(fopt, panel.kind, variant == "MittOS", panel.name+variant)
 				// Warm caches on every node for the cache panel so the
 				// non-noisy replicas serve from memory.
 				if panel.kind == fleetDiskCache {

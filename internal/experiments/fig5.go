@@ -47,8 +47,8 @@ func Fig5(opt Options) *Result {
 	var ls legs
 	for i, r := range runs {
 		i, r := i, r
-		ls.add(func() {
-			f := newFleet(opt, fleetDisk, r.mitt, r.name)
+		ls.add(func(a *legArena) {
+			f := a.newFleet(opt, fleetDisk, r.mitt, r.name)
 			f.addEC2DiskNoise(opt)
 			io, _ := f.runClients(opt, r.mk(f.c), 1)
 			outs[i] = io
@@ -85,14 +85,14 @@ func Fig6(opt Options) *Result {
 		sopt := opt
 		sopt.Interval = opt.Interval * time.Duration(sf)
 		i, sf, sopt := i, sf, sopt
-		ls.add(func() {
-			fh := newFleet(sopt, fleetDisk, false, fmt.Sprintf("hedged-sf%d", sf))
+		ls.add(func(a *legArena) {
+			fh := a.newFleet(sopt, fleetDisk, false, fmt.Sprintf("hedged-sf%d", sf))
 			fh.addEC2DiskNoise(sopt)
 			_, hedgedUser := fh.runClients(sopt, &cluster.HedgedStrategy{C: fh.c, HedgeAfter: p95}, sf)
 			hedgedOut[i] = hedgedUser
 		})
-		ls.add(func() {
-			fm := newFleet(sopt, fleetDisk, true, fmt.Sprintf("mitt-sf%d", sf))
+		ls.add(func(a *legArena) {
+			fm := a.newFleet(sopt, fleetDisk, true, fmt.Sprintf("mitt-sf%d", sf))
 			fm.addEC2DiskNoise(sopt)
 			_, mittUser := fm.runClients(sopt, &cluster.MittOSStrategy{C: fm.c, Deadline: p95}, sf)
 			mittOut[i] = mittUser
@@ -143,8 +143,8 @@ func Fig10(opt Options) *Result {
 	var ls legs
 	for i, pt := range points {
 		i, pt := i, pt
-		ls.add(func() {
-			f := newFleet(opt, fleetDisk, true, pt.name)
+		ls.add(func(a *legArena) {
+			f := a.newFleet(opt, fleetDisk, true, pt.name)
 			f.addEC2DiskNoise(opt)
 			for _, n := range f.c.Nodes {
 				n.MittCFQ.SetErrorInjection(pt.fn, pt.fp, sim.NewRNG(opt.Seed, "inj-"+pt.name))

@@ -21,8 +21,8 @@ func Fig7(opt Options) *Result {
 	// Stage 1: baseline with cache-eviction noise sets the hedge trigger.
 	var baseIO *stats.Sample
 	var baseSnap *metrics.Snapshot
-	runLegs(opt.Workers, legs{func() {
-		fb := newFleet(opt, fleetDiskCache, false, "fig7-base")
+	runLegs(opt.Workers, legs{func(a *legArena) {
+		fb := a.newFleet(opt, fleetDiskCache, false, "fig7-base")
 		warmFleet(fb, opt)
 		addCacheNoise(fb, opt)
 		baseIO, _ = fb.runClients(opt, &cluster.BaseStrategy{C: fb.c}, 1)
@@ -49,16 +49,16 @@ func Fig7(opt Options) *Result {
 		sopt := opt
 		sopt.Interval = opt.Interval * time.Duration(sf)
 		i, sf, sopt := i, sf, sopt
-		ls.add(func() {
-			fh := newFleet(sopt, fleetDiskCache, false, fmt.Sprintf("fig7-hedged-sf%d", sf))
+		ls.add(func(a *legArena) {
+			fh := a.newFleet(sopt, fleetDiskCache, false, fmt.Sprintf("fig7-hedged-sf%d", sf))
 			warmFleet(fh, sopt)
 			addCacheNoise(fh, sopt)
 			_, hedgedUser := fh.runClients(sopt, &cluster.HedgedStrategy{C: fh.c, HedgeAfter: hedgeAfter}, sf)
 			hedgedOut[i] = hedgedUser
 			hedgedSnap[i] = fh.snapshot(fmt.Sprintf("fig7/Hedged-SF%d", sf))
 		})
-		ls.add(func() {
-			fm := newFleet(sopt, fleetDiskCache, true, fmt.Sprintf("fig7-mitt-sf%d", sf))
+		ls.add(func(a *legArena) {
+			fm := a.newFleet(sopt, fleetDiskCache, true, fmt.Sprintf("fig7-mitt-sf%d", sf))
 			warmFleet(fm, sopt)
 			addCacheNoise(fm, sopt)
 			_, mittUser := fm.runClients(sopt, &cluster.MittOSStrategy{C: fm.c, Deadline: deadline}, sf)

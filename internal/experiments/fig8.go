@@ -55,8 +55,8 @@ func Fig8(opt Fig8Options) *Result {
 
 	// Stage 1: the Base run sets the p95 knob.
 	var base *stats.Sample
-	runLegs(opt.Workers, legs{func() {
-		base = fig8Run(opt, "Base", func(c *cluster.Cluster, p95 time.Duration) cluster.Strategy {
+	runLegs(opt.Workers, legs{func(a *legArena) {
+		base = fig8Run(a, opt, "Base", func(c *cluster.Cluster, p95 time.Duration) cluster.Strategy {
 			return &cluster.BaseStrategy{C: c}
 		}, 0)
 	}})
@@ -67,13 +67,13 @@ func Fig8(opt Fig8Options) *Result {
 	// Stage 2: Hedged and MittSSD are independent given p95.
 	var hedged, mitt *stats.Sample
 	runLegs(opt.Workers, legs{
-		func() {
-			hedged = fig8Run(opt, "Hedged", func(c *cluster.Cluster, p95 time.Duration) cluster.Strategy {
+		func(a *legArena) {
+			hedged = fig8Run(a, opt, "Hedged", func(c *cluster.Cluster, p95 time.Duration) cluster.Strategy {
 				return &cluster.HedgedStrategy{C: c, HedgeAfter: p95}
 			}, p95)
 		},
-		func() {
-			mitt = fig8Run(opt, "MittSSD", func(c *cluster.Cluster, p95 time.Duration) cluster.Strategy {
+		func(a *legArena) {
+			mitt = fig8Run(a, opt, "MittSSD", func(c *cluster.Cluster, p95 time.Duration) cluster.Strategy {
 				return &cluster.MittOSStrategy{C: c, Deadline: p95}
 			}, p95)
 		},
@@ -99,10 +99,11 @@ func Fig8(opt Fig8Options) *Result {
 
 // fig8Run builds the single-box fleet: 6 SSD "partitions" (one node each,
 // no overlapping channels — modeled as independent SSDs) sharing one CPU
-// pool, driven by 6 closed-loop clients.
-func fig8Run(opt Fig8Options, salt string,
+// pool, driven by 6 closed-loop clients. The run draws its engine, device
+// pools, and sample buffers from the leg arena.
+func fig8Run(a *legArena, opt Fig8Options, salt string,
 	mk func(*cluster.Cluster, time.Duration) cluster.Strategy, p95 time.Duration) *stats.Sample {
-	eng := sim.NewEngine()
+	eng := a.eng
 	// Local clients: a ~20µs IPC hop instead of the 0.3ms network.
 	net := netsim.New(eng, netsim.Config{HopLatency: 20 * time.Microsecond, JitterStd: 2 * time.Microsecond},
 		sim.NewRNG(opt.Seed, "fig8-net-"+salt))
@@ -119,17 +120,23 @@ func fig8Run(opt Fig8Options, salt string,
 		Keys:        opt.Keys,
 		CPU:         cpu,
 		CPUPerOp:    opt.CPUPerOp,
+		Pools:       a.pools,
+		SSDPool:     a.ssds,
 	}
 	c := cluster.NewCluster(eng, net, opt.Partitions, 3, tmpl, sim.NewRNG(opt.Seed, "fig8-nodes"))
+	f := &fleet{eng: eng, net: net, c: c, arena: a}
+	a.fleets = append(a.fleets, f)
 	// SSD noise: write bursts on each partition (the §6 SSD distribution).
 	for i, n := range c.Nodes {
 		space := n.SSD.Config().LogicalBytes() / 2
 		cfg := noise.DefaultSSDBursty(space, 900+i)
 		b := noise.NewBursty(eng, cfg, n.NoiseSink(), sim.NewRNG(opt.Seed, fmt.Sprintf("fig8-noise-%d", i)))
 		b.Start()
+		f.noise = append(f.noise, b)
 	}
 	strat := mk(c, p95)
-	ccfg := cluster.ClientConfig{Interval: 50 * time.Microsecond, JitterFrac: 0.5, ScaleFactor: 1, Closed: true}
+	ccfg := cluster.ClientConfig{Interval: 50 * time.Microsecond, JitterFrac: 0.5, ScaleFactor: 1,
+		Closed: true, Bufs: a.bufs}
 	io := stats.NewSample(1 << 14)
 	var clients []*cluster.Client
 	for i := 0; i < opt.Partitions; i++ {
@@ -138,6 +145,7 @@ func fig8Run(opt Fig8Options, salt string,
 		cl.Start()
 		clients = append(clients, cl)
 	}
+	a.adoptClients(clients)
 	eng.RunFor(opt.Duration)
 	for _, cl := range clients {
 		cl.Stop()

@@ -53,32 +53,42 @@ func Table1(opt Options) *Result {
 // memtable inserts), the noisy and noise-free lines nearly coincide.
 func Writes(opt Options) *Result {
 	res := &Result{ID: "writes", Title: "Write-only workload: Base ≈ NoNoise (§7.8.6)"}
-	for _, variant := range []string{"NoNoise", "Base"} {
-		f := newFleet(opt, fleetDisk, false, "writes-"+variant)
-		if variant == "Base" {
-			f.addEC2DiskNoise(opt)
-		}
-		io := stats.NewSample(1 << 14)
-		var ticks []*sim.Ticker
-		for i := 0; i < opt.Clients; i++ {
-			wl := ycsb.New(ycsb.DefaultConfig(opt.Keys), sim.NewRNG(opt.Seed, fmt.Sprintf("w-wl-%d", i)))
-			tick := f.eng.NewTicker(opt.Interval, func() {
-				key := wl.NextKey()
-				primary := f.c.ReplicasFor(key)[0]
-				start := f.eng.Now()
-				f.c.PutCall(primary, key, 0, func(error) {
-					io.Add(f.eng.Now().Sub(start))
+	variants := []string{"NoNoise", "Base"}
+	outs := make([]*stats.Sample, len(variants))
+	var ls legs
+	for vi, variant := range variants {
+		vi, variant := vi, variant
+		ls.add(func(a *legArena) {
+			f := a.newFleet(opt, fleetDisk, false, "writes-"+variant)
+			if variant == "Base" {
+				f.addEC2DiskNoise(opt)
+			}
+			io := stats.NewSample(1 << 14)
+			var ticks []*sim.Ticker
+			for i := 0; i < opt.Clients; i++ {
+				wl := ycsb.New(ycsb.DefaultConfig(opt.Keys), sim.NewRNG(opt.Seed, fmt.Sprintf("w-wl-%d", i)))
+				tick := f.eng.NewTicker(opt.Interval, func() {
+					key := wl.NextKey()
+					primary := f.c.ReplicasFor(key)[0]
+					start := f.eng.Now()
+					f.c.PutCall(primary, key, 0, func(error) {
+						io.Add(f.eng.Now().Sub(start))
+					})
 				})
-			})
-			ticks = append(ticks, tick)
-		}
-		f.eng.RunFor(opt.Duration)
-		for _, t := range ticks {
-			t.Stop()
-		}
-		f.stopNoise()
-		f.eng.RunFor(2 * time.Second)
-		res.Series = append(res.Series, Series{Name: variant, Sample: io})
+				ticks = append(ticks, tick)
+			}
+			f.eng.RunFor(opt.Duration)
+			for _, t := range ticks {
+				t.Stop()
+			}
+			f.stopNoise()
+			f.eng.RunFor(2 * time.Second)
+			outs[vi] = io
+		})
+	}
+	runLegs(opt.Workers, ls)
+	for vi, variant := range variants {
+		res.Series = append(res.Series, Series{Name: variant, Sample: outs[vi]})
 	}
 	return res
 }
@@ -125,38 +135,50 @@ func AllInOne(opt Options) *Result {
 	}
 	// For each variant, ALL tiers start on one engine, run together, and
 	// are collected together: the three Mitt layers genuinely co-exist.
+	// Each variant is one leg: the tiers must share an engine, but the two
+	// variants are independent of each other.
 	type tierResult struct{ p95, p99 [2]time.Duration }
 	results := make([]tierResult, len(tiers))
+	samples := make([]*stats.Sample, 2*len(tiers))
+	var ls legs
 	for vi, mitt := range []bool{false, true} {
-		eng := sim.NewEngine()
-		var allClients [][]*cluster.Client
-		for _, ti := range tiers {
-			f := newFleetOn(eng, topt, ti.kind, mitt, "allinone-"+ti.name)
-			ti.noisy(f)
-			var strat cluster.Strategy
-			if mitt {
-				strat = &primaryFirstMitt{c: f.c, deadline: ti.deadline, primary: 0}
-			} else {
-				strat = &primaryFirstBase{c: f.c, primary: 0}
+		vi, mitt := vi, mitt
+		ls.add(func(a *legArena) {
+			var allClients [][]*cluster.Client
+			for _, ti := range tiers {
+				f := newFleetOn(a, a.eng, topt, ti.kind, mitt, "allinone-"+ti.name)
+				ti.noisy(f)
+				var strat cluster.Strategy
+				if mitt {
+					strat = &primaryFirstMitt{c: f.c, deadline: ti.deadline, primary: 0}
+				} else {
+					strat = &primaryFirstBase{c: f.c, primary: 0}
+				}
+				allClients = append(allClients, f.startClients(topt, strat, 1))
 			}
-			allClients = append(allClients, f.startClients(topt, strat, 1))
-		}
-		eng.RunFor(topt.Duration)
-		for _, cls := range allClients {
-			for _, cl := range cls {
-				cl.Stop()
+			a.eng.RunFor(topt.Duration)
+			for _, cls := range allClients {
+				for _, cl := range cls {
+					cl.Stop()
+				}
 			}
-		}
-		eng.RunFor(2 * time.Second)
-		for i, cls := range allClients {
-			io, _ := collectClients(cls)
+			a.eng.RunFor(2 * time.Second)
+			for i, cls := range allClients {
+				io, _ := collectClients(cls)
+				samples[vi*len(tiers)+i] = io
+				results[i].p95[vi] = io.Percentile(95)
+				results[i].p99[vi] = io.Percentile(99)
+			}
+		})
+	}
+	runLegs(opt.Workers, ls)
+	for vi, mitt := range []bool{false, true} {
+		for i := range tiers {
 			name := tiers[i].name + "/Base"
 			if mitt {
 				name = tiers[i].name + "/Mitt"
 			}
-			res.Series = append(res.Series, Series{Name: name, Sample: io})
-			results[i].p95[vi] = io.Percentile(95)
-			results[i].p99[vi] = io.Percentile(99)
+			res.Series = append(res.Series, Series{Name: name, Sample: samples[vi*len(tiers)+i]})
 		}
 	}
 	tb := &stats.Table{Header: []string{"user", "Base p95", "Mitt p95", "Base p99", "Mitt p99"}}

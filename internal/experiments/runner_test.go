@@ -15,7 +15,7 @@ func TestRunLegsOrderAndClamp(t *testing.T) {
 		var ls legs
 		for i := 0; i < 5; i++ {
 			i := i
-			ls.add(func() { got[i]++ })
+			ls.add(func(*legArena) { got[i]++ })
 		}
 		runLegs(workers, ls)
 		for i, n := range got {
@@ -37,9 +37,9 @@ func TestRunLegsPanicPropagates(t *testing.T) {
 				}
 			}()
 			runLegs(workers, legs{
-				func() {},
-				func() { panic("leg boom") },
-				func() {},
+				func(*legArena) {},
+				func(*legArena) { panic("leg boom") },
+				func(*legArena) {},
 			})
 		}()
 	}

@@ -62,6 +62,9 @@ func (f *fleet) startMixedClients(opt Options, strat cluster.Strategy,
 	if opt.Interval > 0 {
 		ccfg.ExpectedOps = int(opt.Duration/opt.Interval) + 1
 	}
+	if f.arena != nil {
+		ccfg.Bufs = f.arena.bufs
+	}
 	var clients []*cluster.Client
 	for i := 0; i < opt.Clients; i++ {
 		wl := ycsb.New(wcfg, sim.NewRNG(opt.Seed, fmt.Sprintf("ymix-wl-%d", i)))
@@ -69,6 +72,9 @@ func (f *fleet) startMixedClients(opt Options, strat cluster.Strategy,
 		cl.SetPutStrategy(ps, rmw)
 		cl.Start()
 		clients = append(clients, cl)
+	}
+	if f.arena != nil {
+		f.arena.adoptClients(clients)
 	}
 	return clients
 }
@@ -101,8 +107,8 @@ func YCSBMix(opt Options) *Result {
 	// deadline/timeout/hedge = get p95, write deadline/timeout/hedge =
 	// put p95 (the §7.2 "use the p95 latency" rule applied per path).
 	var getP95, putP95 time.Duration
-	runLegs(opt.Workers, legs{func() {
-		f := newFleet(opt, fleetDisk, false, "ymix-baseline")
+	runLegs(opt.Workers, legs{func(a *legArena) {
+		f := a.newFleet(opt, fleetDisk, false, "ymix-baseline")
 		f.addEC2DiskNoise(opt)
 		strat := &cluster.BaseStrategy{C: f.c}
 		ps := &cluster.BasePut{C: f.c}
@@ -156,8 +162,8 @@ func YCSBMix(opt Options) *Result {
 	for wi, wl := range ycsbMixWorkloads {
 		for si, st := range strategies {
 			i, wl, st := wi*len(strategies)+si, wl, st
-			ls.add(func() {
-				f := newFleet(opt, fleetDisk, st.mitt, "ymix-"+wl.name+"-"+st.name)
+			ls.add(func(a *legArena) {
+				f := a.newFleet(opt, fleetDisk, st.mitt, "ymix-"+wl.name+"-"+st.name)
 				f.addEC2DiskNoise(opt)
 				strat, ps := st.mk(f.c)
 				clients := f.startMixedClients(opt, strat, ps, wl.config(opt.Keys), wl.rmw)

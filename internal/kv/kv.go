@@ -53,6 +53,10 @@ type Config struct {
 	// whose deadline it breaks are fast-rejected before the memtable
 	// mutates. 0 disables the check.
 	StallBytes int64
+	// Reqs, when non-nil, is the block-IO request pool the store draws
+	// from — injected so a fleet (or an experiment arena spanning legs) can
+	// share one warm pool. Nil gets a private pool.
+	Reqs *blockio.Pool
 }
 
 // DefaultConfig sizes the engine for a region of the given extent.
@@ -110,7 +114,7 @@ type Store struct {
 	// Per-IO pools: requests, fire-and-forget write completions, and
 	// memory-latency completions. Steady-state operation recycles these
 	// instead of allocating.
-	reqs    blockio.Pool
+	reqs    *blockio.Pool
 	bgFree  []*bgWrite
 	memFree []*memOp
 	// versions tracks each key's write count — the replication timestamp
@@ -153,8 +157,13 @@ func New(eng *sim.Engine, cfg Config, target core.Target, ids *blockio.IDGen) *S
 	if cfg.MaxRuns <= 1 {
 		cfg.MaxRuns = 2
 	}
+	reqs := cfg.Reqs
+	if reqs == nil {
+		reqs = &blockio.Pool{}
+	}
 	return &Store{
 		eng: eng, cfg: cfg, target: target, ids: ids,
+		reqs:     reqs,
 		memtable: make(map[int64]bool),
 		versions: make(map[int64]uint64),
 		alloc:    cfg.RegionBase,

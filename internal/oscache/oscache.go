@@ -25,6 +25,14 @@ type Config struct {
 	// AddrCheckLatency is the cost of the addrcheck() system call: "only
 	// adds a negligible overhead (82ns per call)" (§4.4).
 	AddrCheckLatency time.Duration
+	// Slab, when non-nil, is a shared page freelist: an experiment arena
+	// passes one slab across legs (reclaiming each finished cache's pages
+	// with Reclaim) so the next leg's resident set reuses the same page
+	// structs. Nil gets a private slab.
+	Slab *PageSlab
+	// Reqs, when non-nil, is the request pool background sub-IOs draw from,
+	// shared for the same reason. Nil gets a private pool.
+	Reqs *blockio.Pool
 }
 
 // DefaultConfig returns a cache shaped like the paper's: 4KB pages and a
@@ -58,7 +66,7 @@ type Cache struct {
 	// Intrusive LRU: head = most recently used, tail = eviction victim.
 	lruHead, lruTail *page
 	resident         int
-	pageFree         *page // freelist, chained through next
+	slab             *PageSlab // page freelist, possibly shared across legs
 
 	// everResident distinguishes first-time accesses (cold misses) from
 	// re-evicted pages: MittCache only signals EBUSY for the latter
@@ -71,7 +79,7 @@ type Cache struct {
 
 	// Per-IO freelists: background sub-requests and the hit/miss
 	// completion contexts that replace per-IO closures.
-	reqs    blockio.Pool
+	reqs    *blockio.Pool
 	opFree  []*cacheOp
 	victims []*page // EvictFraction scratch
 
@@ -92,14 +100,38 @@ func New(eng *sim.Engine, cfg Config, backing blockio.Device) *Cache {
 	if cfg.PageSize <= 0 || cfg.CapacityPages <= 0 {
 		panic("oscache: invalid config")
 	}
+	slab := cfg.Slab
+	if slab == nil {
+		slab = &PageSlab{}
+	}
+	reqs := cfg.Reqs
+	if reqs == nil {
+		reqs = &blockio.Pool{}
+	}
 	return &Cache{
 		eng:          eng,
 		cfg:          cfg,
 		backing:      backing,
+		slab:         slab,
+		reqs:         reqs,
 		pages:        make(map[int64]*page),
 		everResident: make(map[int64]bool),
 		degrade:      1.0,
 	}
+}
+
+// Reclaim hands every resident page back to the (shared) slab and empties
+// the LRU. Call only at experiment-leg teardown: the cache is unusable
+// afterwards, it exists so an arena can recycle the page structs of a
+// finished leg's resident set into the next leg's cache.
+func (c *Cache) Reclaim() {
+	for pg := c.lruHead; pg != nil; {
+		next := pg.next
+		c.slab.put(pg)
+		pg = next
+	}
+	c.lruHead, c.lruTail, c.resident = nil, nil, 0
+	c.pages = nil
 }
 
 // SetDegradation scales the hit-serving latency by factor (>1 slower);
@@ -332,24 +364,35 @@ func (c *Cache) complete(req *blockio.Request) {
 // forever, so slabs only grow the footprint to the peak resident set.
 const pageSlabSize = 1024
 
-func (c *Cache) getPage() *page {
-	if c.pageFree == nil {
+// PageSlab is a page freelist with slab-batched growth. The zero value is
+// ready to use; a shared slab (Config.Slab) lets consecutive experiment legs
+// reuse one peak-resident-set worth of page structs instead of growing a
+// fresh freelist per cache.
+type PageSlab struct {
+	free *page
+}
+
+func (s *PageSlab) get() *page {
+	if s.free == nil {
 		slab := make([]page, pageSlabSize)
 		for i := range slab {
-			slab[i].next = c.pageFree
-			c.pageFree = &slab[i]
+			slab[i].next = s.free
+			s.free = &slab[i]
 		}
 	}
-	pg := c.pageFree
-	c.pageFree = pg.next
+	pg := s.free
+	s.free = pg.next
 	pg.next = nil
 	return pg
 }
 
-func (c *Cache) freePage(pg *page) {
-	*pg = page{next: c.pageFree}
-	c.pageFree = pg
+func (s *PageSlab) put(pg *page) {
+	*pg = page{next: s.free}
+	s.free = pg
 }
+
+func (c *Cache) getPage() *page  { return c.slab.get() }
+func (c *Cache) freePage(pg *page) { c.slab.put(pg) }
 
 func (c *Cache) pushFront(pg *page) {
 	pg.prev = nil

@@ -279,6 +279,30 @@ func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
 // Halt stops Run/RunUntil after the currently executing event returns.
 func (e *Engine) Halt() { e.halted = true }
 
+// Reset returns the engine to its NewEngine state — virtual time zero,
+// sequence zero, empty queue — while keeping the event freelist and the
+// heap's backing array, so a reused engine schedules without reallocating.
+// Pending owned events are recycled; pending handle-returning events are
+// dropped (their handles stay valid but inert: already marked cancelled).
+// A reset engine is indistinguishable from a fresh one to the simulation —
+// the (time, seq) order restarts from zero, which is what keeps reused-arena
+// runs byte-identical to fresh-heap runs.
+func (e *Engine) Reset() {
+	for i, ev := range e.heap {
+		ev.fn = nil
+		ev.cancelled = true
+		if ev.owned {
+			e.free = append(e.free, ev)
+		}
+		e.heap[i] = nil
+	}
+	e.heap = e.heap[:0]
+	e.now, e.seq, e.fired = 0, 0, 0
+	e.nLive, e.nCancelled = 0, 0
+	e.halted = false
+	e.cancelledTotal, e.compactions, e.maxHeap = 0, 0, 0
+}
+
 func (e *Engine) peek() *Event {
 	for len(e.heap) > 0 {
 		if ev := e.heap[0]; ev.cancelled {

@@ -296,6 +296,96 @@ func New(eng *sim.Engine, cfg Config) *SSD {
 // Config returns the SSD configuration.
 func (s *SSD) Config() Config { return s.cfg }
 
+// reset returns the device to its factory state on a (possibly reused)
+// engine, exactly as New left it: FTL mappings cleared, server queues
+// emptied, counters zeroed, degradation and fault injection off, hooks and
+// recorder detached. The chips' backing arrays and the per-IO freelists
+// survive, which is the point — a reset SSD costs a few array clears
+// instead of the multi-hundred-MB rebuild New does at experiment scale.
+// Tasks still queued on a die or channel are orphaned, so only reset a
+// device whose engine has been halted or reset.
+func (s *SSD) reset(eng *sim.Engine) {
+	s.eng = eng
+	for _, c := range s.chips {
+		for j := range c.mapping {
+			c.mapping[j] = -1
+		}
+		for j := range c.rmap {
+			c.rmap[j] = -1
+		}
+		for j := range c.pageState {
+			c.pageState[j] = 0
+		}
+		for j := range c.validCount {
+			c.validCount[j] = 0
+		}
+		for j := range c.writeFront {
+			c.writeFront[j] = 0
+		}
+		for j := range c.eraseCount {
+			c.eraseCount[j] = 0
+		}
+		c.freeBlocks = c.freeBlocks[:0]
+		for b := 1; b < s.cfg.BlocksPerChip; b++ {
+			c.freeBlocks = append(c.freeBlocks, b)
+		}
+		c.activeBlock = 0
+		c.srv.reset()
+	}
+	for _, ch := range s.channels {
+		ch.srv.reset()
+	}
+	s.inflight = 0
+	s.reads, s.writes, s.erases, s.wlMoves = 0, 0, 0, 0
+	for i := range s.erasesSinceWL {
+		s.erasesSinceWL[i] = 0
+	}
+	s.degrade = 1.0
+	s.errRate, s.errRNG = 0, nil
+	s.gcHook, s.submitHook, s.rec = nil, nil, nil
+}
+
+// reset empties a server queue, dropping any orphaned task references.
+func (sv *server) reset() {
+	for i := range sv.q {
+		sv.q[i] = nil
+	}
+	sv.q = sv.q[:0]
+	sv.head = 0
+	sv.running = false
+}
+
+// Pool caches built SSDs by geometry so an experiment arena can hand a
+// fully-constructed device from a finished leg to the next one: the FTL
+// arrays of a DefaultConfig device are ~30MB, and a fleet of them dominated
+// the per-leg allocation profile. Get resets a cached device onto the given
+// engine (byte-identical to a fresh New) or builds one; Put parks a device
+// whose engine is done with it.
+type Pool struct {
+	free map[Config][]*SSD
+}
+
+// Get returns a factory-state SSD with the given geometry on eng.
+func (p *Pool) Get(eng *sim.Engine, cfg Config) *SSD {
+	if cached := p.free[cfg]; len(cached) > 0 {
+		s := cached[len(cached)-1]
+		cached[len(cached)-1] = nil
+		p.free[cfg] = cached[:len(cached)-1]
+		s.reset(eng)
+		return s
+	}
+	return New(eng, cfg)
+}
+
+// Put parks a device for reuse. The caller must be done driving its engine:
+// any queued chip/channel work is abandoned at the next Get.
+func (p *Pool) Put(s *SSD) {
+	if p.free == nil {
+		p.free = make(map[Config][]*SSD)
+	}
+	p.free[s.cfg] = append(p.free[s.cfg], s)
+}
+
 // SetDegradation scales all subsequent chip/channel operation times by
 // factor (>1 slower). The host-visible profile does not move with it.
 func (s *SSD) SetDegradation(factor float64) {

@@ -109,6 +109,61 @@ func NewSample(capacity int) *Sample {
 	return &Sample{vals: make([]time.Duration, 0, capacity)}
 }
 
+// NewSampleBuf returns a sample recording into buf (truncated to length
+// zero). Used with BufPool so short-lived samples — per-client latency
+// buffers that are merged and discarded at the end of every experiment leg —
+// reuse one arena-owned allocation instead of growing a fresh one per leg.
+func NewSampleBuf(buf []time.Duration) *Sample {
+	return &Sample{vals: buf[:0]}
+}
+
+// TakeBuf detaches and returns the sample's backing buffer, leaving the
+// sample empty. The caller owns the buffer (typically returning it to a
+// BufPool); the sample remains usable but starts from scratch.
+func (s *Sample) TakeBuf() []time.Duration {
+	buf := s.vals
+	s.vals = nil
+	s.sorted = false
+	s.sum = Summary{}
+	return buf
+}
+
+// BufPool recycles sample buffers across experiment legs. Get prefers the
+// largest parked buffer so a reused buffer almost never regrows; capacity
+// differences are invisible to Sample semantics (only vals[:len] is read),
+// which keeps arena-reuse runs byte-identical to fresh-heap runs.
+type BufPool struct {
+	bufs [][]time.Duration
+}
+
+// Get returns a zero-length buffer with at least the given capacity,
+// reusing a parked buffer when one is large enough.
+func (p *BufPool) Get(capacity int) []time.Duration {
+	best := -1
+	for i, b := range p.bufs {
+		if cap(b) >= capacity && (best < 0 || cap(b) > cap(p.bufs[best])) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return make([]time.Duration, 0, capacity)
+	}
+	buf := p.bufs[best]
+	last := len(p.bufs) - 1
+	p.bufs[best] = p.bufs[last]
+	p.bufs[last] = nil
+	p.bufs = p.bufs[:last]
+	return buf[:0]
+}
+
+// Put parks a buffer for reuse. Nil or zero-capacity buffers are dropped.
+func (p *BufPool) Put(buf []time.Duration) {
+	if cap(buf) == 0 {
+		return
+	}
+	p.bufs = append(p.bufs, buf[:0])
+}
+
 // Add records one latency.
 func (s *Sample) Add(d time.Duration) {
 	s.vals = append(s.vals, d)
