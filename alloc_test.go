@@ -11,6 +11,7 @@ import (
 	"mittos/internal/kv"
 	"mittos/internal/netsim"
 	"mittos/internal/sim"
+	"mittos/internal/stats"
 	"mittos/internal/ycsb"
 )
 
@@ -18,6 +19,16 @@ import (
 // the Mitt put pin needs it.
 var allocDiskProfile = disk.ProfileTwin(disk.DefaultConfig(),
 	42, disk.ProfilerOptions{Buckets: 32, Tries: 6, ProbeSize: 4096})
+
+// syncStrategy completes every get synchronously — the cheapest possible
+// strategy, isolating the client loop itself for the tick pins.
+type syncStrategy struct{}
+
+func (syncStrategy) Name() string { return "sync" }
+
+func (syncStrategy) Get(key int64, onDone func(cluster.GetResult)) {
+	onDone(cluster.GetResult{Latency: time.Microsecond, Tries: 1})
+}
 
 // newAllocCluster builds a minimal 3-node replicated cluster for the put
 // issue-path pins, mirroring the experiment fleet shape.
@@ -140,6 +151,44 @@ func TestAllocBudgets(t *testing.T) {
 		})
 		if avg != 0 {
 			t.Fatalf("accepted durable put allocates %.1f objects per op; budget is 0", avg)
+		}
+	})
+	t.Run("PoissonTick", func(t *testing.T) {
+		// The open-loop Poisson issue path: exponential gap draw, tick,
+		// pooled user-request context, synchronous completion, recycling.
+		// The loadsweep experiment takes this path millions of times per
+		// leg, so it carries the same zero budget as the fixed-interval
+		// loop.
+		eng := NewEngine()
+		strat := &syncStrategy{}
+		wl := ycsb.New(ycsb.DefaultConfig(10000), sim.NewRNG(9, "alloc-poisson-wl"))
+		cfg := cluster.ClientConfig{
+			Interval: 100 * time.Microsecond, Arrival: cluster.ArrivalPoisson,
+			ScaleFactor: 1, ExpectedOps: 1 << 16,
+			Inflight: &cluster.InflightGauge{}, SLO: time.Millisecond,
+		}
+		cl := cluster.NewClient(eng, cfg, strat, wl, sim.NewRNG(9, "alloc-poisson-cl"))
+		cl.Start()
+		eng.RunFor(10 * time.Millisecond) // warm the context pool
+		avg := testing.AllocsPerRun(200, func() {
+			eng.RunFor(time.Millisecond)
+		})
+		if avg != 0 {
+			t.Fatalf("Poisson tick allocates %.1f objects per millisecond of ticks; budget is 0", avg)
+		}
+	})
+	t.Run("CORecording", func(t *testing.T) {
+		// Coordinated-omission-corrected recording on a pre-sized sample:
+		// the raw observation plus the synthetic back-fill loop.
+		s := stats.NewSample(1 << 14)
+		for i := 0; i < 64; i++ {
+			s.AddCO(55*time.Millisecond, 10*time.Millisecond)
+		}
+		avg := testing.AllocsPerRun(200, func() {
+			s.AddCO(55*time.Millisecond, 10*time.Millisecond)
+		})
+		if avg != 0 {
+			t.Fatalf("AddCO allocates %.1f objects per record; budget is 0", avg)
 		}
 	})
 	t.Run("YCSBNext", func(t *testing.T) {

@@ -190,6 +190,34 @@ func BenchmarkYCSBMix(b *testing.B) {
 	reportTailMetrics(b, res, "A/Base put", "base-put")
 }
 
+// BenchmarkLoadSweep regenerates the offered-load sweep (calibration plus
+// the full rate × strategy × path matrix of open-loop Poisson legs). The
+// custom metrics carry the headline comparison: SLO attainment at the
+// highest pre-saturation rate for MittOS vs Base on the get path.
+func BenchmarkLoadSweep(b *testing.B) {
+	res := benchExperiment(b, "loadsweep")
+	var kneeGet struct{ base, mitt float64 }
+	knee := 0.0
+	for _, p := range res.Sweep {
+		if p.Path == "get" && p.RateMult < 1.0 && p.RateMult > knee {
+			knee = p.RateMult
+		}
+	}
+	for _, p := range res.Sweep {
+		if p.Path != "get" || p.RateMult != knee {
+			continue
+		}
+		switch p.Strategy {
+		case "Base":
+			kneeGet.base = p.AttainPct
+		case "MittOS":
+			kneeGet.mitt = p.AttainPct
+		}
+	}
+	b.ReportMetric(kneeGet.mitt, "mitt-attain-%")
+	b.ReportMetric(kneeGet.base, "base-attain-%")
+}
+
 // BenchmarkPutAdmission measures the accepted durable-put round trip: WAL
 // group assembly, SLO admission through MittCFQ, dispatch, completion,
 // memtable apply, and the memory-latency ack — the write-path twin of

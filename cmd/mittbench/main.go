@@ -14,6 +14,9 @@
 //	mittbench -run fig4 -metrics   # per-leg counters/histograms (§7.6 error)
 //	mittbench -run fig4 -metrics -trace-ios 100   # + first 100 IO spans (JSONL)
 //	mittbench -run fig4 -metrics -metrics-json m.json   # snapshots as JSON
+//	mittbench -run loadsweep       # offered-load sweep: attainment/goodput curves
+//	mittbench -run loadsweep -rates 0.5,0.9,1.1   # custom ×-saturation multipliers
+//	mittbench -run loadsweep -sweep-json sweep.json   # per-cell results as JSON
 //
 // Every run is deterministic: the same flags produce identical output.
 // -j only bounds the worker pool the independent simulation legs run on
@@ -29,6 +32,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -53,6 +57,9 @@ func main() {
 		jobs = flag.Int("j", 0, "worker pool size for parallel simulation legs (0 = one per CPU, 1 = serial); output is identical for any value")
 
 		faultsFlag = flag.String("faults", "", "fault schedule for -run failslow, e.g. 'failslow node=1 at=2s for=4s x=8; crash node=2 at=4s for=2s' (default: the experiment's built-in scenario)")
+
+		ratesFlag = flag.String("rates", "", "comma-separated offered-load multipliers (× measured saturation) for -run loadsweep, e.g. '0.5,0.9,1.1' (default: the built-in 0.2→1.5 sweep)")
+		sweepJSON = flag.String("sweep-json", "", "write the loadsweep experiment's per-cell results (throughput, percentiles, attainment, diagnostics) as a JSON array to this file")
 
 		metricsOn   = flag.Bool("metrics", false, "collect per-layer counters/histograms and print an end-of-run dump per leg (fig4, fig7)")
 		traceIOs    = flag.Int("trace-ios", 0, "with -metrics: capture the first N per-IO spans per leg and print them as JSONL (<0 = all)")
@@ -97,6 +104,11 @@ func main() {
 		}
 	}
 
+	rates, err := parseRates(*ratesFlag)
+	if err != nil {
+		fail(err, 2)
+	}
+
 	ids := []string{*run}
 	if *run == "all" {
 		ids = mittos.Experiments()
@@ -114,6 +126,7 @@ func main() {
 	type outcome struct {
 		text    string
 		metrics []*metrics.Snapshot
+		sweep   []experiments.SweepPoint
 		err     error
 	}
 	outs := make([]outcome, len(ids))
@@ -134,6 +147,7 @@ func main() {
 			res, err := mittos.RunExperimentConfig(id, mittos.ExperimentConfig{
 				Quick: !*full, Seed: *seed, Workers: workers,
 				Metrics: *metricsOn, TraceIOs: *traceIOs, Faults: *faultsFlag,
+				Rates: rates,
 			})
 			if err != nil {
 				outs[i].err = err
@@ -160,6 +174,7 @@ func main() {
 				time.Duration(msAfter.PauseTotalNs-msBefore.PauseTotalNs).Round(10*time.Microsecond))
 			outs[i].text = b.String()
 			outs[i].metrics = res.Metrics
+			outs[i].sweep = res.Sweep
 			if *csv != "" {
 				// Experiments write disjoint <id>-prefixed files; safe
 				// to dump concurrently.
@@ -168,6 +183,7 @@ func main() {
 		}()
 	}
 	var allSnaps []*metrics.Snapshot
+	var allSweep []experiments.SweepPoint
 	for i := range ids {
 		<-done[i]
 		if outs[i].err != nil {
@@ -175,12 +191,50 @@ func main() {
 		}
 		fmt.Print(outs[i].text)
 		allSnaps = append(allSnaps, outs[i].metrics...)
+		allSweep = append(allSweep, outs[i].sweep...)
 	}
 	if *metricsJSON != "" {
 		if err := dumpMetricsJSON(*metricsJSON, allSnaps); err != nil {
 			fail(err, 1)
 		}
 	}
+	if *sweepJSON != "" {
+		if err := dumpSweepJSON(*sweepJSON, allSweep); err != nil {
+			fail(err, 1)
+		}
+	}
+}
+
+// parseRates parses the -rates flag: comma-separated positive floats.
+func parseRates(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-rates: %w", err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("-rates: multiplier %v must be positive", v)
+		}
+		rates = append(rates, v)
+	}
+	return rates, nil
+}
+
+// dumpSweepJSON writes the loadsweep cells (experiments in print order,
+// cells in table order) as one JSON array.
+func dumpSweepJSON(path string, points []experiments.SweepPoint) error {
+	if points == nil {
+		points = []experiments.SweepPoint{}
+	}
+	j, err := json.MarshalIndent(points, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(j, '\n'), 0o644)
 }
 
 // startProfiles wires -cpuprofile/-memprofile and returns the idempotent
@@ -355,6 +409,15 @@ func runBenchJSON(path string) error {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := experiments.Run("ycsbmix", experiments.RunConfig{Quick: true, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	add("LoadSweep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Run("loadsweep", experiments.RunConfig{Quick: true, Seed: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}

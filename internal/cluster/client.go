@@ -3,18 +3,65 @@ package cluster
 import (
 	"time"
 
+	"mittos/internal/metrics"
 	"mittos/internal/sim"
 	"mittos/internal/stats"
 	"mittos/internal/ycsb"
 )
 
+// ArrivalProcess selects how a client spaces its request arrivals (open
+// loop) or think times (closed loop).
+type ArrivalProcess int
+
+// Arrival processes.
+const (
+	// ArrivalFixed issues one request per Interval with optional ±JitterFrac
+	// uniform jitter — the original §7.2 client.
+	ArrivalFixed ArrivalProcess = iota
+	// ArrivalPoisson draws exponentially distributed gaps with mean Interval
+	// (a Poisson arrival process): the memoryless open-loop model the
+	// loadsweep experiment offers load with, where burstiness is unbounded
+	// rather than capped by the jitter window.
+	ArrivalPoisson
+)
+
+// InflightGauge counts user requests currently outstanding across the
+// clients sharing it, with a high-water mark. It is the load sweep's
+// overload diagnostic: an open-loop fleet pushed past saturation grows the
+// mark without bound, while a fast-rejecting strategy keeps it flat.
+type InflightGauge struct {
+	Cur int
+	Max int
+}
+
+func (g *InflightGauge) inc() {
+	if g == nil {
+		return
+	}
+	g.Cur++
+	if g.Cur > g.Max {
+		g.Max = g.Cur
+	}
+}
+
+func (g *InflightGauge) dec() {
+	if g == nil {
+		return
+	}
+	g.Cur--
+}
+
 // ClientConfig shapes one YCSB client.
 type ClientConfig struct {
 	// Interval is the open-loop period between user requests.
 	Interval time.Duration
-	// JitterFrac randomizes each gap by ±frac to avoid phase-locking a
-	// fleet of clients.
+	// JitterFrac randomizes each ArrivalFixed gap by ±frac to avoid
+	// phase-locking a fleet of clients. Must be in [0, 1].
 	JitterFrac float64
+	// Arrival selects the inter-arrival process: ArrivalFixed (default)
+	// keeps the jittered fixed interval, ArrivalPoisson draws exponential
+	// gaps with mean Interval.
+	Arrival ArrivalProcess
 	// ScaleFactor is the number of parallel get() sub-requests per user
 	// request; the user waits for all of them (§7.3).
 	ScaleFactor int
@@ -25,6 +72,22 @@ type ClientConfig struct {
 	// Interval after the previous one COMPLETES (the §7.5 client model,
 	// where "only 6 threads are busy all the time").
 	Closed bool
+	// CORecord makes a closed-loop client also record every latency into
+	// UserLatenciesCO with HdrHistogram-style coordinated-omission
+	// correction: synthetic samples stand in for the requests the stalled
+	// loop never issued. Open-loop clients are CO-free by construction
+	// (latency runs from the intended arrival tick) and ignore this.
+	CORecord bool
+	// SLO, when positive, classifies every finished user request as meeting
+	// or missing the deadline (SLOMet/SLOMissed, mirrored into the metrics
+	// registry when Rec is set) — the load sweep's attainment metric.
+	SLO time.Duration
+	// Rec, when non-nil, mirrors the SLO verdicts into the metrics registry
+	// (RNode slo-met / slo-missed). The nil default records nothing.
+	Rec *metrics.Recorder
+	// Inflight, when non-nil, is a gauge shared across a fleet of clients
+	// tracking concurrently outstanding user requests.
+	Inflight *InflightGauge
 	// ExpectedOps pre-sizes the latency samples to the leg's expected user
 	// request count so steady-state recording never reallocates (0 keeps a
 	// small default).
@@ -67,11 +130,19 @@ type Client struct {
 	// PutLatencies holds per-put quorum-ack times (empty for read-only
 	// clients).
 	PutLatencies *stats.Sample
+	// UserLatenciesCO is the coordinated-omission-corrected twin of
+	// UserLatencies (nil unless Closed && CORecord).
+	UserLatenciesCO *stats.Sample
 
-	issued   int
-	finished int
-	errors   int
-	stopped  bool
+	issued    int
+	finished  int
+	errors    int
+	sloMet    int
+	sloMissed int
+	stopped   bool
+	// nextAt is the intended arrival instant of the scheduled tick: the
+	// CO-free start time every request's latency is measured from.
+	nextAt sim.Time
 
 	tickFn   func()     // pre-bound issue timer
 	userFree []*userReq // pooled per-user-request contexts
@@ -119,11 +190,19 @@ func (u *userReq) putDone(res PutResult) {
 
 // rmwGet is the read leg of a read-modify-write: record the get like any
 // sub-get, then chain the put on the same key without releasing the context.
+// A failed read short-circuits the chain — there is nothing to modify, so
+// issuing the put anyway would burn a quorum write and record a bogus put
+// latency for a user op that already failed.
 func (u *userReq) rmwGet(res GetResult) {
 	cl := u.cl
 	cl.IOLatencies.Add(cl.eng.Now().Sub(u.start))
 	if res.Err != nil {
 		u.failed = true
+		u.remaining--
+		if u.remaining == 0 {
+			u.finish()
+		}
+		return
 	}
 	cl.putStrat.Put(u.key, u.putFn)
 }
@@ -134,7 +213,21 @@ func (u *userReq) finish() {
 	if u.failed {
 		cl.errors++
 	}
-	cl.UserLatencies.Add(cl.eng.Now().Sub(u.start))
+	lat := cl.eng.Now().Sub(u.start)
+	cl.UserLatencies.Add(lat)
+	if cl.UserLatenciesCO != nil {
+		cl.UserLatenciesCO.AddCO(lat, cl.cfg.Interval)
+	}
+	if cl.cfg.SLO > 0 {
+		if lat <= cl.cfg.SLO {
+			cl.sloMet++
+			cl.cfg.Rec.Incr(metrics.RNode, metrics.CSLOMet)
+		} else {
+			cl.sloMissed++
+			cl.cfg.Rec.Incr(metrics.RNode, metrics.CSLOMissed)
+		}
+	}
+	cl.cfg.Inflight.dec()
 	cl.userFree = append(cl.userFree, u)
 	if cl.cfg.Closed {
 		cl.scheduleNext()
@@ -150,6 +243,9 @@ func NewClient(eng *sim.Engine, cfg ClientConfig, strat Strategy,
 	if cfg.Interval <= 0 {
 		panic("cluster: client Interval must be positive")
 	}
+	if cfg.JitterFrac < 0 || cfg.JitterFrac > 1 {
+		panic("cluster: client JitterFrac must be in [0, 1]")
+	}
 	ops := cfg.ExpectedOps
 	if ops <= 0 {
 		ops = 4096
@@ -161,6 +257,11 @@ func NewClient(eng *sim.Engine, cfg ClientConfig, strat Strategy,
 		// Read-only clients never record a put; SetPutStrategy sizes this
 		// for real when the client actually issues writes.
 		PutLatencies: stats.NewSample(0),
+	}
+	if cfg.Closed && cfg.CORecord {
+		// Sized for the raw count; the synthetic fills a rare stall adds
+		// grow the buffer, which is off the steady-state path.
+		cl.UserLatenciesCO = newSample(cfg.Bufs, ops)
 	}
 	cl.tickFn = cl.tick
 	return cl
@@ -206,6 +307,9 @@ func (cl *Client) ReclaimBufs() {
 	cl.cfg.Bufs.Put(cl.UserLatencies.TakeBuf())
 	cl.cfg.Bufs.Put(cl.IOLatencies.TakeBuf())
 	cl.cfg.Bufs.Put(cl.PutLatencies.TakeBuf())
+	if cl.UserLatenciesCO != nil {
+		cl.cfg.Bufs.Put(cl.UserLatenciesCO.TakeBuf())
+	}
 }
 
 // Start begins issuing requests.
@@ -223,15 +327,34 @@ func (cl *Client) Finished() int { return cl.finished }
 // Errors counts user requests that ended in an error.
 func (cl *Client) Errors() int { return cl.errors }
 
+// SLOMet counts finished user requests at or under cfg.SLO (zero when no
+// SLO is configured).
+func (cl *Client) SLOMet() int { return cl.sloMet }
+
+// SLOMissed counts finished user requests over cfg.SLO.
+func (cl *Client) SLOMissed() int { return cl.sloMissed }
+
 func (cl *Client) scheduleNext() {
 	if cl.stopped || (cl.cfg.Requests > 0 && cl.issued >= cl.cfg.Requests) {
 		return
 	}
-	gap := cl.cfg.Interval
-	if cl.cfg.JitterFrac > 0 {
-		span := time.Duration(float64(gap) * cl.cfg.JitterFrac)
-		gap = gap - span + cl.rng.Duration(2*span)
+	var gap time.Duration
+	switch cl.cfg.Arrival {
+	case ArrivalPoisson:
+		gap = cl.rng.Exp(cl.cfg.Interval)
+	default:
+		gap = cl.cfg.Interval
+		if cl.cfg.JitterFrac > 0 {
+			span := time.Duration(float64(gap) * cl.cfg.JitterFrac)
+			gap = gap - span + cl.rng.Duration(2*span)
+		}
 	}
+	// JitterFrac = 1 can draw a zero gap and Exp can round to one: floor at
+	// a tick so the client never re-fires at the same instant.
+	if gap <= 0 {
+		gap = time.Nanosecond
+	}
+	cl.nextAt = cl.eng.Now().Add(gap)
 	cl.eng.After(gap, cl.tickFn)
 }
 
@@ -254,9 +377,14 @@ func (cl *Client) issueOne() {
 		u.putFn = u.putDone
 		u.rmwFn = u.rmwGet
 	}
-	u.start = cl.eng.Now()
+	// The latency clock starts at the *intended* arrival tick, not the
+	// moment the loop got around to issuing — the coordinated-omission-free
+	// convention. The engine fires ticks exactly when scheduled, so the two
+	// coincide in virtual time; the contract is what matters.
+	u.start = cl.nextAt
 	u.remaining = cl.cfg.ScaleFactor
 	u.failed = false
+	cl.cfg.Inflight.inc()
 	if cl.putStrat == nil {
 		// Read-only clients draw keys exactly as before the mixed path
 		// existed, keeping their RNG streams golden-stable.

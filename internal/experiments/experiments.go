@@ -54,6 +54,10 @@ type Options struct {
 	// parsed config string (see faults.ParseSchedule; the mittbench
 	// -faults flag). Empty means the experiment's built-in scenario.
 	Faults string
+	// Rates overrides the loadsweep experiment's offered-load multipliers
+	// (× measured saturation; the mittbench -rates flag). Empty means the
+	// built-in 0.2→1.5 sweep.
+	Rates []float64
 }
 
 // DefaultOptions is the full-scale configuration.
@@ -100,6 +104,11 @@ type Result struct {
 	// declaration order. They are NOT part of String(): golden outputs stay
 	// identical with metrics on or off.
 	Metrics []*metrics.Snapshot
+	// Sweep holds the loadsweep experiment's per-cell results (empty for
+	// every other experiment) — the machine-readable twin of its tables,
+	// dumped by mittbench -sweep-json. Like Metrics, it is NOT part of
+	// String().
+	Sweep []SweepPoint
 }
 
 // String renders the result in paper-style ASCII.

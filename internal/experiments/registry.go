@@ -24,6 +24,9 @@ type RunConfig struct {
 	// Faults overrides the failslow experiment's fault schedule (a
 	// faults.ParseSchedule config string; empty = built-in scenario).
 	Faults string
+	// Rates overrides the loadsweep experiment's offered-load multipliers
+	// (empty = the built-in 0.2→1.5 sweep).
+	Rates []float64
 }
 
 // options maps the config onto macro-experiment Options.
@@ -37,6 +40,7 @@ func (c RunConfig) options() Options {
 	o.Metrics = c.Metrics
 	o.TraceIOs = c.TraceIOs
 	o.Faults = c.Faults
+	o.Rates = c.Rates
 	return o
 }
 
@@ -84,14 +88,15 @@ var runners = map[string]func(RunConfig) *Result{
 		res, _ := Fig9(o)
 		return res
 	},
-	"fig10":    func(c RunConfig) *Result { return Fig10(c.options()) },
-	"fig11":    func(c RunConfig) *Result { return Fig11(c.options()) },
-	"fig12":    func(c RunConfig) *Result { return Fig12(c.options()) },
-	"fig13":    func(c RunConfig) *Result { return &Fig13(c.options()).Result },
-	"allinone": func(c RunConfig) *Result { return AllInOne(c.options()) },
-	"writes":   func(c RunConfig) *Result { return Writes(c.options()) },
-	"failslow": func(c RunConfig) *Result { return Failslow(c.options()) },
-	"ycsbmix":  func(c RunConfig) *Result { return YCSBMix(c.options()) },
+	"fig10":     func(c RunConfig) *Result { return Fig10(c.options()) },
+	"fig11":     func(c RunConfig) *Result { return Fig11(c.options()) },
+	"fig12":     func(c RunConfig) *Result { return Fig12(c.options()) },
+	"fig13":     func(c RunConfig) *Result { return &Fig13(c.options()).Result },
+	"allinone":  func(c RunConfig) *Result { return AllInOne(c.options()) },
+	"writes":    func(c RunConfig) *Result { return Writes(c.options()) },
+	"failslow":  func(c RunConfig) *Result { return Failslow(c.options()) },
+	"ycsbmix":   func(c RunConfig) *Result { return YCSBMix(c.options()) },
+	"loadsweep": func(c RunConfig) *Result { return LoadSweep(c.options()) },
 }
 
 // IDs lists the registered experiment ids, sorted.

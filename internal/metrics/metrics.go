@@ -85,13 +85,18 @@ const (
 	CCacheMiss
 	CEviction
 	CPrefetch
+	// CSLOMet / CSLOMissed count client-side user-request SLO verdicts
+	// (recorded on RNode by cluster clients with ClientConfig.SLO set) —
+	// the load sweep's attainment numerator and denominator complement.
+	CSLOMet
+	CSLOMissed
 	numCounters
 )
 
 var counterNames = [numCounters]string{
 	"submitted", "completed", "accepted", "rejected", "rejected-late",
 	"shadow-busy", "dropped", "dispatched", "cache-hit", "cache-miss",
-	"evictions", "prefetches",
+	"evictions", "prefetches", "slo-met", "slo-missed",
 }
 
 // String names the counter.

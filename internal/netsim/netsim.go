@@ -96,8 +96,12 @@ func (n *Network) Send(fn func()) {
 }
 
 // RoundTrip delivers fn after two hops (request + response), the cost of
-// asking a remote node that answers immediately.
+// asking a remote node that answers immediately. The return hop's cost is
+// sampled when the request arrives, not at send time, so a degradation
+// window that opens mid-flight slows the response hop too.
 func (n *Network) RoundTrip(fn func()) {
 	n.sent += 2
-	n.eng.After(n.HopCost()+n.HopCost(), fn)
+	n.eng.After(n.HopCost(), func() {
+		n.eng.After(n.HopCost(), fn)
+	})
 }

@@ -32,6 +32,22 @@ func TestRoundTripTakesTwoHops(t *testing.T) {
 	}
 }
 
+func TestRoundTripReturnHopSeesMidFlightDegradation(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, Config{HopLatency: 300 * time.Microsecond}, nil)
+	var at sim.Time
+	n.RoundTrip(func() { at = eng.Now() })
+	// The degradation window opens while the request hop is in flight: the
+	// return hop must pay the extra latency. (The old implementation priced
+	// both hops at send time, letting the response dodge the slowdown.)
+	eng.After(100*time.Microsecond, func() { n.SetDegradation(time.Millisecond, 0) })
+	eng.Run()
+	want := sim.Time(2*300*time.Microsecond + time.Millisecond)
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+}
+
 func TestJitterVariesButStaysPositive(t *testing.T) {
 	eng := sim.NewEngine()
 	n := New(eng, DefaultConfig(), sim.NewRNG(1, "net"))

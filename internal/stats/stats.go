@@ -171,6 +171,21 @@ func (s *Sample) Add(d time.Duration) {
 	s.sum.AddDuration(d)
 }
 
+// AddCO records one closed-loop observation with HdrHistogram-style
+// coordinated-omission correction: alongside the raw latency, synthetic
+// samples lat−expected, lat−2·expected, … (while ≥ expected) stand in for
+// the requests the stalled loop never issued. expected is the loop's
+// intended inter-arrival interval; non-positive values disable correction.
+func (s *Sample) AddCO(lat, expected time.Duration) {
+	s.Add(lat)
+	if expected <= 0 {
+		return
+	}
+	for v := lat - expected; v >= expected; v -= expected {
+		s.Add(v)
+	}
+}
+
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.vals) }
 

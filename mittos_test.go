@@ -142,8 +142,8 @@ func TestRunExperimentUnknownID(t *testing.T) {
 func TestExperimentsListComplete(t *testing.T) {
 	ids := Experiments()
 	want := []string{"allinone", "failslow", "fig10", "fig11", "fig12", "fig13",
-		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1",
-		"writes", "ycsbmix"}
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "loadsweep",
+		"table1", "writes", "ycsbmix"}
 	if len(ids) != len(want) {
 		t.Fatalf("experiments = %v", ids)
 	}
