@@ -128,6 +128,25 @@ func TestAllocBudgets(t *testing.T) {
 			t.Fatalf("After+Run allocates %.1f objects per event; budget is 0", avg)
 		}
 	})
+	t.Run("EngineResetReuse", func(t *testing.T) {
+		// Leg arenas recycle engines across experiment legs; a warmed
+		// engine running a multi-level event mix then Reset must not
+		// allocate — the timing wheel's slot arrays are fixed engine
+		// fields and dropped events return to the freelist.
+		eng := NewEngine()
+		leg := func() {
+			for i := 0; i < 64; i++ {
+				eng.After(time.Duration(i+1)*100*time.Microsecond, func() {})
+			}
+			eng.RunFor(3 * time.Millisecond)
+			eng.Reset()
+		}
+		leg() // warm the freelist
+		avg := testing.AllocsPerRun(100, leg)
+		if avg != 0 {
+			t.Fatalf("Reset-then-reuse allocates %.1f objects per leg; budget is 0", avg)
+		}
+	})
 	t.Run("PutAccepted", func(t *testing.T) {
 		// The accepted durable-put round trip: WAL group assembly, SLO
 		// admission through MittCFQ, dispatch, completion, memtable apply,

@@ -16,6 +16,7 @@ import (
 	"mittos/internal/disk"
 	"mittos/internal/experiments"
 	"mittos/internal/kv"
+	"mittos/internal/sim"
 	"mittos/internal/stats"
 )
 
@@ -351,6 +352,125 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	eng.Run()
+}
+
+// BenchmarkEngineCancelHeavy measures hedged-style schedule-then-cancel
+// churn: 4096 request streams each re-arm a 30 ms timeout as a shared ~3 µs
+// tick visits them round-robin (each stream every ~12 ms),
+// so every timeout is cancelled long before it fires. This is the pattern
+// Hedged/Tied/AppTO strategies and MittCFQ bumped-entry cancels put on the
+// queue. The wheel sub-run uses the engine's O(1) intrusive unlink; the heap
+// sub-run drives the retained min-heap oracle, which pays tombstone
+// accumulation plus periodic compaction sweeps for the same workload.
+func BenchmarkEngineCancelHeavy(b *testing.B) {
+	const (
+		streams = 4096
+		tickGap = 3 * time.Microsecond
+		timeout = 30 * time.Millisecond
+	)
+	b.Run("wheel", func(b *testing.B) {
+		eng := sim.NewEngine()
+		nop := func() {}
+		timeouts := make([]*sim.Event, streams)
+		n, cur := 0, 0
+		var tick func()
+		tick = func() {
+			s := cur
+			cur = (cur + 1) % streams
+			if timeouts[s] != nil {
+				timeouts[s].Cancel()
+			}
+			timeouts[s] = eng.Schedule(timeout, nop)
+			n++
+			if n < b.N {
+				eng.After(tickGap, tick)
+			}
+		}
+		eng.After(tickGap, tick)
+		b.ReportAllocs()
+		b.ResetTimer()
+		eng.Run()
+	})
+	b.Run("heap", func(b *testing.B) {
+		eng := sim.NewEventHeap()
+		nop := func() {}
+		timeouts := make([]*sim.HeapEvent, streams)
+		n, cur := 0, 0
+		var tick func()
+		tick = func() {
+			s := cur
+			cur = (cur + 1) % streams
+			if timeouts[s] != nil {
+				timeouts[s].Cancel()
+			}
+			timeouts[s] = eng.Schedule(timeout, nop)
+			n++
+			if n < b.N {
+				eng.After(tickGap, tick)
+			}
+		}
+		eng.After(tickGap, tick)
+		b.ReportAllocs()
+		b.ResetTimer()
+		eng.Run()
+	})
+}
+
+// BenchmarkEngineMixedHorizon interleaves µs-scale device events with ms-
+// and multi-second deadlines — the shape of a real experiment leg, where
+// disk completions share the queue with SLO timeouts and probe periods. The
+// spread keeps several wheel levels occupied so cascading is exercised on
+// the wheel sub-run, while the heap sub-run pays O(log n) sifts against the
+// long-lived far-future entries.
+func BenchmarkEngineMixedHorizon(b *testing.B) {
+	b.Run("wheel", func(b *testing.B) {
+		eng := sim.NewEngine()
+		nop := func() {}
+		i := 0
+		var tick func()
+		tick = func() {
+			i++
+			switch {
+			case i%4096 == 0:
+				eng.After(5*time.Second, nop)
+			case i%256 == 0:
+				eng.After(300*time.Millisecond, nop)
+			case i%16 == 0:
+				eng.After(4*time.Millisecond, nop)
+			}
+			if i < b.N {
+				eng.After(2*time.Microsecond, tick)
+			}
+		}
+		eng.After(2*time.Microsecond, tick)
+		b.ReportAllocs()
+		b.ResetTimer()
+		eng.Run()
+	})
+	b.Run("heap", func(b *testing.B) {
+		eng := sim.NewEventHeap()
+		nop := func() {}
+		i := 0
+		var tick func()
+		tick = func() {
+			i++
+			switch {
+			case i%4096 == 0:
+				eng.After(5*time.Second, nop)
+			case i%256 == 0:
+				eng.After(300*time.Millisecond, nop)
+			case i%16 == 0:
+				eng.After(4*time.Millisecond, nop)
+			}
+			if i < b.N {
+				eng.After(2*time.Microsecond, tick)
+			}
+		}
+		eng.After(2*time.Microsecond, tick)
+		b.ReportAllocs()
+		b.ResetTimer()
+		eng.Run()
+	})
 }
 
 // BenchmarkMittSMR measures the §8.2 SMR extension: deadline probes under

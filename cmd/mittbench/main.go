@@ -44,6 +44,7 @@ import (
 	"mittos/internal/faults"
 	"mittos/internal/kv"
 	"mittos/internal/metrics"
+	"mittos/internal/sim"
 )
 
 func main() {
@@ -378,6 +379,112 @@ func runBenchJSON(path string) error {
 			}
 		}
 		eng.After(time.Microsecond, tick)
+		b.ResetTimer()
+		eng.Run()
+	})
+
+	// Hedged-style schedule-then-cancel churn, timing wheel vs the retained
+	// min-heap oracle (same bodies as BenchmarkEngineCancelHeavy).
+	const (
+		cancelStreams = 4096
+		cancelTickGap = 3 * time.Microsecond
+		cancelTimeout = 30 * time.Millisecond
+	)
+	add("EngineCancelHeavy/wheel", func(b *testing.B) {
+		b.ReportAllocs()
+		eng := sim.NewEngine()
+		nop := func() {}
+		timeouts := make([]*sim.Event, cancelStreams)
+		n, cur := 0, 0
+		var tick func()
+		tick = func() {
+			s := cur
+			cur = (cur + 1) % cancelStreams
+			if timeouts[s] != nil {
+				timeouts[s].Cancel()
+			}
+			timeouts[s] = eng.Schedule(cancelTimeout, nop)
+			n++
+			if n < b.N {
+				eng.After(cancelTickGap, tick)
+			}
+		}
+		eng.After(cancelTickGap, tick)
+		b.ResetTimer()
+		eng.Run()
+	})
+	add("EngineCancelHeavy/heap", func(b *testing.B) {
+		b.ReportAllocs()
+		eng := sim.NewEventHeap()
+		nop := func() {}
+		timeouts := make([]*sim.HeapEvent, cancelStreams)
+		n, cur := 0, 0
+		var tick func()
+		tick = func() {
+			s := cur
+			cur = (cur + 1) % cancelStreams
+			if timeouts[s] != nil {
+				timeouts[s].Cancel()
+			}
+			timeouts[s] = eng.Schedule(cancelTimeout, nop)
+			n++
+			if n < b.N {
+				eng.After(cancelTickGap, tick)
+			}
+		}
+		eng.After(cancelTickGap, tick)
+		b.ResetTimer()
+		eng.Run()
+	})
+
+	// µs device events interleaved with ms/s deadlines — the cascade-heavy
+	// shape of a real experiment leg (same bodies as
+	// BenchmarkEngineMixedHorizon).
+	add("EngineMixedHorizon/wheel", func(b *testing.B) {
+		b.ReportAllocs()
+		eng := sim.NewEngine()
+		nop := func() {}
+		i := 0
+		var tick func()
+		tick = func() {
+			i++
+			switch {
+			case i%4096 == 0:
+				eng.After(5*time.Second, nop)
+			case i%256 == 0:
+				eng.After(300*time.Millisecond, nop)
+			case i%16 == 0:
+				eng.After(4*time.Millisecond, nop)
+			}
+			if i < b.N {
+				eng.After(2*time.Microsecond, tick)
+			}
+		}
+		eng.After(2*time.Microsecond, tick)
+		b.ResetTimer()
+		eng.Run()
+	})
+	add("EngineMixedHorizon/heap", func(b *testing.B) {
+		b.ReportAllocs()
+		eng := sim.NewEventHeap()
+		nop := func() {}
+		i := 0
+		var tick func()
+		tick = func() {
+			i++
+			switch {
+			case i%4096 == 0:
+				eng.After(5*time.Second, nop)
+			case i%256 == 0:
+				eng.After(300*time.Millisecond, nop)
+			case i%16 == 0:
+				eng.After(4*time.Millisecond, nop)
+			}
+			if i < b.N {
+				eng.After(2*time.Microsecond, tick)
+			}
+		}
+		eng.After(2*time.Microsecond, tick)
 		b.ResetTimer()
 		eng.Run()
 	})

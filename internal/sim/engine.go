@@ -15,12 +15,14 @@
 // exploits this.)
 //
 // The event loop is the floor under every experiment's wall-clock time, so
-// it is built to allocate nothing in steady state: the priority queue is a
-// hand-specialized min-heap over []*Event (no container/heap interface
-// boxing), and events scheduled through the fire-and-forget After/FireAt
-// path are recycled through an engine-owned freelist. Schedule/At return a
-// cancellation handle and therefore pin their Event for the engine's
-// lifetime; hot paths that never cancel should prefer After.
+// it is built to allocate nothing in steady state: the event queue is a
+// hierarchical timing wheel (see wheel.go) with O(1) amortized schedule,
+// O(1) cancel by intrusive unlink, and a fast-forward that jumps the clock
+// to the next occupied slot; events scheduled through the fire-and-forget
+// After/FireAt path are recycled through an engine-owned freelist.
+// Schedule/At return a cancellation handle and therefore pin their Event
+// for the engine's lifetime; hot paths that never cancel should prefer
+// After.
 package sim
 
 import (
@@ -47,11 +49,19 @@ const (
 // MaxTime is the largest representable virtual time.
 const MaxTime = Time(math.MaxInt64)
 
-// Add returns t shifted by d. It saturates at MaxTime.
+// MinTime is the smallest representable virtual time.
+const MinTime = Time(math.MinInt64)
+
+// Add returns t shifted by d. It saturates in both directions: at MaxTime
+// on positive overflow and at MinTime on negative overflow (a silent
+// negative wrap would leap a deadline into the far future).
 func (t Time) Add(d Duration) Time {
 	s := t + Time(d)
 	if d > 0 && s < t {
 		return MaxTime
+	}
+	if d < 0 && s > t {
+		return MinTime
 	}
 	return s
 }
@@ -70,12 +80,15 @@ func (t Time) String() string { return Duration(t).String() }
 // when the first reply wins). Events scheduled via After/FireAt are owned
 // by the engine and recycled once fired; no handle is exposed for them.
 type Event struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	eng       *Engine
-	owned     bool // engine-owned (After/FireAt): recycled after firing
-	cancelled bool
+	at         Time
+	seq        uint64
+	fn         func()
+	eng        *Engine
+	prev, next *Event // intrusive links within the event's wheel-slot list
+	qlevel     int16  // wheel level, overflowLevel, or unqueuedLevel
+	qslot      int16  // slot index within qlevel
+	owned      bool   // engine-owned (After/FireAt): recycled after firing
+	cancelled  bool
 }
 
 // Time reports when the event fires.
@@ -85,9 +98,10 @@ func (e *Event) Time() Time { return e.at }
 func (e *Event) Cancelled() bool { return e.cancelled }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op. The event stays in the heap as a
-// tombstone and is discarded when popped, which keeps Cancel O(1); the
-// engine compacts the heap when tombstones outnumber live events.
+// already-cancelled event is a no-op. The event is unlinked from its wheel
+// slot immediately — O(1), no tombstones left behind and no compaction
+// sweeps, which is what makes cancel-heavy strategies (hedged timeouts,
+// MittCFQ bumped entries) cheap.
 func (e *Event) Cancel() {
 	if e.cancelled || e.fn == nil {
 		// Already cancelled, or already fired (fn is cleared at fire time).
@@ -96,56 +110,69 @@ func (e *Event) Cancel() {
 	e.cancelled = true
 	e.fn = nil
 	eng := e.eng
+	eng.unlink(e)
 	eng.nLive--
-	eng.nCancelled++
 	eng.cancelledTotal++
-	if eng.nCancelled > len(eng.heap)/2 {
-		eng.compact()
+	if eng.cachedMin == e {
+		eng.cachedMin = nil
 	}
 }
 
 // Engine is the event loop. The zero value is not usable; use NewEngine.
 type Engine struct {
-	now        Time
-	seq        uint64
-	heap       []*Event
-	free       []*Event // recycled engine-owned events
-	nLive      int      // scheduled, not-yet-cancelled events
-	nCancelled int      // tombstones still in the heap
-	fired      uint64
-	halted     bool
+	now    Time
+	seq    uint64
+	free   []*Event // recycled engine-owned events
+	nLive  int      // scheduled, not-yet-cancelled events
+	fired  uint64
+	halted bool
+
+	// The hierarchical timing wheel (see wheel.go).
+	wheel     [wheelLevels][wheelSlots]evList
+	occ       [wheelLevels][wheelWords]uint64 // per-level slot-occupancy bitmaps
+	lvlN      [wheelLevels]int                // live events per level (skip empty levels)
+	overflow  evList                          // events beyond the wheel horizon
+	topRot    uint64                          // now >> wheelHorizonShift as of the last advance
+	solo      *Event                          // sole live event, parked unplaced (fast path)
+	cachedMin *Event                          // memoized findMin result, nil when stale
 
 	// Cumulative diagnostics surfaced by Stats.
 	cancelledTotal uint64
-	compactions    uint64
-	maxHeap        int
+	cascades       uint64
+	maxSlot        int
+	maxPending     int
 }
 
 // EngineStats is a point-in-time summary of engine activity, exposed so the
-// metrics layer can report event-loop health (heap growth, tombstone churn)
-// alongside IO-level numbers. All counters are cumulative since NewEngine.
+// metrics layer can report event-loop health (cascade churn, slot hot
+// spots, overflow parking) alongside IO-level numbers. All counters are
+// cumulative since NewEngine.
 type EngineStats struct {
-	Now         Time   `json:"now_ns"`       // current virtual time
-	Fired       uint64 `json:"fired"`        // events executed
-	Scheduled   uint64 `json:"scheduled"`    // events ever posted
-	Cancelled   uint64 `json:"cancelled"`    // events cancelled before firing
-	Compactions uint64 `json:"compactions"`  // tombstone sweeps of the heap
-	Pending     int    `json:"pending"`      // live events still queued
-	MaxHeap     int    `json:"max_heap"`     // high-water heap length (incl. tombstones)
-	FreeList    int    `json:"freelist_len"` // recycled events currently parked
+	Now        Time   `json:"now_ns"`       // current virtual time
+	Fired      uint64 `json:"fired"`        // events executed
+	Scheduled  uint64 `json:"scheduled"`    // events ever posted
+	Cancelled  uint64 `json:"cancelled"`    // events cancelled before firing
+	Cascades   uint64 `json:"cascades"`     // events redistributed down a wheel level
+	Pending    int    `json:"pending"`      // live events still queued
+	MaxPending int    `json:"max_pending"`  // high-water live events queued
+	MaxSlot    int    `json:"max_slot"`     // high-water single-slot occupancy
+	Overflow   int    `json:"overflow_len"` // events currently parked beyond the horizon
+	FreeList   int    `json:"freelist_len"` // recycled events currently parked
 }
 
 // Stats snapshots the engine's diagnostic counters.
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{
-		Now:         e.now,
-		Fired:       e.fired,
-		Scheduled:   e.seq,
-		Cancelled:   e.cancelledTotal,
-		Compactions: e.compactions,
-		Pending:     e.nLive,
-		MaxHeap:     e.maxHeap,
-		FreeList:    len(e.free),
+		Now:        e.now,
+		Fired:      e.fired,
+		Scheduled:  e.seq,
+		Cancelled:  e.cancelledTotal,
+		Cascades:   e.cascades,
+		Pending:    e.nLive,
+		MaxPending: e.maxPending,
+		MaxSlot:    e.maxSlot,
+		Overflow:   int(e.overflow.n),
+		FreeList:   len(e.free),
 	}
 }
 
@@ -218,41 +245,59 @@ func (e *Engine) post(t Time, fn func(), owned bool) *Event {
 	}
 	ev.at, ev.seq, ev.fn, ev.owned, ev.cancelled = t, e.seq, fn, owned, false
 	e.seq++
-	e.push(ev)
+	if e.nLive == 0 {
+		// Solo fast path: the queue's only event skips the wheel entirely
+		// and waits in e.solo until it fires, is cancelled, or company
+		// arrives.
+		ev.qlevel = soloLevel
+		e.solo = ev
+		e.cachedMin = ev
+		e.nLive = 1
+		if e.maxPending == 0 {
+			e.maxPending = 1
+		}
+		return ev
+	}
+	if s := e.solo; s != nil {
+		// Second arrival: hang the parked event on the wheel before placing
+		// the newcomer. s.at ≥ now still holds (it has not fired), so the
+		// placement invariants are intact.
+		e.solo = nil
+		s.qlevel = unqueuedLevel
+		e.place(s)
+	}
+	e.place(ev)
 	e.nLive++
+	if e.nLive > e.maxPending {
+		e.maxPending = e.nLive
+	}
+	// Keep the memoized minimum exact: a strictly earlier arrival takes it
+	// over (on a time tie the incumbent's smaller seq wins).
+	if m := e.cachedMin; m != nil && t < m.at {
+		e.cachedMin = ev
+	}
 	return ev
 }
 
 // Step executes the next event, if any, and reports whether one ran.
 func (e *Engine) Step() bool {
-	for len(e.heap) > 0 {
-		ev := e.pop()
-		if ev.cancelled {
-			e.nCancelled--
-			continue
-		}
-		e.nLive--
-		if ev.at > e.now {
-			e.now = ev.at
-		}
-		fn := ev.fn
-		ev.fn = nil
-		if ev.owned {
-			// Safe to recycle before running fn: the callback was extracted,
-			// and no caller holds a pointer to an owned event.
-			e.free = append(e.free, ev)
-		}
-		e.fired++
-		fn()
-		return true
+	ev := e.findMin()
+	if ev == nil {
+		return false
 	}
-	return false
+	e.fire(ev)
+	return true
 }
 
 // Run executes events until the queue drains or Halt is called.
 func (e *Engine) Run() {
 	e.halted = false
-	for !e.halted && e.Step() {
+	for !e.halted {
+		ev := e.findMin()
+		if ev == nil {
+			return
+		}
+		e.fire(ev)
 	}
 }
 
@@ -262,14 +307,14 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(t Time) {
 	e.halted = false
 	for !e.halted {
-		ev := e.peek()
+		ev := e.findMin()
 		if ev == nil || ev.at > t {
 			break
 		}
-		e.Step()
+		e.fire(ev)
 	}
 	if e.now < t {
-		e.now = t
+		e.setNow(t)
 	}
 }
 
@@ -280,39 +325,57 @@ func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
 func (e *Engine) Halt() { e.halted = true }
 
 // Reset returns the engine to its NewEngine state — virtual time zero,
-// sequence zero, empty queue — while keeping the event freelist and the
-// heap's backing array, so a reused engine schedules without reallocating.
-// Pending owned events are recycled; pending handle-returning events are
-// dropped (their handles stay valid but inert: already marked cancelled).
-// A reset engine is indistinguishable from a fresh one to the simulation —
-// the (time, seq) order restarts from zero, which is what keeps reused-arena
-// runs byte-identical to fresh-heap runs.
+// sequence zero, empty queue — while keeping the event freelist (the wheel's
+// slot arrays are fixed-size engine fields), so a reused engine schedules
+// without reallocating. Pending owned events are recycled; pending
+// handle-returning events are dropped (their handles stay valid but inert:
+// already marked cancelled). A reset engine is indistinguishable from a
+// fresh one to the simulation — the (time, seq) order restarts from zero,
+// which is what keeps reused-arena runs byte-identical to fresh-heap runs.
 func (e *Engine) Reset() {
-	for i, ev := range e.heap {
-		ev.fn = nil
-		ev.cancelled = true
-		if ev.owned {
-			e.free = append(e.free, ev)
-		}
-		e.heap[i] = nil
-	}
-	e.heap = e.heap[:0]
-	e.now, e.seq, e.fired = 0, 0, 0
-	e.nLive, e.nCancelled = 0, 0
-	e.halted = false
-	e.cancelledTotal, e.compactions, e.maxHeap = 0, 0, 0
-}
-
-func (e *Engine) peek() *Event {
-	for len(e.heap) > 0 {
-		if ev := e.heap[0]; ev.cancelled {
-			e.pop()
-			e.nCancelled--
+	for lvl := range e.wheel {
+		if e.lvlN[lvl] == 0 {
 			continue
 		}
-		return e.heap[0]
+		for s := range e.wheel[lvl] {
+			for ev := e.wheel[lvl][s].head; ev != nil; {
+				next := ev.next
+				e.dropEvent(ev)
+				ev = next
+			}
+			e.wheel[lvl][s] = evList{}
+		}
+		e.lvlN[lvl] = 0
 	}
-	return nil
+	for ev := e.overflow.head; ev != nil; {
+		next := ev.next
+		e.dropEvent(ev)
+		ev = next
+	}
+	e.overflow = evList{}
+	e.occ = [wheelLevels][wheelWords]uint64{}
+	if e.solo != nil {
+		e.dropEvent(e.solo)
+		e.solo = nil
+	}
+	e.cachedMin = nil
+	e.topRot = 0
+	e.now, e.seq, e.fired = 0, 0, 0
+	e.nLive = 0
+	e.halted = false
+	e.cancelledTotal, e.cascades, e.maxSlot, e.maxPending = 0, 0, 0, 0
+}
+
+// dropEvent neutralizes one queued event during Reset: handles turn inert
+// (cancelled), owned events return to the freelist.
+func (e *Engine) dropEvent(ev *Event) {
+	ev.fn = nil
+	ev.cancelled = true
+	ev.prev, ev.next = nil, nil
+	ev.qlevel = unqueuedLevel
+	if ev.owned {
+		e.free = append(e.free, ev)
+	}
 }
 
 // Sleep returns a channel-free helper used in tests: it schedules fn after d
@@ -322,97 +385,6 @@ func (e *Engine) Sleep(d Duration, fn func()) *Event { return e.Schedule(d, fn) 
 // String summarizes engine state.
 func (e *Engine) String() string {
 	return fmt.Sprintf("sim.Engine{now=%v pending=%d fired=%d}", e.now, e.nLive, e.fired)
-}
-
-// The priority queue is a hand-specialized binary min-heap ordered by
-// (time, seq). Specializing over []*Event avoids container/heap's
-// per-operation interface dispatch, which dominated the event loop's
-// profile before the rewrite.
-
-// before reports whether a fires strictly before b. seq is unique per
-// engine, so the order is total and the simulation deterministic.
-func before(a, b *Event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (e *Engine) push(ev *Event) {
-	h := append(e.heap, ev)
-	e.heap = h
-	if len(h) > e.maxHeap {
-		e.maxHeap = len(h)
-	}
-	// Sift up.
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !before(h[i], h[parent]) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-}
-
-func (e *Engine) pop() *Event {
-	h := e.heap
-	n := len(h)
-	ev := h[0]
-	last := h[n-1]
-	h[n-1] = nil
-	h = h[:n-1]
-	e.heap = h
-	if len(h) > 0 {
-		h[0] = last
-		e.siftDown(0)
-	}
-	return ev
-}
-
-func (e *Engine) siftDown(i int) {
-	h := e.heap
-	n := len(h)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			break
-		}
-		min := left
-		if right := left + 1; right < n && before(h[right], h[left]) {
-			min = right
-		}
-		if !before(h[min], h[i]) {
-			break
-		}
-		h[i], h[min] = h[min], h[i]
-		i = min
-	}
-}
-
-// compact removes cancelled tombstones from the heap and re-heapifies.
-// Without it, a workload that schedules and cancels timeouts forever (e.g.
-// hedged requests whose first reply always wins) grows the heap without
-// bound even though Pending stays flat.
-func (e *Engine) compact() {
-	h := e.heap
-	kept := h[:0]
-	for _, ev := range h {
-		if ev.cancelled {
-			continue
-		}
-		kept = append(kept, ev)
-	}
-	for i := len(kept); i < len(h); i++ {
-		h[i] = nil
-	}
-	e.heap = kept
-	e.nCancelled = 0
-	e.compactions++
-	for i := len(kept)/2 - 1; i >= 0; i-- {
-		e.siftDown(i)
-	}
 }
 
 // Ticker repeatedly invokes fn every period until Stop is called. It is the

@@ -5,141 +5,140 @@ import (
 	"time"
 )
 
-// FuzzEngineHeap drives the engine's hand-specialized min-heap (freelist,
-// tombstone cancellation, compaction included) with a byte-program of
-// schedule/after/cancel/step ops, checking every firing against a reference
-// model: events fire in nondecreasing (time, scheduling-seq) order,
-// cancelled events never fire, and Pending always matches the model's live
-// count.
-func FuzzEngineHeap(f *testing.F) {
+// fuzzDelays spans every wheel level plus the overflow list: zero and
+// sub-slot delays, the 256^k slot-width edges on both sides, mid-level
+// spans, the full 2^48 ns horizon, and near-MaxTime saturation. Index with
+// arg%len to give the fuzzer cheap reach into every cascade path.
+var fuzzDelays = [...]Duration{
+	0,
+	1,
+	255, 256, 257, // level 0 / 1 edge
+	65535, 65536, 65537, // level 1 / 2 edge
+	Duration(time.Millisecond),
+	1 << 24, // level 3
+	1 << 32, // level 4
+	Duration(300 * time.Second),
+	1 << 48, // overflow horizon
+	Duration(1 << 62), // near MaxTime; saturates under accumulation
+}
+
+// FuzzEngineWheel differentially fuzzes the timing-wheel engine against the
+// retained min-heap (EventHeap, heaporacle.go) with a byte-program of
+// schedule/After/cancel/Step/RunUntil/Reset ops. Both queues implement the
+// same (time, seq) contract, so every observable must match exactly:
+// fire order, Now() trajectory after every op, Pending, and Fired. The
+// delay table reaches across cascade boundaries and the overflow horizon,
+// where the two data structures' internals diverge the most.
+func FuzzEngineWheel(f *testing.F) {
 	f.Add([]byte{0, 5, 1, 3, 3, 0, 0, 0, 2, 0, 3, 0, 3, 0})
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 2, 0, 2, 1, 3, 0})
 	f.Add([]byte{1, 7, 1, 7, 3, 0, 1, 7, 3, 0, 3, 0, 3, 0})
 	f.Add([]byte{0, 1, 2, 0, 0, 1, 2, 0, 0, 1, 2, 0, 0, 1, 2, 0})
+	// Cascade-edge and overflow seeds.
+	f.Add([]byte{0, 3, 0, 4, 0, 9, 0, 12, 4, 6, 3, 0, 3, 0, 3, 0, 3, 0})
+	f.Add([]byte{1, 13, 0, 13, 0, 8, 4, 12, 2, 0, 3, 0, 3, 0})
+	// Reset mid-flight, then rebuild.
+	f.Add([]byte{0, 9, 1, 10, 3, 0, 5, 0, 0, 2, 1, 3, 3, 0, 3, 0})
+	f.Add([]byte{1, 12, 1, 12, 4, 13, 5, 0, 0, 5, 3, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		eng := NewEngine()
-		type item struct {
-			id        int
-			at        Time
-			cancelled bool
-			fired     bool
-			ev        *Event // nil for owned (After) events
-		}
+		oracle := NewEventHeap()
 		var (
-			model    []*item // in scheduling order = engine seq order
-			fired    []int   // ids in actual firing order
-			modelNow Time
+			engFired    []int
+			oracleFired []int
+			handles     []*Event     // live wheel handles, index-aligned with oracleHandles
+			oracleHs    []*HeapEvent // live oracle handles
+			nextID      int
 		)
-		// nextLive returns the model's next expected firing: minimum (at,
-		// scheduling order) over live items — exactly the heap's contract.
-		nextLive := func() *item {
-			var best *item
-			for _, it := range model {
-				if it.cancelled || it.fired {
-					continue
-				}
-				if best == nil || it.at < best.at {
-					best = it
-				}
-			}
-			return best
-		}
-		liveCount := func() int {
-			n := 0
-			for _, it := range model {
-				if !it.cancelled && !it.fired {
-					n++
-				}
-			}
-			return n
-		}
-		stepOnce := func(op string) {
+		check := func(op string) {
 			t.Helper()
-			want := nextLive()
-			ran := eng.Step()
-			if want == nil {
-				if ran {
-					t.Fatalf("%s: Step ran with no live events", op)
+			if eng.Now() != oracle.Now() {
+				t.Fatalf("%s: Now wheel=%v oracle=%v", op, eng.Now(), oracle.Now())
+			}
+			if eng.Pending() != oracle.Pending() {
+				t.Fatalf("%s: Pending wheel=%d oracle=%d", op, eng.Pending(), oracle.Pending())
+			}
+			if eng.Fired() != oracle.Fired() {
+				t.Fatalf("%s: Fired wheel=%d oracle=%d", op, eng.Fired(), oracle.Fired())
+			}
+			if len(engFired) != len(oracleFired) {
+				t.Fatalf("%s: fire-log lengths %d vs %d", op, len(engFired), len(oracleFired))
+			}
+			for i := range engFired {
+				if engFired[i] != oracleFired[i] {
+					t.Fatalf("%s: fire order diverges at %d: wheel #%d, oracle #%d",
+						op, i, engFired[i], oracleFired[i])
 				}
-				return
-			}
-			if !ran {
-				t.Fatalf("%s: Step idle with %d live events", op, liveCount())
-			}
-			want.fired = true
-			if got := fired[len(fired)-1]; got != want.id {
-				t.Fatalf("%s: fired #%d, want #%d (at=%v)", op, got, want.id, want.at)
-			}
-			if want.at > modelNow {
-				modelNow = want.at
-			}
-			if eng.Now() != modelNow {
-				t.Fatalf("%s: clock %v, model %v", op, eng.Now(), modelNow)
 			}
 		}
 
 		for i := 0; i+1 < len(data) && i < 4096; i += 2 {
-			op, arg := data[i]%4, data[i+1]
+			op, arg := data[i]%6, data[i+1]
 			switch op {
 			case 0: // Schedule (handle-returning, cancellable)
-				d := Duration(arg%8) * Duration(time.Microsecond)
-				it := &item{id: len(model), at: modelNow.Add(d)}
-				it.ev = eng.Schedule(d, func() { fired = append(fired, it.id) })
-				model = append(model, it)
+				d := fuzzDelays[int(arg)%len(fuzzDelays)]
+				id := nextID
+				nextID++
+				handles = append(handles,
+					eng.Schedule(d, func() { engFired = append(engFired, id) }))
+				oracleHs = append(oracleHs,
+					oracle.Schedule(d, func() { oracleFired = append(oracleFired, id) }))
+				check("schedule")
 			case 1: // After (owned, freelist-recycled)
-				d := Duration(arg%8) * Duration(time.Microsecond)
-				it := &item{id: len(model), at: modelNow.Add(d)}
-				eng.After(d, func() { fired = append(fired, it.id) })
-				model = append(model, it)
-			case 2: // Cancel a live handle event
-				var handles []*item
-				for _, it := range model {
-					if it.ev != nil && !it.cancelled && !it.fired {
-						handles = append(handles, it)
-					}
-				}
+				d := fuzzDelays[int(arg)%len(fuzzDelays)]
+				id := nextID
+				nextID++
+				eng.After(d, func() { engFired = append(engFired, id) })
+				oracle.After(d, func() { oracleFired = append(oracleFired, id) })
+				check("after")
+			case 2: // Cancel the same live handle on both sides
 				if len(handles) == 0 {
 					continue
 				}
-				it := handles[int(arg)%len(handles)]
-				it.ev.Cancel()
-				it.cancelled = true
-				if !it.ev.Cancelled() {
-					t.Fatalf("event #%d not marked cancelled", it.id)
+				j := int(arg) % len(handles)
+				handles[j].Cancel()
+				oracleHs[j].Cancel()
+				if handles[j].Cancelled() != oracleHs[j].Cancelled() {
+					t.Fatalf("cancel: Cancelled() wheel=%v oracle=%v",
+						handles[j].Cancelled(), oracleHs[j].Cancelled())
 				}
+				check("cancel")
 			case 3: // Step
-				stepOnce("step")
-			}
-			if eng.Pending() != liveCount() {
-				t.Fatalf("Pending=%d, model live=%d", eng.Pending(), liveCount())
+				if eng.Step() != oracle.Step() {
+					t.Fatal("step: one queue ran, the other idled")
+				}
+				check("step")
+			case 4: // RunUntil a delay-table offset past the current clock
+				until := eng.Now().Add(fuzzDelays[int(arg)%len(fuzzDelays)])
+				eng.RunUntil(until)
+				oracle.RunUntil(until)
+				check("rununtil")
+			case 5: // Reset both; old handles must be inert on both sides
+				eng.Reset()
+				oracle.Reset()
+				for j := range handles {
+					handles[j].Cancel() // must be a no-op post-Reset
+					oracleHs[j].Cancel()
+				}
+				handles, oracleHs = handles[:0], oracleHs[:0]
+				check("reset")
 			}
 		}
 
-		// Drain and verify the complete firing order.
-		for nextLive() != nil {
-			stepOnce("drain")
-		}
-		if eng.Step() {
-			t.Fatal("engine fired after the model drained")
+		// Drain both completely and compare the final trajectories.
+		for {
+			a, b := eng.Step(), oracle.Step()
+			if a != b {
+				t.Fatal("drain: one queue ran, the other idled")
+			}
+			check("drain")
+			if !a {
+				break
+			}
 		}
 		if eng.Pending() != 0 {
 			t.Fatalf("Pending=%d after drain", eng.Pending())
-		}
-		for i := 1; i < len(fired); i++ {
-			a, b := model[fired[i-1]], model[fired[i]]
-			if b.at < a.at || (b.at == a.at && b.id < a.id) {
-				t.Fatalf("firing order violates (time, seq): #%d(at=%v) before #%d(at=%v)",
-					a.id, a.at, b.id, b.at)
-			}
-		}
-		for _, it := range model {
-			if it.cancelled && it.fired {
-				t.Fatalf("cancelled event #%d fired", it.id)
-			}
-			if !it.cancelled && !it.fired {
-				t.Fatalf("event #%d neither fired nor cancelled after drain", it.id)
-			}
 		}
 	})
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 	"time"
@@ -212,6 +213,21 @@ func TestTimeAddSaturates(t *testing.T) {
 	if MaxTime.Add(time.Hour) != MaxTime {
 		t.Fatal("Add should saturate at MaxTime")
 	}
+	if got := Time(math.MaxInt64 - 5).Add(time.Hour); got != MaxTime {
+		t.Fatalf("near-max positive overflow: got %d, want MaxTime", got)
+	}
+	// Negative overflow must clamp at MinTime, not wrap around to a huge
+	// positive timestamp.
+	if got := MinTime.Add(-time.Hour); got != MinTime {
+		t.Fatalf("Add should saturate at MinTime, got %d", got)
+	}
+	if got := Time(math.MinInt64 + 5).Add(-time.Hour); got != MinTime {
+		t.Fatalf("near-min negative overflow: got %d, want MinTime", got)
+	}
+	// Non-overflowing sums are untouched.
+	if got := Time(100).Add(-30 * time.Nanosecond); got != 70 {
+		t.Fatalf("plain negative add: got %d, want 70", got)
+	}
 }
 
 func TestPropertyEventOrderMatchesSort(t *testing.T) {
@@ -368,10 +384,10 @@ func TestCancelUpdatesPendingImmediately(t *testing.T) {
 	}
 }
 
-func TestCancelledEventCompaction(t *testing.T) {
+func TestMassCancelUnlinksImmediately(t *testing.T) {
 	e := NewEngine()
-	// Schedule a large batch and cancel most of it: tombstones must be
-	// compacted away instead of lingering until popped.
+	// Schedule a large batch and cancel most of it: the wheel unlinks each
+	// cancelled event on the spot — no tombstones survive anywhere.
 	const total, keep = 1024, 16
 	evs := make([]*Event, total)
 	for i := range evs {
@@ -385,20 +401,20 @@ func TestCancelledEventCompaction(t *testing.T) {
 	if e.Pending() != keep {
 		t.Fatalf("Pending = %d, want %d", e.Pending(), keep)
 	}
-	if len(e.heap) > 2*keep {
-		t.Fatalf("heap holds %d entries after mass cancel, want ≤ %d (compaction broken)", len(e.heap), 2*keep)
+	if q := e.queuedCount(); q != keep {
+		t.Fatalf("wheel holds %d entries after mass cancel, want %d (unlink broken)", q, keep)
 	}
 	// The survivors still fire in timestamp order with correct counters.
 	e.Run()
 	if e.Fired() != keep {
 		t.Fatalf("Fired = %d, want %d", e.Fired(), keep)
 	}
-	if e.Pending() != 0 || len(e.heap) != 0 {
-		t.Fatalf("pending=%d heap=%d after drain, want 0/0", e.Pending(), len(e.heap))
+	if e.Pending() != 0 || e.queuedCount() != 0 {
+		t.Fatalf("pending=%d queued=%d after drain, want 0/0", e.Pending(), e.queuedCount())
 	}
 }
 
-func TestCompactionPreservesOrder(t *testing.T) {
+func TestMassCancelPreservesOrder(t *testing.T) {
 	e := NewEngine()
 	var got []int
 	evs := make([]*Event, 256)
@@ -409,7 +425,7 @@ func TestCompactionPreservesOrder(t *testing.T) {
 	}
 	for i, ev := range evs {
 		if i%2 == 1 {
-			ev.Cancel() // triggers at least one compaction
+			ev.Cancel() // unlinks in place; survivors must keep (time, seq) order
 		}
 	}
 	e.Run()

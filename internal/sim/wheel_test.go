@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// queuedCount walks every slot list and the overflow list counting queued
+// events — a structural cross-check against the nLive counter, test-only.
+func (e *Engine) queuedCount() int {
+	n := 0
+	for lvl := range e.wheel {
+		for s := range e.wheel[lvl] {
+			for ev := e.wheel[lvl][s].head; ev != nil; ev = ev.next {
+				n++
+			}
+		}
+	}
+	for ev := e.overflow.head; ev != nil; ev = ev.next {
+		n++
+	}
+	if e.solo != nil {
+		n++
+	}
+	return n
+}
+
+// checkInvariants validates occupancy bitmaps, per-level counts, and list
+// back-links against the actual slot contents.
+func (e *Engine) checkInvariants(t *testing.T) {
+	t.Helper()
+	total := 0
+	for lvl := range e.wheel {
+		lvlTotal := 0
+		for s := range e.wheel[lvl] {
+			l := &e.wheel[lvl][s]
+			occupied := e.occ[lvl][s>>6]&(1<<(uint(s)&63)) != 0
+			if (l.head != nil) != occupied {
+				t.Fatalf("level %d slot %d: occ bit %v but head %v", lvl, s, occupied, l.head)
+			}
+			n := 0
+			var prev *Event
+			for ev := l.head; ev != nil; ev = ev.next {
+				if ev.prev != prev {
+					t.Fatalf("level %d slot %d: broken prev link", lvl, s)
+				}
+				if ev.qlevel != int16(lvl) || ev.qslot != int16(s) {
+					t.Fatalf("level %d slot %d: event tagged (%d,%d)", lvl, s, ev.qlevel, ev.qslot)
+				}
+				prev = ev
+				n++
+			}
+			if l.tail != prev {
+				t.Fatalf("level %d slot %d: tail mismatch", lvl, s)
+			}
+			if int(l.n) != n {
+				t.Fatalf("level %d slot %d: n=%d, counted %d", lvl, s, l.n, n)
+			}
+			lvlTotal += n
+		}
+		if e.lvlN[lvl] != lvlTotal {
+			t.Fatalf("level %d: lvlN=%d, counted %d", lvl, e.lvlN[lvl], lvlTotal)
+		}
+		total += lvlTotal
+	}
+	total += int(e.overflow.n)
+	if e.solo != nil {
+		if e.solo.qlevel != soloLevel {
+			t.Fatalf("solo event tagged level %d, want soloLevel", e.solo.qlevel)
+		}
+		if total != 0 {
+			t.Fatalf("solo event parked while %d events are on the wheel", total)
+		}
+		total++
+	}
+	if total != e.nLive {
+		t.Fatalf("queued %d events, nLive=%d", total, e.nLive)
+	}
+}
+
+func TestWheelCascadeBoundaries(t *testing.T) {
+	// Delays chosen to straddle every level boundary: 256^k - 1, 256^k, and
+	// 256^k + 1 land on adjacent levels and must still fire in time order.
+	delays := []Duration{
+		0, 1, 2,
+		255, 256, 257, // level 0 / 1 edge
+		65535, 65536, 65537, // level 1 / 2 edge
+		1<<24 - 1, 1 << 24, 1<<24 + 1, // level 2 / 3 edge
+		1<<32 - 1, 1 << 32, 1<<32 + 1, // level 3 / 4 edge
+		1<<40 - 1, 1 << 40, 1<<40 + 1, // level 4 / 5 edge
+	}
+	e := NewEngine()
+	var fired []Time
+	for _, d := range delays {
+		e.Schedule(d, func() { fired = append(fired, e.Now()) })
+	}
+	e.checkInvariants(t)
+	e.Run()
+	if len(fired) != len(delays) {
+		t.Fatalf("fired %d of %d", len(fired), len(delays))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("out of order at %d: %d after %d", i, fired[i], fired[i-1])
+		}
+	}
+	if e.Stats().Cascades == 0 {
+		t.Fatal("multi-level schedule produced no cascades")
+	}
+	e.checkInvariants(t)
+}
+
+func TestWheelCascadeKeepsFIFOWithinTimestamp(t *testing.T) {
+	// Regression for the determinism hazard: an event scheduled early for a
+	// far timestamp (low seq, parked at a high level) cascades into a level-0
+	// slot that already holds a later-scheduled event for the same timestamp
+	// (high seq, placed directly once the clock got close). The cascaded
+	// event's lower seq must still fire first.
+	e := NewEngine()
+	const target = Time(1 << 20) // level 2 from t=0
+	var got []int
+	e.At(target, func() { got = append(got, 0) }) // seq 0, parked high
+	// Advance the clock to just below the target so a direct post lands at
+	// level 0, then post the same timestamp again.
+	e.At(target-1, func() {
+		e.At(target, func() { got = append(got, 1) }) // higher seq, direct
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("same-timestamp order = %v, want [0 1]", got)
+	}
+}
+
+func TestWheelOverflowPromotion(t *testing.T) {
+	e := NewEngine()
+	const horizon = Time(1) << wheelHorizonShift
+	var fired []Time
+	// Beyond the horizon: parks on the overflow list.
+	e.At(horizon+5, func() { fired = append(fired, e.Now()) })
+	e.At(horizon+3, func() { fired = append(fired, e.Now()) })
+	if e.Stats().Overflow != 2 {
+		t.Fatalf("overflow len = %d, want 2", e.Stats().Overflow)
+	}
+	// Inside the horizon: goes straight onto the wheel.
+	e.At(100, func() { fired = append(fired, e.Now()) })
+	e.checkInvariants(t)
+	e.Run()
+	want := []Time{100, horizon + 3, horizon + 5}
+	if len(fired) != 3 || fired[0] != want[0] || fired[1] != want[1] || fired[2] != want[2] {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	if e.Stats().Overflow != 0 {
+		t.Fatalf("overflow not drained: %d", e.Stats().Overflow)
+	}
+}
+
+func TestWheelMaxTimeDeadlineDrains(t *testing.T) {
+	// Saturating deadlines (After(forever)) are the common overflow case:
+	// they must stay parked while normal work proceeds, then drain last.
+	e := NewEngine()
+	deadline := false
+	e.At(MaxTime, func() { deadline = true })
+	ticks := 0
+	for i := 1; i <= 100; i++ {
+		e.After(Duration(i)*time.Millisecond, func() { ticks++ })
+	}
+	e.RunFor(time.Second)
+	if ticks != 100 || deadline {
+		t.Fatalf("ticks=%d deadline=%v mid-run, want 100/false", ticks, deadline)
+	}
+	e.Run()
+	if !deadline || e.Now() != MaxTime {
+		t.Fatalf("deadline=%v now=%v after drain, want true/MaxTime", deadline, e.Now())
+	}
+}
+
+func TestWheelOverflowCancel(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(MaxTime, func() { t.Fatal("cancelled overflow event fired") })
+	mid := e.At(MaxTime-1, func() {})
+	e.At(MaxTime-2, func() {})
+	if e.Stats().Overflow != 3 {
+		t.Fatalf("overflow len = %d, want 3", e.Stats().Overflow)
+	}
+	mid.Cancel() // middle-of-list unlink
+	ev.Cancel()
+	if e.Stats().Overflow != 1 || e.Pending() != 1 {
+		t.Fatalf("overflow=%d pending=%d after cancels, want 1/1", e.Stats().Overflow, e.Pending())
+	}
+	e.checkInvariants(t)
+	e.Run()
+	if e.Fired() != 1 {
+		t.Fatalf("fired = %d, want 1", e.Fired())
+	}
+}
+
+func TestWheelResetThenReuse(t *testing.T) {
+	// A reset engine must be indistinguishable from a fresh one: same fire
+	// order, same Now() trajectory, and pending events from the old run are
+	// gone (owned ones recycled into the freelist).
+	run := func(e *Engine) (order []int, now Time) {
+		delays := []Duration{3 * time.Millisecond, time.Microsecond, 1 << 30, 256, 65536}
+		for i, d := range delays {
+			i := i
+			e.Schedule(d, func() { order = append(order, i) })
+		}
+		e.Run()
+		return order, e.Now()
+	}
+	fresh := NewEngine()
+	wantOrder, wantNow := run(fresh)
+
+	reused := NewEngine()
+	// Dirty it thoroughly: mid-flight events across levels, overflow, a
+	// half-run, cancels.
+	for i := 0; i < 500; i++ {
+		e := reused
+		e.After(Duration(i)*time.Microsecond, func() {})
+	}
+	h := reused.Schedule(time.Hour, func() {})
+	reused.At(MaxTime, func() {})
+	reused.RunFor(200 * time.Microsecond)
+	h.Cancel()
+	reused.Reset()
+
+	if reused.Pending() != 0 || reused.Now() != 0 || reused.Fired() != 0 {
+		t.Fatalf("post-Reset state: pending=%d now=%v fired=%d", reused.Pending(), reused.Now(), reused.Fired())
+	}
+	if reused.queuedCount() != 0 {
+		t.Fatalf("post-Reset wheel still holds %d events", reused.queuedCount())
+	}
+	if len(reused.free) == 0 {
+		t.Fatal("Reset should have recycled owned events into the freelist")
+	}
+	reused.checkInvariants(t)
+
+	gotOrder, gotNow := run(reused)
+	if gotNow != wantNow || len(gotOrder) != len(wantOrder) {
+		t.Fatalf("reused run: now=%v order=%v, want now=%v order=%v", gotNow, gotOrder, wantNow, wantOrder)
+	}
+	for i := range wantOrder {
+		if gotOrder[i] != wantOrder[i] {
+			t.Fatalf("reused run order %v, want %v", gotOrder, wantOrder)
+		}
+	}
+}
+
+func TestWheelResetReuseDoesNotAllocate(t *testing.T) {
+	// PR 7's leg arenas depend on Reset keeping the wheel's storage: a
+	// warmed engine re-running an owned-event workload must stay at zero
+	// allocations per leg.
+	e := NewEngine()
+	leg := func() {
+		for i := 0; i < 64; i++ {
+			e.After(Duration(i)*time.Microsecond, func() {})
+		}
+		e.Run()
+		e.Reset()
+	}
+	leg() // warm the freelist
+	avg := testing.AllocsPerRun(20, leg)
+	if avg != 0 {
+		t.Fatalf("Reset-then-reuse allocates %v/leg, want 0", avg)
+	}
+}
+
+func TestWheelStatsCounters(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 8; i++ {
+		e.At(Time(1<<20), func() {}) // same far slot: stacks one slot 8 deep
+	}
+	ev := e.Schedule(time.Microsecond, func() {})
+	ev.Cancel()
+	e.Run()
+	st := e.Stats()
+	if st.Cascades == 0 {
+		t.Fatal("expected cascades from far-slot batch")
+	}
+	if st.MaxSlot < 8 {
+		t.Fatalf("MaxSlot = %d, want ≥ 8", st.MaxSlot)
+	}
+	if st.Cancelled != 1 || st.Fired != 8 || st.Scheduled != 9 {
+		t.Fatalf("cancelled=%d fired=%d scheduled=%d, want 1/8/9", st.Cancelled, st.Fired, st.Scheduled)
+	}
+	if st.MaxPending != 9 {
+		t.Fatalf("MaxPending = %d, want 9", st.MaxPending)
+	}
+}
+
+func TestWheelCancelClearsSlot(t *testing.T) {
+	e := NewEngine()
+	a := e.Schedule(time.Millisecond, func() {})
+	b := e.Schedule(time.Millisecond, func() {})
+	c := e.Schedule(2*time.Millisecond, func() {})
+	b.Cancel()
+	a.Cancel()
+	e.checkInvariants(t)
+	c.Cancel()
+	e.checkInvariants(t)
+	if e.queuedCount() != 0 || e.Pending() != 0 {
+		t.Fatalf("queued=%d pending=%d after cancelling all, want 0/0", e.queuedCount(), e.Pending())
+	}
+	if e.Step() {
+		t.Fatal("Step fired an event on an empty engine")
+	}
+}
+
+func TestWheelFarFutureScanAfterLongIdle(t *testing.T) {
+	// Fast-forward: with only one far event queued, Run must jump the clock
+	// straight to it (via cascades), not crawl slot by slot.
+	e := NewEngine()
+	var at Time
+	e.Schedule(3*time.Hour, func() { at = e.Now() })
+	e.Run()
+	if want := Time(Duration(3 * time.Hour)); at != want {
+		t.Fatalf("fired at %v, want %v", at, want)
+	}
+}
