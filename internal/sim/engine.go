@@ -303,7 +303,10 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with timestamps ≤ t, then sets the clock to t
 // (if the clock has not already passed it). Events scheduled exactly at t
-// do run.
+// do run. If Halt stops the run while due events remain queued, the clock
+// stays where the halt left it — the pending events must remain ahead of
+// the clock (a queued event behind the wheel's cursor would strand its
+// slot) — and a later Run/RunUntil resumes from there.
 func (e *Engine) RunUntil(t Time) {
 	e.halted = false
 	for !e.halted {
@@ -314,7 +317,9 @@ func (e *Engine) RunUntil(t Time) {
 		e.fire(ev)
 	}
 	if e.now < t {
-		e.setNow(t)
+		if ev := e.findMin(); ev == nil || ev.at > t {
+			e.setNow(t)
+		}
 	}
 }
 

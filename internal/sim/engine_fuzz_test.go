@@ -24,11 +24,14 @@ var fuzzDelays = [...]Duration{
 
 // FuzzEngineWheel differentially fuzzes the timing-wheel engine against the
 // retained min-heap (EventHeap, heaporacle.go) with a byte-program of
-// schedule/After/cancel/Step/RunUntil/Reset ops. Both queues implement the
-// same (time, seq) contract, so every observable must match exactly:
-// fire order, Now() trajectory after every op, Pending, and Fired. The
-// delay table reaches across cascade boundaries and the overflow horizon,
-// where the two data structures' internals diverge the most.
+// schedule/After/cancel/Step/RunUntil/Reset/halted-RunUntil ops. Both
+// queues implement the same (time, seq) contract, so every observable must
+// match exactly: fire order, Now() trajectory after every op, Pending, and
+// Fired. The delay table reaches across cascade boundaries and the
+// overflow horizon, where the two data structures' internals diverge the
+// most; the halt op stops RunUntil from inside a callback with due events
+// still queued, the one state where the wheel must refuse to advance the
+// clock (an occupied slot behind its cursor is a structural violation).
 func FuzzEngineWheel(f *testing.F) {
 	f.Add([]byte{0, 5, 1, 3, 3, 0, 0, 0, 2, 0, 3, 0, 3, 0})
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 2, 0, 2, 1, 3, 0})
@@ -40,6 +43,12 @@ func FuzzEngineWheel(f *testing.F) {
 	// Reset mid-flight, then rebuild.
 	f.Add([]byte{0, 9, 1, 10, 3, 0, 5, 0, 0, 2, 1, 3, 3, 0, 3, 0})
 	f.Add([]byte{1, 12, 1, 12, 4, 13, 5, 0, 0, 5, 3, 0})
+	// Halt mid-RunUntil with due events still queued, then resume: the
+	// second seed halts with a cross-level (slot-256) event pending, the
+	// REVIEW.md repro shape that once stranded a slot behind the cursor.
+	f.Add([]byte{0, 5, 0, 8, 6, 1, 4, 8, 3, 0, 3, 0})
+	f.Add([]byte{0, 1, 0, 3, 6, 0, 4, 7, 2, 0, 3, 0, 3, 0})
+	f.Add([]byte{1, 7, 6, 2, 5, 0, 0, 4, 6, 9, 4, 12, 3, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		eng := NewEngine()
@@ -74,7 +83,7 @@ func FuzzEngineWheel(f *testing.F) {
 		}
 
 		for i := 0; i+1 < len(data) && i < 4096; i += 2 {
-			op, arg := data[i]%6, data[i+1]
+			op, arg := data[i]%7, data[i+1]
 			switch op {
 			case 0: // Schedule (handle-returning, cancellable)
 				d := fuzzDelays[int(arg)%len(fuzzDelays)]
@@ -123,6 +132,23 @@ func FuzzEngineWheel(f *testing.F) {
 				}
 				handles, oracleHs = handles[:0], oracleHs[:0]
 				check("reset")
+			case 6: // Halt from inside a callback mid-RunUntil, leaving any
+				// other due events queued behind the stopped clock.
+				d := fuzzDelays[int(arg)%len(fuzzDelays)]
+				id := nextID
+				nextID++
+				eng.After(d, func() {
+					engFired = append(engFired, id)
+					eng.Halt()
+				})
+				oracle.After(d, func() {
+					oracleFired = append(oracleFired, id)
+					oracle.Halt()
+				})
+				until := eng.Now().Add(d).Add(fuzzDelays[(int(arg)+3)%len(fuzzDelays)])
+				eng.RunUntil(until)
+				oracle.RunUntil(until)
+				check("halt")
 			}
 		}
 

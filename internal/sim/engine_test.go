@@ -155,6 +155,50 @@ func TestHalt(t *testing.T) {
 	}
 }
 
+// TestHaltDuringRunUntilKeepsDueEvents is the REVIEW.md repro: Halt stops
+// RunUntil while an event inside the bound is still queued (on a higher
+// wheel level than the one that fired). The clock must not jump to the
+// bound — that would strand the pending event's slot behind its level
+// cursor and panic the next findMin — and resuming must fire it normally.
+func TestHaltDuringRunUntilKeepsDueEvents(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.At(10, func() {
+		fired = append(fired, e.Now())
+		e.Halt()
+	})
+	e.At(500, func() { fired = append(fired, e.Now()) }) // level-1 slot
+	e.RunUntil(1000)
+	if len(fired) != 1 || fired[0] != 10 {
+		t.Fatalf("fired %v before halt, want [10ns]", fired)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock %v after halted RunUntil, want 10ns (due event still queued)", e.Now())
+	}
+	e.RunUntil(1000) // resume: must not panic, must fire the 500ns event
+	if len(fired) != 2 || fired[1] != 500 {
+		t.Fatalf("fired %v after resume, want [10ns 500ns]", fired)
+	}
+	if e.Now() != 1000 {
+		t.Fatalf("clock %v after drained RunUntil, want 1µs", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+// TestHaltDuringRunUntilNothingDue checks the complementary case: when the
+// halt leaves no events inside the bound, the clock still advances to it.
+func TestHaltDuringRunUntilNothingDue(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() { e.Halt() })
+	e.At(Time(time.Second), func() {})
+	e.RunUntil(1000)
+	if e.Now() != 1000 {
+		t.Fatalf("clock %v, want 1µs (no due events remained)", e.Now())
+	}
+}
+
 func TestEventsScheduledFromEvents(t *testing.T) {
 	e := NewEngine()
 	depth := 0

@@ -22,6 +22,7 @@ type EventHeap struct {
 	nLive      int
 	nCancelled int
 	fired      uint64
+	halted     bool
 }
 
 // HeapEvent is the oracle's cancellation handle, mirroring Event.
@@ -140,15 +141,23 @@ func (h *EventHeap) Step() bool {
 	return false
 }
 
-// Run executes events until the queue drains.
+// Run executes events until the queue drains or Halt is called.
 func (h *EventHeap) Run() {
-	for h.Step() {
+	h.halted = false
+	for !h.halted {
+		if !h.Step() {
+			return
+		}
 	}
 }
 
 // RunUntil executes events with timestamps ≤ t, then sets the clock to t.
+// Like Engine.RunUntil, a Halt that leaves due events queued also leaves
+// the clock where the halt happened, so the two trajectories stay
+// comparable in the differential fuzzer.
 func (h *EventHeap) RunUntil(t Time) {
-	for {
+	h.halted = false
+	for !h.halted {
 		ev := h.peek()
 		if ev == nil || ev.at > t {
 			break
@@ -156,9 +165,14 @@ func (h *EventHeap) RunUntil(t Time) {
 		h.Step()
 	}
 	if h.now < t {
-		h.now = t
+		if ev := h.peek(); ev == nil || ev.at > t {
+			h.now = t
+		}
 	}
 }
+
+// Halt stops Run/RunUntil after the currently executing event returns.
+func (h *EventHeap) Halt() { h.halted = true }
 
 // Reset returns the queue to its initial state, keeping the freelist and
 // the heap's backing array.
@@ -174,6 +188,7 @@ func (h *EventHeap) Reset() {
 	h.heap = h.heap[:0]
 	h.now, h.seq, h.fired = 0, 0, 0
 	h.nLive, h.nCancelled = 0, 0
+	h.halted = false
 }
 
 func (h *EventHeap) peek() *HeapEvent {
